@@ -1,0 +1,379 @@
+package stackcache
+
+// The benchmark suite: one bench per paper table/figure (the kernel
+// that regenerates it, at a representative configuration) plus
+// ablation benches for the design choices DESIGN.md calls out. The
+// full parameter sweeps live in cmd/stackcache; benchmarks here
+// measure the kernels' wall-clock cost and let `go test -bench`
+// compare engines and policies.
+
+import (
+	"testing"
+
+	"stackcache/internal/constcache"
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/forth"
+	"stackcache/internal/gendyn"
+	"stackcache/internal/interp"
+	"stackcache/internal/regvm"
+	"stackcache/internal/statcache"
+	"stackcache/internal/trace"
+	"stackcache/internal/vm"
+	"stackcache/internal/workloads"
+)
+
+// benchProgram compiles a workload once, for use across iterations.
+func benchProgram(b *testing.B, name string) *vm.Program {
+	b.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatalf("workload %s missing", name)
+	}
+	p, err := w.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func reportPerInst(b *testing.B, steps int64) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps)/float64(b.N), "ns/inst")
+}
+
+// --- Fig. 7: dispatch techniques ---
+
+func benchEngine(b *testing.B, e interp.Engine) {
+	p := benchProgram(b, "fib")
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := interp.Run(p, e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	reportPerInst(b, steps)
+}
+
+func BenchmarkFig7DispatchSwitch(b *testing.B)   { benchEngine(b, interp.EngineSwitch) }
+func BenchmarkFig7DispatchToken(b *testing.B)    { benchEngine(b, interp.EngineToken) }
+func BenchmarkFig7DispatchThreaded(b *testing.B) { benchEngine(b, interp.EngineThreaded) }
+
+// --- Fig. 18: state counting ---
+
+func BenchmarkFig18StateCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, org := range core.Organizations {
+			for n := 1; n <= 8; n++ {
+				_ = org.Count(n)
+			}
+		}
+	}
+}
+
+func BenchmarkFig18Enumeration(b *testing.B) {
+	org, _ := core.OrganizationByName("arbitrary shuffles")
+	for i := 0; i < b.N; i++ {
+		if org.Enumerate(6) != 1957 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// --- Fig. 20: trace capture and analysis ---
+
+func BenchmarkFig20TraceAnalyze(b *testing.B) {
+	p := benchProgram(b, "fib")
+	tr, _, err := interp.Capture(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = trace.Analyze("fib", tr)
+	}
+	reportPerInst(b, int64(len(tr)))
+}
+
+// --- Fig. 21: constant-k simulation ---
+
+func BenchmarkFig21ConstantK(b *testing.B) {
+	p := benchProgram(b, "fib")
+	tr, _, err := interp.Capture(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := constcache.Simulate(tr, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerInst(b, int64(len(tr)))
+}
+
+// --- Fig. 22/23: dynamic stack caching ---
+
+func benchDynamic(b *testing.B, pol core.MinimalPolicy) {
+	p := benchProgram(b, "fib")
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dyncache.Run(p, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Counters.Instructions
+	}
+	reportPerInst(b, steps)
+}
+
+func BenchmarkFig22Dynamic4Regs(b *testing.B) {
+	benchDynamic(b, core.MinimalPolicy{NRegs: 4, OverflowTo: 3})
+}
+
+func BenchmarkFig22Dynamic10Regs(b *testing.B) {
+	benchDynamic(b, core.MinimalPolicy{NRegs: 10, OverflowTo: 7})
+}
+
+// Ablation: overflow followup state (full spills least per overflow
+// but overflows most).
+func BenchmarkFig23AblationFollowupFull(b *testing.B) {
+	benchDynamic(b, core.MinimalPolicy{NRegs: 6, OverflowTo: 6})
+}
+
+func BenchmarkFig23AblationFollowupHalf(b *testing.B) {
+	benchDynamic(b, core.MinimalPolicy{NRegs: 6, OverflowTo: 3})
+}
+
+// --- Fig. 24/25: static stack caching ---
+
+func BenchmarkFig24StaticCompile(b *testing.B) {
+	p := benchProgram(b, "fib")
+	pol := statcache.Policy{NRegs: 6, Canonical: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := statcache.Compile(p, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStatic(b *testing.B, pol statcache.Policy) {
+	p := benchProgram(b, "fib")
+	plan, err := statcache.Compile(p, pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := statcache.Execute(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Counters.Instructions
+	}
+	reportPerInst(b, steps)
+}
+
+func BenchmarkFig24StaticExecute(b *testing.B) {
+	benchStatic(b, statcache.Policy{NRegs: 6, Canonical: 2})
+}
+
+// Ablation: canonical state depth.
+func BenchmarkFig25AblationCanonical0(b *testing.B) {
+	benchStatic(b, statcache.Policy{NRegs: 6, Canonical: 0})
+}
+
+func BenchmarkFig25AblationCanonical6(b *testing.B) {
+	benchStatic(b, statcache.Policy{NRegs: 6, Canonical: 6})
+}
+
+// Ablation: stack-manipulation elimination on/off (the paper's §5
+// headline optimization).
+func BenchmarkAblationManipEliminated(b *testing.B) {
+	benchStatic(b, statcache.Policy{NRegs: 6, Canonical: 2})
+}
+
+func BenchmarkAblationManipKept(b *testing.B) {
+	benchStatic(b, statcache.Policy{NRegs: 6, Canonical: 2, KeepManips: true})
+}
+
+// Ablation: superinstruction fusion in the front end (§2.2).
+func benchSuper(b *testing.B, super bool) {
+	w, _ := workloads.ByName("fib")
+	p, err := forth.CompileWithOptions(w.Source, forth.Options{Superinstructions: super})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	reportPerInst(b, steps)
+}
+
+func BenchmarkAblationSuperinstrOff(b *testing.B) { benchSuper(b, false) }
+func BenchmarkAblationSuperinstrOn(b *testing.B)  { benchSuper(b, true) }
+
+// --- Fig. 26: the three approaches on one workload ---
+
+func BenchmarkFig26Baseline(b *testing.B) { benchEngine(b, interp.EngineSwitch) }
+func BenchmarkFig26Dynamic(b *testing.B) {
+	benchDynamic(b, core.MinimalPolicy{NRegs: 6, OverflowTo: 5})
+}
+func BenchmarkFig26Static(b *testing.B) { benchStatic(b, statcache.Policy{NRegs: 6, Canonical: 2}) }
+
+// Ablation: overflow-move-optimized (rotating) organization (§3.3).
+func BenchmarkAblationRotatingOrg(b *testing.B) {
+	p := benchProgram(b, "fib")
+	pol := core.RotatingPolicy{NRegs: 4, OverflowTo: 4}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dyncache.RunRotating(p, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Counters.Instructions
+	}
+	reportPerInst(b, steps)
+}
+
+// Ablation: per-target states vs canonical convention (§5).
+func BenchmarkAblationPerTargetStates(b *testing.B) {
+	benchStatic(b, statcache.Policy{NRegs: 6, Canonical: 2, PerTargetStates: true})
+}
+
+// Ablation: front-end inlining (§6).
+func BenchmarkAblationInlineOn(b *testing.B) {
+	w, _ := workloads.ByName("fib")
+	p, err := forth.CompileWithOptions(w.Source, forth.Options{Inline: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	reportPerInst(b, steps)
+}
+
+// --- generated per-state interpreter (§4 via cmd/gencache) ---
+
+// BenchmarkGenDynamic runs the generated interpreter whose cached
+// stack items live in Go locals (registers): the closest Go analog of
+// the paper's per-state interpreter replication. Compare with
+// BenchmarkFig7DispatchSwitch (same dispatch, stack in memory).
+func BenchmarkGenDynamic(b *testing.B) {
+	p := benchProgram(b, "fib")
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := interp.NewMachine(p)
+		if err := gendyn.Run(m); err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	reportPerInst(b, steps)
+}
+
+func BenchmarkGenDynamicSieve(b *testing.B) {
+	p := benchProgram(b, "sieve")
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := interp.NewMachine(p)
+		if err := gendyn.Run(m); err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	reportPerInst(b, steps)
+}
+
+func BenchmarkGenDynamicBaselineSieve(b *testing.B) {
+	p := benchProgram(b, "sieve")
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	reportPerInst(b, steps)
+}
+
+// --- program image encode/decode ---
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	p := benchProgram(b, "sieve")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img, err := vm.Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vm.Decode(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §6 random-walk analysis ---
+
+func BenchmarkWalkSimulate(b *testing.B) {
+	walk := trace.RandomWalk(100000, 150, 7)
+	pol := core.MinimalPolicy{NRegs: 10, OverflowTo: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Simulate(walk, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerInst(b, int64(len(walk)))
+}
+
+// --- §2.3 register VM ---
+
+func BenchmarkRegVMFib(b *testing.B) {
+	p := regvm.FibProgram(21)
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := regvm.Run(p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	reportPerInst(b, steps)
+}
+
+// --- front end ---
+
+func BenchmarkForthCompile(b *testing.B) {
+	w, _ := workloads.ByName("sieve")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forth.Compile(w.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

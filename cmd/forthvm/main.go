@@ -1,0 +1,145 @@
+// Command forthvm compiles and runs a Forth program on the virtual
+// stack machine under a selectable execution engine, printing the
+// program's output and, on request, execution statistics.
+//
+// Usage:
+//
+//	forthvm prog.fs                          # switch-dispatch baseline
+//	forthvm -engine threaded prog.fs
+//	forthvm -engine dynamic -regs 6 -overflow 5 prog.fs
+//	forthvm -engine static -regs 6 -canonical 2 -stats prog.fs
+//	forthvm -workload gray -stats            # run a built-in workload
+//	forthvm -disasm prog.fs                  # show the compiled code
+//	echo ': main 1 2 + . ;' | forthvm -
+//
+// Engines: switch | token | threaded | dynamic | static.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/statcache"
+	"stackcache/internal/vm"
+	"stackcache/internal/workloads"
+)
+
+func main() {
+	var (
+		engine    = flag.String("engine", "switch", "switch|token|threaded|dynamic|static")
+		regs      = flag.Int("regs", 6, "cache registers (dynamic/static)")
+		overflow  = flag.Int("overflow", 5, "overflow followup state (dynamic)")
+		canonical = flag.Int("canonical", 2, "canonical state depth (static)")
+		stats     = flag.Bool("stats", false, "print execution statistics")
+		disasm    = flag.Bool("disasm", false, "print disassembly instead of running")
+		workload  = flag.String("workload", "", "run a built-in workload by name")
+		super     = flag.Bool("super", false, "enable superinstruction fusion")
+	)
+	flag.Parse()
+
+	src, name, err := loadSource(*workload, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	prog, err := forth.CompileWithOptions(src, forth.Options{Superinstructions: *super})
+	if err != nil {
+		fail(err)
+	}
+	if *disasm {
+		if *engine == "static" {
+			plan, err := statcache.Compile(prog, statcache.Policy{NRegs: *regs, Canonical: *canonical})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(statcache.Disassemble(plan))
+			return
+		}
+		fmt.Print(vm.Disassemble(prog))
+		return
+	}
+
+	switch *engine {
+	case "switch", "token", "threaded":
+		var e interp.Engine
+		switch *engine {
+		case "switch":
+			e = interp.EngineSwitch
+		case "token":
+			e = interp.EngineToken
+		default:
+			e = interp.EngineThreaded
+		}
+		m, err := interp.Run(prog, e)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(m.Out.Bytes())
+		if *stats {
+			fmt.Fprintf(os.Stderr, "\n%s: %d instructions (%s dispatch)\n", name, m.Steps, e)
+		}
+	case "dynamic":
+		res, err := dyncache.Run(prog, core.MinimalPolicy{NRegs: *regs, OverflowTo: *overflow})
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(res.Machine.Out.Bytes())
+		if *stats {
+			fmt.Fprintf(os.Stderr, "\n%s: %s\n  access overhead %.3f cycles/inst\n",
+				name, res.Counters.String(),
+				res.Counters.AccessPerInstruction(core.DefaultCost))
+		}
+	case "static":
+		plan, err := statcache.Compile(prog, statcache.Policy{NRegs: *regs, Canonical: *canonical})
+		if err != nil {
+			fail(err)
+		}
+		res, err := statcache.Execute(plan)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(res.Machine.Out.Bytes())
+		if *stats {
+			fmt.Fprintf(os.Stderr, "\n%s: %s\n  eliminated %d instructions, net overhead %.3f cycles/inst\n",
+				name, res.Counters.String(), res.Counters.DispatchesSaved(),
+				res.Counters.NetPerInstruction(core.DefaultCost))
+		}
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func loadSource(workload string, args []string) (src, name string, err error) {
+	if workload != "" {
+		w, ok := workloads.ByName(workload)
+		if !ok {
+			return "", "", fmt.Errorf("unknown workload %q", workload)
+		}
+		return w.Source, w.Name, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: forthvm [flags] prog.fs | - (stdin) | -workload name")
+	}
+	if args[0] == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", "", err
+		}
+		return string(b), "stdin", nil
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(b), args[0], nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "forthvm: %v\n", err)
+	os.Exit(1)
+}

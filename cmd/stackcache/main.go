@@ -1,0 +1,69 @@
+// Command stackcache regenerates the tables and figures of Ertl,
+// "Stack Caching for Interpreters" (PLDI 1995) on this repository's
+// workloads.
+//
+// Usage:
+//
+//	stackcache -list
+//	stackcache -fig 22            # one experiment (7, 18, 20..26, walk, regvm)
+//	stackcache -all               # everything, in paper order
+//	stackcache -all -micro        # fast run on the micro workloads
+//	stackcache -fig 22 -maxregs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stackcache/internal/experiments"
+	"stackcache/internal/workloads"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "experiment to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		micro   = flag.Bool("micro", false, "use the micro workloads (faster)")
+		maxRegs = flag.Int("maxregs", 10, "largest register count in sweeps")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{MaxRegs: *maxRegs}
+	if *micro {
+		opt.Workloads = workloads.Micros()
+	}
+
+	switch {
+	case *all:
+		for _, e := range experiments.Registry {
+			fmt.Printf("=== %s ===\n", e.Title)
+			if err := e.Run(os.Stdout, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "stackcache: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *fig != "":
+		e, ok := experiments.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "stackcache: unknown experiment %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "stackcache: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

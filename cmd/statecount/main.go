@@ -1,0 +1,56 @@
+// Command statecount prints the Fig. 18 state-count table of the
+// paper's cache organizations for an arbitrary range of register
+// counts.
+//
+// Usage:
+//
+//	statecount            # 1..8 registers, as in the paper
+//	statecount -max 12
+//	statecount -org "one duplication" -max 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stackcache/internal/core"
+)
+
+func main() {
+	var (
+		max = flag.Int("max", 8, "largest register count")
+		org = flag.String("org", "", "single organization (default: all)")
+	)
+	flag.Parse()
+	if *max < 1 {
+		fmt.Fprintln(os.Stderr, "statecount: -max must be >= 1")
+		os.Exit(2)
+	}
+
+	orgs := core.Organizations
+	if *org != "" {
+		o, ok := core.OrganizationByName(*org)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "statecount: unknown organization %q; available:\n", *org)
+			for _, o := range core.Organizations {
+				fmt.Fprintf(os.Stderr, "  %s\n", o.Name)
+			}
+			os.Exit(2)
+		}
+		orgs = []core.Organization{o}
+	}
+
+	fmt.Printf("%-20s", "registers")
+	for n := 1; n <= *max; n++ {
+		fmt.Printf("%14d", n)
+	}
+	fmt.Printf("  %s\n", "formula")
+	for _, o := range orgs {
+		fmt.Printf("%-20s", o.Name)
+		for n := 1; n <= *max; n++ {
+			fmt.Printf("%14d", o.Count(n))
+		}
+		fmt.Printf("  %s\n", o.Formula)
+	}
+}

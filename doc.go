@@ -1,0 +1,12 @@
+// Package stackcache is a reproduction of M. Anton Ertl, "Stack
+// Caching for Interpreters" (PLDI 1995): a Forth-style virtual stack
+// machine with switch-, token- and threaded-code interpreters, dynamic
+// and static stack-caching execution engines, the paper's cache-state
+// organizations and cost model, a register-VM baseline, and a harness
+// regenerating every table and figure of the paper's evaluation.
+//
+// See README.md for an overview, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds the benchmark suite (bench_test.go);
+// the implementation lives under internal/.
+package stackcache

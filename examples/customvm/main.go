@@ -1,0 +1,57 @@
+// Customvm: use the cache-state machinery directly — enumerate the
+// organizations of Fig. 18, walk the minimal organization's state
+// machine by hand (the paper's Fig. 13), and apply stack-manipulation
+// mappings to states the way static caching does (Fig. 17).
+package main
+
+import (
+	"fmt"
+
+	"stackcache/internal/core"
+	"stackcache/internal/vm"
+)
+
+func main() {
+	// 1. How many states does each organization need? (Fig. 18)
+	fmt.Println("cache states for 4 registers (Fig. 18 column):")
+	for _, org := range core.Organizations {
+		fmt.Printf("  %-20s %6d   (%s)\n", org.Name, org.Count(4), org.Formula)
+	}
+
+	// 2. Walk the minimal organization's state machine (Fig. 13): a
+	// 2-register cache executing lit lit add add lit.
+	fmt.Println("\nminimal organization, 2 registers, overflow followup = full:")
+	pol := core.MinimalPolicy{NRegs: 2, OverflowTo: 2}
+	c := 0
+	for _, step := range []struct {
+		name    string
+		in, out int
+	}{
+		{"lit", 0, 1}, {"lit", 0, 1}, {"lit", 0, 1}, // third push overflows
+		{"add", 2, 1}, {"add", 2, 1}, // second add underflows
+		{"0branch", 1, 0},
+	} {
+		tr := pol.Step(c, step.in, step.out)
+		fmt.Printf("  %-8s state %d -> %d  (loads %d, stores %d, moves %d, sp updates %d)\n",
+			step.name, c, tr.NewDepth, tr.Loads, tr.Stores, tr.Moves, tr.Updates)
+		c = tr.NewDepth
+	}
+
+	// 3. Stack manipulation as pure state change (Fig. 17 / §5): what
+	// static caching does instead of executing dup, swap, rot.
+	fmt.Println("\nstack manipulations as state transitions (static caching):")
+	state := core.Canonical(3)
+	for _, op := range []vm.Opcode{vm.OpDup, vm.OpSwap, vm.OpRot, vm.OpDrop, vm.OpOver} {
+		eff := vm.EffectOf(op)
+		next := state.ApplyMap(eff.In, eff.Map)
+		fmt.Printf("  %-5s %v -> %v   (no code, no dispatch)\n", op, state, next)
+		state = next
+	}
+
+	// 4. The concrete states of a small organization (Fig. 17 has 2
+	// registers with one duplication allowed).
+	fmt.Println("\nall states of 'one duplication' with 2 registers (Fig. 17):")
+	for _, s := range core.Fig18States("one duplication", 2) {
+		fmt.Printf("  %v\n", s)
+	}
+}

@@ -1,0 +1,72 @@
+// Tracing: analyze one workload the way the paper's §6 does — capture
+// its instruction trace, print its Fig. 20 characteristics, then sweep
+// caching strategies over it and print a per-program version of
+// Figs. 21/22/24.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"stackcache/internal/constcache"
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/statcache"
+	"stackcache/internal/trace"
+	"stackcache/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "gray", "workload to analyze")
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	prog := w.MustCompile()
+	tr, _, err := w.Trace()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s: %s\n\n", w.Name, w.Description)
+	fmt.Println("characteristics (Fig. 20 row: inst, loads, sp-upd, rloads, rupd, calls):")
+	fmt.Println(" ", trace.Analyze(w.Name, tr))
+
+	fmt.Println("\nconstant items in registers (Fig. 21):")
+	for k := 0; k <= 4; k++ {
+		c, err := constcache.Simulate(tr, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d: %.3f cycles/inst\n", k, c.AccessPerInstruction(core.DefaultCost))
+	}
+
+	fmt.Println("\ndynamic stack caching (Fig. 22, followup = full):")
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		res, err := dyncache.Run(prog, core.MinimalPolicy{NRegs: n, OverflowTo: n})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d regs: %.3f cycles/inst (%d overflows, %d underflows)\n",
+			n, res.Counters.AccessPerInstruction(core.DefaultCost),
+			res.Counters.Overflows, res.Counters.Underflows)
+	}
+
+	fmt.Println("\nstatic stack caching (Fig. 24, 6 registers):")
+	for k := 0; k <= 4; k++ {
+		plan, err := statcache.Compile(prog, statcache.Policy{NRegs: 6, Canonical: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := statcache.Execute(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  canonical %d: net %.3f cycles/inst (%d of %d instructions eliminated)\n",
+			k, res.Counters.NetPerInstruction(core.DefaultCost),
+			res.Counters.DispatchesSaved(), res.Counters.Instructions)
+	}
+}

@@ -1,0 +1,3 @@
+module stackcache
+
+go 1.22

@@ -1,0 +1,204 @@
+package constcache
+
+import (
+	"testing"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+func TestOpCostK0(t *testing.T) {
+	// Without any caching every argument is a load and every result a
+	// store; sp updates whenever the depth changes (Fig. 11).
+	cases := []struct {
+		op   vm.Opcode
+		want Cost
+	}{
+		{vm.OpAdd, Cost{Loads: 2, Stores: 1, Updates: 1}},
+		{vm.OpLit, Cost{Stores: 1, Updates: 1}},
+		// dup: load the top, store the copy above it (the old item's
+		// address is unchanged), bump sp.
+		{vm.OpDup, Cost{Loads: 1, Stores: 1, Updates: 1}},
+		// drop never touches the dropped value.
+		{vm.OpDrop, Cost{Updates: 1}},
+		{vm.OpNegate, Cost{Loads: 1, Stores: 1}},
+		{vm.OpBranch, Cost{}},
+		{vm.OpBranchZero, Cost{Loads: 1, Updates: 1}},
+	}
+	for _, c := range cases {
+		if got := OpCost(0, c.op); got != c.want {
+			t.Errorf("OpCost(0, %v) = %+v, want %+v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpCostK0Swap(t *testing.T) {
+	// swap at k=0 moves both items through registers: 2 loads + 2
+	// stores, no depth change.
+	got := OpCost(0, vm.OpSwap)
+	want := Cost{Loads: 2, Stores: 2}
+	if got != want {
+		t.Errorf("OpCost(0, swap) = %+v, want %+v", got, want)
+	}
+}
+
+func TestOpCostK1(t *testing.T) {
+	// Fig. 12: with the top of stack in a register, add loads the
+	// second argument, computes into the register and updates sp.
+	cases := []struct {
+		op   vm.Opcode
+		want Cost
+	}{
+		{vm.OpAdd, Cost{Loads: 1, Updates: 1}},
+		{vm.OpNegate, Cost{}}, // in-place in the register
+		{vm.OpLit, Cost{Stores: 1, Updates: 1}},
+		{vm.OpDup, Cost{Stores: 1, Updates: 1}},
+		{vm.OpDrop, Cost{Loads: 1, Updates: 1}},
+		{vm.OpSwap, Cost{Loads: 1, Stores: 1}},
+	}
+	for _, c := range cases {
+		if got := OpCost(1, c.op); got != c.want {
+			t.Errorf("OpCost(1, %v) = %+v, want %+v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpCostK2(t *testing.T) {
+	cases := []struct {
+		op   vm.Opcode
+		want Cost
+	}{
+		// add: both args in registers, result in register, but the
+		// item at position 3 must be loaded into position 2's
+		// register — the "unnecessary operand loads" of §3.
+		{vm.OpAdd, Cost{Loads: 1, Updates: 1}},
+		// lit: old top-2 shift; position 2's item goes to memory.
+		{vm.OpLit, Cost{Stores: 1, Moves: 1, Updates: 1}},
+		// swap entirely in registers: two moves.
+		{vm.OpSwap, Cost{Moves: 2}},
+		// dup: top copied, old second stored.
+		{vm.OpDup, Cost{Stores: 1, Moves: 1, Updates: 1}},
+	}
+	for _, c := range cases {
+		if got := OpCost(2, c.op); got != c.want {
+			t.Errorf("OpCost(2, %v) = %+v, want %+v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestUpdatesOnlyOnDepthChange(t *testing.T) {
+	for k := 0; k <= 6; k++ {
+		for op := vm.Opcode(0); op < vm.NumOpcodes; op++ {
+			eff := vm.EffectOf(op)
+			c := OpCost(k, op)
+			if (eff.In != eff.Out) != (c.Updates == 1) {
+				t.Errorf("k=%d %v: updates=%d for in=%d out=%d", k, op, c.Updates, eff.In, eff.Out)
+			}
+		}
+	}
+}
+
+func TestMovesGrowWithK(t *testing.T) {
+	// The Fig. 21 shape: for a depth-changing instruction, moves grow
+	// with k (the whole register file shifts).
+	prev := -1
+	for k := 1; k <= 6; k++ {
+		c := OpCost(k, vm.OpLit)
+		if c.Moves < prev {
+			t.Errorf("lit moves decreased at k=%d", k)
+		}
+		prev = c.Moves
+	}
+	if OpCost(6, vm.OpLit).Moves != 5 {
+		t.Errorf("lit at k=6 should move 5 items, got %d", OpCost(6, vm.OpLit).Moves)
+	}
+}
+
+func TestLoadsSuppressedByK(t *testing.T) {
+	// Argument loads disappear once k covers the arity; deeper refill
+	// loads replace them for depth-shrinking ops.
+	if OpCost(0, vm.OpAdd).Loads != 2 {
+		t.Error("k=0 add should load both args")
+	}
+	if OpCost(3, vm.OpAdd).Loads != 1 {
+		t.Error("k=3 add still refills one deep item")
+	}
+}
+
+func TestNewTableBounds(t *testing.T) {
+	if _, err := NewTable(-1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := NewTable(65); err == nil {
+		t.Error("huge k accepted")
+	}
+	tab, err := NewTable(3)
+	if err != nil || tab.K != 3 {
+		t.Fatalf("NewTable(3): %v", err)
+	}
+	if tab.Costs[vm.OpAdd] != OpCost(3, vm.OpAdd) {
+		t.Error("table disagrees with OpCost")
+	}
+}
+
+func TestSimulateBalancedTrace(t *testing.T) {
+	src := `: main 0 100 1 do i + loop . ;`
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _, err := interp.Capture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := Simulate(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Instructions != int64(len(trace)) || c0.Dispatches != c0.Instructions {
+		t.Errorf("counting wrong: %+v", c0)
+	}
+	// For k=0 on a program whose stack starts and ends empty, loads
+	// equal stores.
+	if c0.Loads != c0.Stores {
+		t.Errorf("k=0 loads %d != stores %d", c0.Loads, c0.Stores)
+	}
+	// Keeping one item in a register is never a disadvantage (§2.3).
+	c1, err := Simulate(trace, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.AccessCycles(core.DefaultCost) > c0.AccessCycles(core.DefaultCost) {
+		t.Errorf("k=1 (%v) costs more than k=0 (%v)",
+			c1.AccessCycles(core.DefaultCost), c0.AccessCycles(core.DefaultCost))
+	}
+	if c1.Loads+c1.Stores >= c0.Loads+c0.Stores {
+		t.Error("k=1 should reduce memory traffic")
+	}
+	if _, err := Simulate(trace, -2); err == nil {
+		t.Error("invalid k accepted")
+	}
+}
+
+func TestSimulateMovesIncreaseEventually(t *testing.T) {
+	src := `: main 0 1000 1 do i + loop . ;`
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _, err := interp.Capture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := Simulate(trace, 1)
+	c6, _ := Simulate(trace, 6)
+	if c6.Moves <= c1.Moves {
+		t.Errorf("moves should grow with k: k=1 %d, k=6 %d", c1.Moves, c6.Moves)
+	}
+	// Updates are independent of k.
+	if c1.Updates != c6.Updates {
+		t.Errorf("updates should be constant in k: %d vs %d", c1.Updates, c6.Updates)
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stackcache/internal/vm"
+)
+
+// TestFig18PaperValues pins every organization's closed form to the
+// numbers printed in the paper's Fig. 18 for 1–8 registers. The single
+// known typo ("n+1 stack items" at n=4, printed 1,356) is corrected to
+// the value of the printed formula, 1,365.
+func TestFig18PaperValues(t *testing.T) {
+	want := map[string][8]int64{
+		"minimal":            {2, 3, 4, 5, 6, 7, 8, 9},
+		"overflow move opt.": {2, 5, 10, 17, 26, 37, 50, 65},
+		"arbitrary shuffles": {2, 5, 16, 65, 326, 1957, 13700, 109601},
+		"n+1 stack items":    {3, 15, 121, 1365, 19531, 335923, 6725601, 153391689},
+		"one duplication":    {3, 7, 14, 25, 41, 63, 92, 129},
+		"two stacks":         {3, 6, 9, 12, 15, 18, 21, 24},
+	}
+	for _, org := range Organizations {
+		row, ok := want[org.Name]
+		if !ok {
+			t.Fatalf("no expected row for organization %q", org.Name)
+		}
+		for n := 1; n <= 8; n++ {
+			if got := org.Count(n); got != row[n-1] {
+				t.Errorf("%s: Count(%d) = %d, want %d", org.Name, n, got, row[n-1])
+			}
+		}
+	}
+}
+
+// TestCountMatchesEnumeration cross-checks every closed form against
+// the explicit state-space construction.
+func TestCountMatchesEnumeration(t *testing.T) {
+	maxN := map[string]int{
+		"minimal":            8,
+		"overflow move opt.": 8,
+		"arbitrary shuffles": 7,
+		"n+1 stack items":    6,
+		"one duplication":    8,
+		"two stacks":         8,
+	}
+	for _, org := range Organizations {
+		for n := 1; n <= maxN[org.Name]; n++ {
+			if got, want := org.Enumerate(n), org.Count(n); got != want {
+				t.Errorf("%s: Enumerate(%d) = %d, Count = %d", org.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestFig18StatesMatchCounts(t *testing.T) {
+	for _, name := range []string{"minimal", "arbitrary shuffles", "n+1 stack items", "one duplication"} {
+		org, ok := OrganizationByName(name)
+		if !ok {
+			t.Fatalf("organization %q missing", name)
+		}
+		for n := 1; n <= 5; n++ {
+			states := Fig18States(name, n)
+			if int64(len(states)) != org.Count(n) {
+				t.Errorf("%s: len(Fig18States(%d)) = %d, want %d", name, n, len(states), org.Count(n))
+			}
+			// States must be unique.
+			seen := map[string]bool{}
+			for _, s := range states {
+				k := s.Key()
+				if seen[k] {
+					t.Errorf("%s n=%d: duplicate state %v", name, n, s)
+				}
+				seen[k] = true
+			}
+		}
+	}
+	if Fig18States("two stacks", 3) != nil {
+		t.Error("Fig18States should return nil for pair-state organizations")
+	}
+}
+
+func TestFig18StatesProperties(t *testing.T) {
+	// Shuffle states are injective; one-duplication states have at
+	// most one shared register; n+1 states have depth ≤ n+1.
+	for n := 1; n <= 5; n++ {
+		for _, s := range Fig18States("arbitrary shuffles", n) {
+			if s.HasDup() {
+				t.Errorf("shuffle state %v has duplicate register", s)
+			}
+			if s.Depth() > n {
+				t.Errorf("shuffle state %v too deep", s)
+			}
+		}
+		for _, s := range Fig18States("one duplication", n) {
+			if s.Depth()-s.Distinct() > 1 {
+				t.Errorf("one-dup state %v has more than one duplication", s)
+			}
+			if s.Distinct() > n {
+				t.Errorf("one-dup state %v uses too many registers", s)
+			}
+		}
+		for _, s := range Fig18States("n+1 stack items", n) {
+			if s.Depth() > n+1 {
+				t.Errorf("n+1 state %v too deep", s)
+			}
+		}
+	}
+}
+
+func TestOrganizationByName(t *testing.T) {
+	if _, ok := OrganizationByName("minimal"); !ok {
+		t.Error("minimal not found")
+	}
+	if _, ok := OrganizationByName("nope"); ok {
+		t.Error("unexpected organization found")
+	}
+}
+
+func TestCanonicalState(t *testing.T) {
+	s := Canonical(3)
+	if s.Depth() != 3 || !s.IsCanonical() || s.HasDup() {
+		t.Errorf("Canonical(3) = %v", s)
+	}
+	if s.String() != "[r0 r1 r2]" {
+		t.Errorf("String = %q", s.String())
+	}
+	if s.Key() != "0,1,2" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	if Canonical(0).Depth() != 0 {
+		t.Error("Canonical(0) should be empty")
+	}
+}
+
+func TestStateCloneEqual(t *testing.T) {
+	s := State{Regs: []RegID{2, 0, 1}}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Regs[0] = 5
+	if s.Equal(c) {
+		t.Error("clone aliases original")
+	}
+	if s.Equal(Canonical(2)) {
+		t.Error("different depths compare equal")
+	}
+	if s.IsCanonical() {
+		t.Error("shuffled state is not canonical")
+	}
+}
+
+func TestStateApplyMap(t *testing.T) {
+	// State [r0 r1 r2], top = r2.
+	s := State{Regs: []RegID{0, 1, 2}}
+	cases := []struct {
+		op   vm.Opcode
+		want []RegID
+	}{
+		{vm.OpDup, []RegID{0, 1, 2, 2}},
+		{vm.OpDrop, []RegID{0, 1}},
+		{vm.OpSwap, []RegID{0, 2, 1}},
+		{vm.OpOver, []RegID{0, 1, 2, 1}},
+		{vm.OpRot, []RegID{1, 2, 0}},
+		{vm.OpMinusRot, []RegID{2, 0, 1}},
+		{vm.OpNip, []RegID{0, 2}},
+		{vm.OpTuck, []RegID{0, 2, 1, 2}},
+		{vm.OpTwoDup, []RegID{0, 1, 2, 1, 2}},
+		{vm.OpTwoDrop, []RegID{0}},
+	}
+	for _, c := range cases {
+		eff := vm.EffectOf(c.op)
+		got := s.ApplyMap(eff.In, eff.Map)
+		if !got.Equal(State{Regs: c.want}) {
+			t.Errorf("%v: ApplyMap = %v, want %v", c.op, got.Regs, c.want)
+		}
+	}
+}
+
+func TestApplyMapPreservesDepthArithmetic(t *testing.T) {
+	f := func(regs []uint8, opIdx uint8) bool {
+		manips := []vm.Opcode{vm.OpDup, vm.OpDrop, vm.OpSwap, vm.OpOver,
+			vm.OpRot, vm.OpMinusRot, vm.OpNip, vm.OpTuck, vm.OpTwoDup, vm.OpTwoDrop}
+		op := manips[int(opIdx)%len(manips)]
+		eff := vm.EffectOf(op)
+		if len(regs) < eff.In || len(regs) > 16 {
+			return true
+		}
+		s := State{Regs: regs}
+		got := s.ApplyMap(eff.In, eff.Map)
+		return got.Depth() == s.Depth()-eff.In+eff.Out
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimalPolicyValidate(t *testing.T) {
+	if err := (MinimalPolicy{NRegs: 4, OverflowTo: 3}).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	bad := []MinimalPolicy{
+		{NRegs: 0, OverflowTo: 0},
+		{NRegs: 4, OverflowTo: 0},
+		{NRegs: 4, OverflowTo: 5},
+		{NRegs: 300, OverflowTo: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %+v should be invalid", p)
+		}
+	}
+}
+
+func TestMinimalStepFit(t *testing.T) {
+	p := MinimalPolicy{NRegs: 4, OverflowTo: 4}
+	// add with 3 cached: 3-2+1 = 2 cached, all free (Fig. 14).
+	tr := p.Step(3, 2, 1)
+	if tr != (Transition{NewDepth: 2}) {
+		t.Errorf("add fit: %+v", tr)
+	}
+	// lit with room.
+	tr = p.Step(2, 0, 1)
+	if tr != (Transition{NewDepth: 3}) {
+		t.Errorf("lit fit: %+v", tr)
+	}
+	// branch-zero consumes one.
+	tr = p.Step(1, 1, 0)
+	if tr != (Transition{NewDepth: 0}) {
+		t.Errorf("0branch fit: %+v", tr)
+	}
+}
+
+func TestMinimalStepUnderflow(t *testing.T) {
+	p := MinimalPolicy{NRegs: 4, OverflowTo: 4}
+	// add with nothing cached: both args loaded, result cached.
+	tr := p.Step(0, 2, 1)
+	want := Transition{NewDepth: 1, Loads: 2, Updates: 1, Underflow: true}
+	if tr != want {
+		t.Errorf("add underflow: %+v, want %+v", tr, want)
+	}
+	// add with one cached: one arg loaded.
+	tr = p.Step(1, 2, 1)
+	want = Transition{NewDepth: 1, Loads: 1, Updates: 1, Underflow: true}
+	if tr != want {
+		t.Errorf("add 1-cached: %+v, want %+v", tr, want)
+	}
+}
+
+func TestMinimalStepOverflow(t *testing.T) {
+	// Full cache, push, followup state 4 (full): spill 1, survivors
+	// (4-1=3 old items) move down one.
+	p := MinimalPolicy{NRegs: 4, OverflowTo: 4}
+	tr := p.Step(4, 0, 1)
+	want := Transition{NewDepth: 4, Stores: 1, Moves: 3, Updates: 1, Overflow: true}
+	if tr != want {
+		t.Errorf("push overflow to full: %+v, want %+v", tr, want)
+	}
+	// Followup state 2: spill 3, one old survivor moves.
+	p.OverflowTo = 2
+	tr = p.Step(4, 0, 1)
+	want = Transition{NewDepth: 2, Stores: 3, Moves: 1, Updates: 1, Overflow: true}
+	if tr != want {
+		t.Errorf("push overflow to 2: %+v, want %+v", tr, want)
+	}
+	// Followup below the result count is clamped: out=1, f=1: no moves.
+	p.OverflowTo = 1
+	tr = p.Step(4, 0, 1)
+	want = Transition{NewDepth: 1, Stores: 4, Moves: 0, Updates: 1, Overflow: true}
+	if tr != want {
+		t.Errorf("push overflow to 1: %+v, want %+v", tr, want)
+	}
+}
+
+func TestMinimalStepTinyCache(t *testing.T) {
+	// One register: 2dup (in 2, out 4) from depth 1 underflows and can
+	// cache only one of the four results.
+	p := MinimalPolicy{NRegs: 1, OverflowTo: 1}
+	tr := p.Step(1, 2, 4)
+	if tr.NewDepth != 1 || !tr.Underflow || tr.Loads != 1 || tr.Stores != 3 {
+		t.Errorf("tiny cache: %+v", tr)
+	}
+}
+
+func TestMinimalStepManipNoSpill(t *testing.T) {
+	p := MinimalPolicy{NRegs: 4, OverflowTo: 4}
+	swap := vm.EffectOf(vm.OpSwap)
+	// swap with 2 cached: both outputs misplaced.
+	tr := p.StepManip(2, swap.In, swap.Map)
+	if tr.Moves != 2 || tr.NewDepth != 2 || tr.Loads+tr.Stores+tr.Updates != 0 {
+		t.Errorf("swap: %+v", tr)
+	}
+	dup := vm.EffectOf(vm.OpDup)
+	// dup with 2 cached: one copy.
+	tr = p.StepManip(2, dup.In, dup.Map)
+	if tr.Moves != 1 || tr.NewDepth != 3 {
+		t.Errorf("dup: %+v", tr)
+	}
+	drop := vm.EffectOf(vm.OpDrop)
+	// drop is free in registers.
+	tr = p.StepManip(3, drop.In, drop.Map)
+	if tr != (Transition{NewDepth: 2}) {
+		t.Errorf("drop: %+v", tr)
+	}
+	rot := vm.EffectOf(vm.OpRot)
+	// rot with 3 cached: all three outputs move.
+	tr = p.StepManip(3, rot.In, rot.Map)
+	if tr.Moves != 3 || tr.NewDepth != 3 {
+		t.Errorf("rot: %+v", tr)
+	}
+	over := vm.EffectOf(vm.OpOver)
+	// over with 2 cached: copy of second to new top; the two existing
+	// items stay in place (out0 dst reg2 src reg0: move; out1 dst reg1
+	// src reg1: stays; out2 dst reg0 src reg0: stays) = 1 move.
+	tr = p.StepManip(2, over.In, over.Map)
+	if tr.Moves != 1 || tr.NewDepth != 3 {
+		t.Errorf("over: %+v", tr)
+	}
+}
+
+func TestMinimalStepManipUnderflow(t *testing.T) {
+	p := MinimalPolicy{NRegs: 4, OverflowTo: 4}
+	swap := vm.EffectOf(vm.OpSwap)
+	tr := p.StepManip(1, swap.In, swap.Map)
+	if !tr.Underflow || tr.Loads != 1 || tr.NewDepth != 2 {
+		t.Errorf("swap underflow: %+v", tr)
+	}
+}
+
+func TestMinimalStepManipOverflow(t *testing.T) {
+	p := MinimalPolicy{NRegs: 2, OverflowTo: 2}
+	dup := vm.EffectOf(vm.OpDup)
+	// dup with full 2-register cache: depth would be 3, spill 1.
+	tr := p.StepManip(2, dup.In, dup.Map)
+	if !tr.Overflow || tr.Stores != 1 || tr.NewDepth != 2 || tr.Updates != 1 {
+		t.Errorf("dup overflow: %+v", tr)
+	}
+}
+
+// TestMinimalStepProperties: invariants over random (c, in, out).
+func TestMinimalStepProperties(t *testing.T) {
+	f := func(nRegs, followup, c, in, out uint8) bool {
+		n := int(nRegs%8) + 1
+		fw := int(followup)%n + 1
+		p := MinimalPolicy{NRegs: n, OverflowTo: fw}
+		ci := int(c) % (n + 1)
+		x := int(in) % 4
+		y := int(out) % 5
+		tr := p.Step(ci, x, y)
+		// Depth stays within the register file.
+		if tr.NewDepth < 0 || tr.NewDepth > n {
+			return false
+		}
+		// Costs are non-negative.
+		if tr.Loads < 0 || tr.Stores < 0 || tr.Moves < 0 || tr.Updates < 0 {
+			return false
+		}
+		// Memory traffic implies an sp update; no traffic implies none.
+		traffic := tr.Loads+tr.Stores > 0
+		if traffic != (tr.Updates > 0) {
+			return false
+		}
+		// Cell conservation: items before + loads = items after +
+		// stores + consumed - produced.
+		if ci+tr.Loads-x+y != tr.NewDepth+tr.Stores {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	c := Counters{Loads: 10, Stores: 5, Moves: 3, Updates: 2, Dispatches: 90, Instructions: 100}
+	if got := c.AccessCycles(DefaultCost); got != 20 {
+		t.Errorf("AccessCycles = %v, want 20", got)
+	}
+	if got := c.TotalCycles(DefaultCost); got != 20+4*90 {
+		t.Errorf("TotalCycles = %v", got)
+	}
+	if got := c.AccessPerInstruction(DefaultCost); got != 0.2 {
+		t.Errorf("AccessPerInstruction = %v", got)
+	}
+	if got := c.DispatchesSaved(); got != 10 {
+		t.Errorf("DispatchesSaved = %v", got)
+	}
+	// Net: 20 - 4*10 = -20 over 100 instructions.
+	if got := c.NetPerInstruction(DefaultCost); got != -0.2 {
+		t.Errorf("NetPerInstruction = %v", got)
+	}
+	var zero Counters
+	if zero.AccessPerInstruction(DefaultCost) != 0 {
+		t.Error("zero counters should yield 0 per instruction")
+	}
+	d := Counters{Loads: 1, Instructions: 1}
+	c.Add(d)
+	if c.Loads != 11 || c.Instructions != 101 {
+		t.Errorf("Add: %+v", c)
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,125 @@
+// Package core implements the heart of Ertl's "Stack Caching for
+// Interpreters" (PLDI 1995): cache states, cache organizations and
+// their state counts (Fig. 18), the transition semantics of the
+// minimal organization with configurable overflow/underflow followup
+// policy (§3.1–§3.3), and the cost model used throughout the paper's
+// evaluation (§6).
+//
+// The execution engines — dynamic stack caching (internal/dyncache)
+// and static stack caching (internal/statcache) — build on this
+// package; the trace-driven simulators (internal/constcache) share its
+// cost accounting.
+package core
+
+import "fmt"
+
+// CostModel assigns cycle weights to the components of argument-access
+// overhead. The paper's §6 weights: "loads, stores, moves and stack
+// pointer updates cost one cycle, instruction dispatches cost four
+// cycles".
+type CostModel struct {
+	Load, Store, Move, Update, Dispatch float64
+}
+
+// DefaultCost is the paper's weighting.
+var DefaultCost = CostModel{Load: 1, Store: 1, Move: 1, Update: 1, Dispatch: 4}
+
+// Counters accumulates the events whose weighted sum is the argument
+// access overhead. All counts are totals over a run; divide by
+// Instructions for the per-instruction figures the paper plots.
+type Counters struct {
+	// Loads and Stores are transfers between the memory stack and
+	// cache registers. In an execution without caching they are the
+	// operand fetches and result stores of every instruction.
+	Loads, Stores int64
+
+	// Moves are register-to-register transfers (cache reorganization
+	// on overflow, stack-manipulation shuffling, reconciliation to a
+	// canonical state).
+	Moves int64
+
+	// Updates are stack-pointer updates. With the paper's
+	// sp-offset-equals-cached-items strategy (§3.1) they happen only
+	// when the memory stack actually grows or shrinks.
+	Updates int64
+
+	// Dispatches is the number of instruction dispatches executed.
+	// Static stack caching eliminates the dispatches of optimized-away
+	// stack manipulation instructions.
+	Dispatches int64
+
+	// Instructions is the number of *original* virtual machine
+	// instructions, the denominator of all per-instruction figures
+	// (the paper's Fig. 24 note: "overhead per original instruction").
+	Instructions int64
+
+	// Overflows and Underflows count cache overflow and underflow
+	// events, for the §6 random-walk analysis.
+	Overflows, Underflows int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.Moves += o.Moves
+	c.Updates += o.Updates
+	c.Dispatches += o.Dispatches
+	c.Instructions += o.Instructions
+	c.Overflows += o.Overflows
+	c.Underflows += o.Underflows
+}
+
+// AccessCycles is the total argument-access overhead in model cycles:
+// loads, stores, moves and updates, excluding dispatch (what Figs.
+// 21–23 plot).
+func (c Counters) AccessCycles(m CostModel) float64 {
+	return m.Load*float64(c.Loads) + m.Store*float64(c.Stores) +
+		m.Move*float64(c.Moves) + m.Update*float64(c.Updates)
+}
+
+// TotalCycles adds dispatch to AccessCycles.
+func (c Counters) TotalCycles(m CostModel) float64 {
+	return c.AccessCycles(m) + m.Dispatch*float64(c.Dispatches)
+}
+
+// PerInstruction divides by the original instruction count.
+func (c Counters) PerInstruction(v float64) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return v / float64(c.Instructions)
+}
+
+// AccessPerInstruction is the paper's headline metric: argument access
+// overhead in cycles per (original) instruction. For static stack
+// caching, where dispatches are eliminated, use NetPerInstruction.
+func (c Counters) AccessPerInstruction(m CostModel) float64 {
+	return c.PerInstruction(c.AccessCycles(m))
+}
+
+// DispatchesSaved returns how many dispatches were eliminated relative
+// to executing every original instruction.
+func (c Counters) DispatchesSaved() int64 { return c.Instructions - c.Dispatches }
+
+// NetPerInstruction is the static-caching metric of Fig. 24: argument
+// access overhead minus the dispatch cycles saved by eliminated
+// instructions, per original instruction. It can be negative ("its
+// line would be partly below 0").
+func (c Counters) NetPerInstruction(m CostModel) float64 {
+	net := c.AccessCycles(m) - m.Dispatch*float64(c.DispatchesSaved())
+	return c.PerInstruction(net)
+}
+
+// String summarizes the counters per instruction.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"inst=%d ld=%.3f st=%.3f mv=%.3f sp=%.3f disp=%.3f ovf=%d unf=%d",
+		c.Instructions,
+		c.PerInstruction(float64(c.Loads)),
+		c.PerInstruction(float64(c.Stores)),
+		c.PerInstruction(float64(c.Moves)),
+		c.PerInstruction(float64(c.Updates)),
+		c.PerInstruction(float64(c.Dispatches)),
+		c.Overflows, c.Underflows)
+}

@@ -1,0 +1,178 @@
+package core
+
+import "fmt"
+
+// MinimalPolicy parameterizes dynamic stack caching on a minimal
+// organization (§3.2): NRegs cache registers, one state per number of
+// cached items, bottom-anchored register assignment (the deepest
+// cached item is always in register 0), and the sp-offset strategy of
+// §3.1 (the stack pointer register is off by the number of cached
+// items, so it only needs updating when the memory stack changes).
+type MinimalPolicy struct {
+	// NRegs is the number of cache registers (1 ≤ NRegs ≤ 255).
+	NRegs int
+
+	// OverflowTo is the followup state (number of cached items) after
+	// an overflow spill, the x-axis of the paper's Fig. 22/23 sweep.
+	// "Choosing the full state as overflow followup state minimizes
+	// the traffic between the stack cache and memory", but a less full
+	// state reduces the number of overflows (§3.3).
+	OverflowTo int
+}
+
+// Validate checks the policy's parameters.
+func (p MinimalPolicy) Validate() error {
+	if p.NRegs < 1 || p.NRegs > 255 {
+		return fmt.Errorf("core: NRegs %d out of range [1,255]", p.NRegs)
+	}
+	if p.OverflowTo < 1 || p.OverflowTo > p.NRegs {
+		return fmt.Errorf("core: OverflowTo %d out of range [1,%d]", p.OverflowTo, p.NRegs)
+	}
+	return nil
+}
+
+// Transition is the cost of executing one instruction from a given
+// cache state under a MinimalPolicy, plus the successor state.
+type Transition struct {
+	NewDepth  int // cached items afterwards
+	Loads     int // memory stack -> register transfers
+	Stores    int // register -> memory stack transfers
+	Moves     int // register -> register transfers
+	Updates   int // stack pointer updates
+	Overflow  bool
+	Underflow bool
+}
+
+// Step computes the transition for an instruction with data-stack
+// effect (in, out) executed with c items cached.
+//
+// The three cases (§3.3, §4):
+//
+//   - Underflow (in > c): the in−c deepest arguments are loaded from
+//     the memory stack; all cached items are consumed. The followup
+//     state is the one "that has those items in registers that the
+//     underflowing instruction produces", i.e. out items cached (the
+//     paper's §6 choice). One sp update because the memory stack
+//     shrank.
+//
+//   - Fit (in ≤ c, c−in+out ≤ NRegs): everything happens in
+//     registers. With bottom-anchored states the surviving items keep
+//     their registers and results are computed directly into their
+//     target registers: no loads, stores, moves or sp updates. This is
+//     the paper's Fig. 14: "addu $9,$8,$9" and nothing else.
+//
+//   - Overflow (c−in+out > NRegs): the deepest m−OverflowTo items are
+//     stored to memory (overflows "typically spill several items at a
+//     time"), the survivors slide down to the bottom-anchored
+//     registers (one move each, except the fresh results which are
+//     computed into their final registers), and one sp update occurs.
+//
+// Stack-manipulation instructions use StepManip instead, which prices
+// the register shuffling the mapping implies.
+func (p MinimalPolicy) Step(c, in, out int) Transition {
+	if in > c {
+		// Underflow.
+		newC, extra := out, 0
+		if newC > p.NRegs {
+			// Results beyond the register file go straight to memory.
+			extra = newC - p.NRegs
+			newC = p.NRegs
+		}
+		return Transition{
+			NewDepth:  newC,
+			Loads:     in - c,
+			Stores:    extra,
+			Updates:   1,
+			Underflow: true,
+		}
+	}
+	m := c - in + out
+	if m <= p.NRegs {
+		return Transition{NewDepth: m}
+	}
+	// Overflow: spill down to the followup state. Never spill freshly
+	// produced results if they fit; with very small register files
+	// (out > NRegs) the excess results go to memory with the spill.
+	f := p.OverflowTo
+	if f < out {
+		f = out
+	}
+	if f > p.NRegs {
+		f = p.NRegs
+	}
+	// Survivors that are old cached items (not fresh results) each
+	// move down by the spill distance; results are computed into
+	// their final registers directly.
+	moves := f - out
+	if moves < 0 {
+		moves = 0
+	}
+	return Transition{
+		NewDepth: f,
+		Stores:   m - f,
+		Moves:    moves,
+		Updates:  1,
+		Overflow: true,
+	}
+}
+
+// StepManip computes the transition for a pure stack-manipulation
+// instruction with mapping m (vm.Effect.Map convention) executed with
+// c items cached. In the minimal organization the mapping must be
+// realized by actual register moves ("Stack manipulation instructions
+// also cause moves in the minimal state machine", §3.4): every output
+// whose source register differs from its destination register costs
+// one move. Underflow and overflow are handled as in Step.
+func (p MinimalPolicy) StepManip(c, in int, m []int) Transition {
+	out := len(m)
+	if in > c {
+		// Underflow: same accounting as Step; the mapping is applied
+		// while the arguments are being placed, at no extra cost.
+		return p.Step(c, in, out)
+	}
+	newDepth := c - in + out
+	tr := Transition{NewDepth: newDepth}
+	spill := 0
+	if newDepth > p.NRegs {
+		f := p.OverflowTo
+		if f < out {
+			f = out
+		}
+		if f > p.NRegs {
+			f = p.NRegs
+		}
+		spill = newDepth - f
+		tr = Transition{
+			NewDepth: f,
+			Stores:   spill,
+			Updates:  1,
+			Overflow: true,
+		}
+	}
+	// Count misplaced outputs. Before: input j (0 = top) is in
+	// register c-1-j. After: output k (0 = top) must be in register
+	// newDepth-1-k (bottom-anchored), where the whole cached region
+	// has slid down by the spill amount. Outputs whose destination is
+	// beyond the register file (tiny caches) were stored by the spill
+	// and cost no move.
+	moves := 0
+	for k, src := range m {
+		dstReg := tr.NewDepth - 1 - k
+		if dstReg < 0 {
+			continue
+		}
+		srcReg := c - 1 - src
+		if srcReg != dstReg {
+			moves++
+		}
+	}
+	// Old non-argument items that slid down due to spilling also move.
+	if spill > 0 {
+		kept := tr.NewDepth - out
+		if kept > 0 {
+			moves += kept
+		}
+	}
+	tr.Moves = moves
+	return tr
+}

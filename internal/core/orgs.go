@@ -1,0 +1,296 @@
+package core
+
+// This file implements the cache organizations of the paper's §3 and
+// the state-count table of Fig. 18. Every organization provides both a
+// closed-form count and an explicit state enumeration; tests verify
+// they agree, and the Fig. 18 experiment checks the closed forms
+// against the paper's printed numbers.
+
+// Organization describes a family of allowed cache states, §3's
+// "every allowed mapping of stack items to machine registers
+// constitutes a cache state".
+type Organization struct {
+	// Name as used in Fig. 18.
+	Name string
+
+	// Count is the closed-form number of states with n registers.
+	Count func(n int) int64
+
+	// Enumerate counts states by explicit construction of the state
+	// space. It is exponential for some organizations; callers bound n.
+	Enumerate func(n int) int64
+
+	// Formula is the closed form as printed in Fig. 18's last column.
+	Formula string
+}
+
+// Organizations lists the six rows of Fig. 18 in the paper's order.
+var Organizations = []Organization{
+	{
+		Name:      "minimal",
+		Count:     func(n int) int64 { return int64(n) + 1 },
+		Enumerate: enumMinimal,
+		Formula:   "n+1",
+	},
+	{
+		Name:      "overflow move opt.",
+		Count:     func(n int) int64 { return int64(n)*int64(n) + 1 },
+		Enumerate: enumOverflowOpt,
+		Formula:   "n^2+1",
+	},
+	{
+		Name:      "arbitrary shuffles",
+		Count:     countShuffles,
+		Enumerate: enumShuffles,
+		Formula:   "sum_{i=0..n} n!/i!",
+	},
+	{
+		Name:      "n+1 stack items",
+		Count:     countNPlusOne,
+		Enumerate: enumNPlusOne,
+		Formula:   "sum_{i=0..n+1} n^i",
+	},
+	{
+		Name:      "one duplication",
+		Count:     countOneDup,
+		Enumerate: enumOneDup,
+		Formula:   "n+1 + C(n+2,3)",
+	},
+	{
+		Name:      "two stacks",
+		Count:     func(n int) int64 { return 3 * int64(n) },
+		Enumerate: enumTwoStacks,
+		Formula:   "3n",
+	},
+}
+
+// OrganizationByName looks an organization up by its Fig. 18 name.
+func OrganizationByName(name string) (Organization, bool) {
+	for _, o := range Organizations {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return Organization{}, false
+}
+
+// --- closed forms ---
+
+// countShuffles: states are the injective sequences of registers of
+// length 0..n — "all assignments of stack items to registers where no
+// register occurs twice" (§3.4). Sum over i of P(n,i) = n!/(n-i)!,
+// which equals Fig. 18's sum of n!/i!.
+func countShuffles(n int) int64 {
+	total := int64(0)
+	for i := 0; i <= n; i++ {
+		p := int64(1)
+		for k := 0; k < i; k++ {
+			p *= int64(n - k)
+		}
+		total += p
+	}
+	return total
+}
+
+// countNPlusOne: up to n+1 stack items in n registers "in any order
+// and with any kind of duplication": all sequences with repetition of
+// length 0..n+1.
+//
+// Fig. 18 prints 1,356 for n=4; the geometric sum (4^6−1)/3 is 1,365,
+// and every other printed entry of the row matches the sum exactly, so
+// 1,356 is taken to be a typo in the paper.
+func countNPlusOne(n int) int64 {
+	total, p := int64(0), int64(1)
+	for i := 0; i <= n+1; i++ {
+		total += p
+		p *= int64(n)
+	}
+	return total
+}
+
+// countOneDup: the minimal organization "extended with states that
+// represent one (arbitrary) duplication of a stack item": for every
+// depth d in 2..n+1 (using d−1 distinct registers), any of the C(d,2)
+// position pairs may share a register.
+func countOneDup(n int) int64 {
+	total := int64(n) + 1
+	for d := 2; d <= n+1; d++ {
+		total += int64(d) * int64(d-1) / 2
+	}
+	return total
+}
+
+// --- explicit enumerations ---
+
+func enumMinimal(n int) int64 {
+	count := int64(0)
+	for c := 0; c <= n; c++ {
+		count++ // the single bottom-anchored state with c items
+	}
+	return count
+}
+
+// enumOverflowOpt: "instead of moving all stack items, just the bottom
+// cached stack item is stored to memory and the register where it
+// resided is reused to keep the top of stack" (§3.3): the bottom of
+// the cached region can be anchored at any of the n registers,
+// wrapping around, so a state is (items, rotation) for items ≥ 1, plus
+// the empty state.
+func enumOverflowOpt(n int) int64 {
+	count := int64(1) // empty
+	for c := 1; c <= n; c++ {
+		for rot := 0; rot < n; rot++ {
+			count++
+		}
+	}
+	return count
+}
+
+// enumShuffles generates all injective register sequences of length
+// 0..n.
+func enumShuffles(n int) int64 {
+	used := make([]bool, n)
+	var rec func(depth int) int64
+	rec = func(depth int) int64 {
+		count := int64(1) // the sequence built so far is a state
+		if depth == n {
+			return count
+		}
+		for r := 0; r < n; r++ {
+			if !used[r] {
+				used[r] = true
+				count += rec(depth + 1)
+				used[r] = false
+			}
+		}
+		return count
+	}
+	return rec(0)
+}
+
+// enumNPlusOne generates all sequences with repetition of length
+// 0..n+1 over n registers.
+func enumNPlusOne(n int) int64 {
+	var rec func(depth int) int64
+	rec = func(depth int) int64 {
+		count := int64(1)
+		if depth == n+1 {
+			return count
+		}
+		for r := 0; r < n; r++ {
+			count += rec(depth + 1)
+		}
+		return count
+	}
+	return rec(0)
+}
+
+// enumOneDup generates the minimal states plus, for every depth d in
+// 2..n+1, the states where positions i<j share a register and the
+// remaining d−1 distinct items sit in the canonical minimal registers.
+func enumOneDup(n int) int64 {
+	count := enumMinimal(n)
+	for d := 2; d <= n+1; d++ {
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// enumTwoStacks: the minimal organization "combined with caching up to
+// two items of another stack in the same registers, also in a minimal
+// organization" (§3.4): states are pairs (d data items, r return
+// items) with d+r ≤ n and r ≤ 2 — 3n states in total for n ≥ 2.
+func enumTwoStacks(n int) int64 {
+	count := int64(0)
+	for r := 0; r <= 2; r++ {
+		for d := 0; d+r <= n; d++ {
+			count++
+		}
+	}
+	return count
+}
+
+// Fig18States materializes the actual State values of the
+// organizations whose states are single-stack register sequences, for
+// engines and tests that need concrete states rather than counts.
+// Supported names: "minimal", "arbitrary shuffles", "n+1 stack items",
+// "one duplication".
+func Fig18States(name string, n int) []State {
+	switch name {
+	case "minimal":
+		states := make([]State, 0, n+1)
+		for c := 0; c <= n; c++ {
+			states = append(states, Canonical(c))
+		}
+		return states
+	case "arbitrary shuffles":
+		var states []State
+		var cur []RegID
+		used := make([]bool, n)
+		var rec func()
+		rec = func() {
+			states = append(states, State{Regs: append([]RegID(nil), cur...)})
+			if len(cur) == n {
+				return
+			}
+			for r := 0; r < n; r++ {
+				if !used[r] {
+					used[r] = true
+					cur = append(cur, RegID(r))
+					rec()
+					cur = cur[:len(cur)-1]
+					used[r] = false
+				}
+			}
+		}
+		rec()
+		return states
+	case "n+1 stack items":
+		var states []State
+		var cur []RegID
+		var rec func()
+		rec = func() {
+			states = append(states, State{Regs: append([]RegID(nil), cur...)})
+			if len(cur) == n+1 {
+				return
+			}
+			for r := 0; r < n; r++ {
+				cur = append(cur, RegID(r))
+				rec()
+				cur = cur[:len(cur)-1]
+			}
+		}
+		rec()
+		return states
+	case "one duplication":
+		var states []State
+		for c := 0; c <= n; c++ {
+			states = append(states, Canonical(c))
+		}
+		for d := 2; d <= n+1; d++ {
+			for i := 0; i < d; i++ {
+				for j := i + 1; j < d; j++ {
+					// d positions over d-1 distinct canonical
+					// registers; position j duplicates position i.
+					regs := make([]RegID, d)
+					next := RegID(0)
+					for k := 0; k < d; k++ {
+						if k == j {
+							regs[k] = regs[i]
+							continue
+						}
+						regs[k] = next
+						next++
+					}
+					states = append(states, State{Regs: regs})
+				}
+			}
+		}
+		return states
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RegID identifies a cache register (0-based). The paper's examples
+// use MIPS registers $4, $5, …; here registers are abstract slots of
+// the execution engines' register files.
+type RegID = uint8
+
+// State is a general cache state: the mapping of the cached top-of-
+// stack items to registers. Regs[0] holds the deepest cached item and
+// Regs[len(Regs)-1] the top of stack. A register may appear more than
+// once when an item has been duplicated (the "one duplication" /
+// "n+1 stack items" organizations of §3.4).
+//
+// The minimal organization's states are exactly the states whose Regs
+// are the canonical prefix 0,1,…,c-1 (see Canonical).
+type State struct {
+	Regs []RegID
+}
+
+// Canonical returns the minimal-organization state with c cached
+// items: items in registers 0..c-1, deepest first.
+func Canonical(c int) State {
+	regs := make([]RegID, c)
+	for i := range regs {
+		regs[i] = RegID(i)
+	}
+	return State{Regs: regs}
+}
+
+// Depth is the number of cached stack items.
+func (s State) Depth() int { return len(s.Regs) }
+
+// Distinct is the number of distinct registers the state occupies.
+// Free registers = total registers − Distinct.
+func (s State) Distinct() int {
+	var seen [256]bool
+	n := 0
+	for _, r := range s.Regs {
+		if !seen[r] {
+			seen[r] = true
+			n++
+		}
+	}
+	return n
+}
+
+// IsCanonical reports whether the state is a minimal-organization
+// state (register i holds the i-th deepest cached item).
+func (s State) IsCanonical() bool {
+	for i, r := range s.Regs {
+		if r != RegID(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasDup reports whether any register holds more than one stack item.
+func (s State) HasDup() bool { return s.Distinct() != s.Depth() }
+
+// Clone returns an independent copy.
+func (s State) Clone() State {
+	return State{Regs: append([]RegID(nil), s.Regs...)}
+}
+
+// Equal reports state equality.
+func (s State) Equal(t State) bool {
+	if len(s.Regs) != len(t.Regs) {
+		return false
+	}
+	for i := range s.Regs {
+		if s.Regs[i] != t.Regs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string key for use in maps (state machine
+// construction, statistics).
+func (s State) Key() string {
+	var sb strings.Builder
+	for i, r := range s.Regs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", r)
+	}
+	return sb.String()
+}
+
+// String renders the state like the paper's figures: deepest item
+// leftmost, e.g. "[r0 r1 r2]".
+func (s State) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, r := range s.Regs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "r%d", r)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// ApplyMap applies a stack-manipulation mapping (vm.Effect.Map
+// convention: output k, 0 = new top, is a copy of input Map[k], 0 =
+// old top) to the state, consuming in items. It returns the new state.
+// This is the whole execution of a stack-manipulation instruction
+// under static stack caching — no code, only a state change (§5).
+func (s State) ApplyMap(in int, m []int) State {
+	d := len(s.Regs)
+	base := s.Regs[:d-in]
+	out := make([]RegID, 0, len(base)+len(m))
+	out = append(out, base...)
+	// Outputs are listed top-first in m; build bottom-first.
+	for k := len(m) - 1; k >= 0; k-- {
+		src := m[k]
+		out = append(out, s.Regs[d-1-src])
+	}
+	return State{Regs: out}
+}

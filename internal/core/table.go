@@ -1,0 +1,48 @@
+package core
+
+import "stackcache/internal/vm"
+
+// TransitionTable precomputes, for every (cache state, opcode) pair,
+// the transition of a MinimalPolicy. This is the software analog of
+// the paper's dynamic-caching implementation: "there is a copy of the
+// whole interpreter for every cache state" — each row of the table is
+// one such copy, and dispatching on (state, opcode) replaces the
+// per-instruction transition computation. The dyncache engine uses it
+// on the hot path; tests verify it against the Step/StepManip
+// functions it is built from.
+type TransitionTable struct {
+	Policy MinimalPolicy
+	// Rows[c][op] is the transition for executing op with c items
+	// cached, c in 0..NRegs.
+	Rows [][]Transition
+}
+
+// BuildTable precomputes all transitions for the policy.
+func BuildTable(pol MinimalPolicy) (*TransitionTable, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	t := &TransitionTable{Rows: make([][]Transition, pol.NRegs+1)}
+	for c := 0; c <= pol.NRegs; c++ {
+		row := make([]Transition, vm.NumOpcodes)
+		for op := vm.Opcode(0); op < vm.NumOpcodes; op++ {
+			eff := vm.EffectOf(op)
+			if eff.IsManip() {
+				row[op] = pol.StepManip(c, eff.In, eff.Map)
+			} else {
+				row[op] = pol.Step(c, eff.In, eff.Out)
+			}
+		}
+		t.Rows[c] = row
+	}
+	return t, nil
+}
+
+// Lookup returns the transition for op with c items cached.
+func (t *TransitionTable) Lookup(c int, op vm.Opcode) Transition {
+	return t.Rows[c][op]
+}
+
+// States returns the number of cache states the table covers (the
+// minimal organization's n+1).
+func (t *TransitionTable) States() int { return len(t.Rows) }

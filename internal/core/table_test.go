@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"stackcache/internal/vm"
+)
+
+func TestBuildTableMatchesStep(t *testing.T) {
+	for _, pol := range []MinimalPolicy{
+		{NRegs: 1, OverflowTo: 1},
+		{NRegs: 4, OverflowTo: 2},
+		{NRegs: 10, OverflowTo: 7},
+	} {
+		table, err := BuildTable(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if table.States() != pol.NRegs+1 {
+			t.Errorf("%+v: %d states, want %d", pol, table.States(), pol.NRegs+1)
+		}
+		for c := 0; c <= pol.NRegs; c++ {
+			for op := vm.Opcode(0); op < vm.NumOpcodes; op++ {
+				eff := vm.EffectOf(op)
+				var want Transition
+				if eff.IsManip() {
+					want = pol.StepManip(c, eff.In, eff.Map)
+				} else {
+					want = pol.Step(c, eff.In, eff.Out)
+				}
+				if got := table.Lookup(c, op); got != want {
+					t.Errorf("%+v c=%d %v: table %+v != step %+v", pol, c, op, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTableInvalidPolicy(t *testing.T) {
+	if _, err := BuildTable(MinimalPolicy{}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}

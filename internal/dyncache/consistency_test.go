@@ -1,0 +1,57 @@
+package dyncache
+
+import (
+	"testing"
+
+	"stackcache/internal/core"
+	"stackcache/internal/interp"
+	"stackcache/internal/trace"
+)
+
+// TestDyncacheCountersMatchTraceSimulation cross-validates the two
+// independent implementations of the minimal organization's cost
+// accounting: the executing engine (dyncache.Run) and the pure
+// state-walk simulator (trace.Simulate) must produce identical
+// counters for the same program and policy.
+func TestDyncacheCountersMatchTraceSimulation(t *testing.T) {
+	progs := compileAll(t)
+	policies := []core.MinimalPolicy{
+		{NRegs: 2, OverflowTo: 1},
+		{NRegs: 4, OverflowTo: 4},
+		{NRegs: 6, OverflowTo: 3},
+	}
+	for name, p := range progs {
+		tr, _, err := interp.Capture(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		effs := trace.Effects(tr)
+		for _, pol := range policies {
+			eng, err := Run(p, pol)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, pol, err)
+			}
+			sim, err := trace.Simulate(effs, pol)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, pol, err)
+			}
+			e, s := eng.Counters, sim.Counters
+			if e.Loads != s.Loads || e.Stores != s.Stores ||
+				e.Updates != s.Updates ||
+				e.Overflows != s.Overflows || e.Underflows != s.Underflows ||
+				e.Instructions != s.Instructions {
+				t.Errorf("%s %+v: engine %+v != simulator %+v", name, pol, e, s)
+			}
+			// Moves differ only in how stack-manipulation mappings are
+			// priced: the simulator sees plain (in,out) effects while
+			// the engine knows the mapping. The engine's moves must
+			// not be less than zero more than the simulator's... both
+			// count the same overflow shifts; manip shuffles are
+			// engine-only, so engine >= simulator is the invariant.
+			if e.Moves < s.Moves {
+				t.Errorf("%s %+v: engine moves %d < simulator moves %d",
+					name, pol, e.Moves, s.Moves)
+			}
+		}
+	}
+}

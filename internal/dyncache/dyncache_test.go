@@ -1,0 +1,323 @@
+package dyncache
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+// forthPrograms is a set of behaviorally diverse programs used for
+// differential testing against the baseline interpreters.
+var forthPrograms = map[string]string{
+	"arith": `: main 1 2 3 4 5 + - * swap / . 10 3 mod . ;`,
+	"fib":   `: fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 15 fib . ;`,
+	"sieve": `
+create flags 100 allot
+: main 100 0 do 1 flags i + c! loop
+  10 2 do flags i + c@ if 100 i dup * do 0 flags i + c! j +loop then loop
+  0 100 2 do flags i + c@ if 1+ then loop . ;`,
+	"deepstack": `: main 1 2 3 4 5 6 7 8 9 10 + + + + + + + + + . ;`,
+	"strings":   `: main s" abc" type ." xyz" cr 65 emit ;`,
+	"loops":     `: main 0 100 0 do i + loop . 0 begin 1+ dup 10 >= until . ;`,
+	"memory": `
+variable a variable b
+: main 7 a ! 35 b ! a @ b @ + . a @ b +! b @ . ;`,
+	"manips": `: main 1 2 swap over rot dup 2dup + + + + + . 5 6 nip 7 tuck + + . ;`,
+	"rstack": `: main 42 >r 1 2 + r> + . 9 >r r@ r> + . ;`,
+	"depth":  `: main 1 2 3 depth . . . . ;`,
+}
+
+func compileAll(t *testing.T) map[string]*vm.Program {
+	t.Helper()
+	progs := make(map[string]*vm.Program)
+	for name, src := range forthPrograms {
+		p, err := forth.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		progs[name] = p
+	}
+	return progs
+}
+
+// policies covers the Fig. 22 design space corners.
+var testPolicies = []core.MinimalPolicy{
+	{NRegs: 1, OverflowTo: 1},
+	{NRegs: 2, OverflowTo: 1},
+	{NRegs: 2, OverflowTo: 2},
+	{NRegs: 4, OverflowTo: 2},
+	{NRegs: 4, OverflowTo: 4},
+	{NRegs: 6, OverflowTo: 3},
+	{NRegs: 6, OverflowTo: 6},
+	{NRegs: 10, OverflowTo: 7},
+}
+
+func TestMatchesBaselineOnAllPrograms(t *testing.T) {
+	progs := compileAll(t)
+	for name, p := range progs {
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		want := ref.Snapshot()
+		for _, pol := range testPolicies {
+			res, err := Run(p, pol)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, pol, err)
+			}
+			if got := res.Machine.Snapshot(); !want.Equal(got) {
+				t.Errorf("%s %+v: snapshot mismatch\nwant stack %v out %q\ngot  stack %v out %q",
+					name, pol, want.Stack, want.Output, got.Stack, got.Output)
+			}
+		}
+	}
+}
+
+func TestCountersBasicSanity(t *testing.T) {
+	p, err := forth.Compile(`: main 100 0 do i drop loop ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, core.MinimalPolicy{NRegs: 4, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Instructions == 0 || c.Dispatches != c.Instructions {
+		t.Errorf("dispatches %d != instructions %d", c.Dispatches, c.Instructions)
+	}
+	// Loads+stores imply updates and vice versa.
+	if (c.Loads+c.Stores > 0) != (c.Updates > 0) {
+		t.Errorf("traffic/update mismatch: %+v", c)
+	}
+}
+
+func TestStraightLinePushesOverflow(t *testing.T) {
+	// 9 literals with 4 registers must overflow; with followup=full
+	// each overflow spills one item.
+	b := vm.NewBuilder()
+	for i := 0; i < 9; i++ {
+		b.Lit(vm.Cell(i))
+	}
+	for i := 0; i < 8; i++ {
+		b.Emit(vm.OpAdd)
+	}
+	b.Emit(vm.OpDot)
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+
+	res, err := Run(p, core.MinimalPolicy{NRegs: 4, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.Out.String() != "36 " {
+		t.Errorf("output = %q", res.Machine.Out.String())
+	}
+	if res.Counters.Overflows != 5 {
+		t.Errorf("overflows = %d, want 5", res.Counters.Overflows)
+	}
+	// The adds drain the cache; once empty, underflows load from
+	// memory.
+	if res.Counters.Underflows == 0 {
+		t.Error("expected underflows")
+	}
+	if res.Counters.Loads != res.Counters.Stores {
+		t.Errorf("loads %d != stores %d for balanced program",
+			res.Counters.Loads, res.Counters.Stores)
+	}
+}
+
+func TestFullStateFollowupMinimizesTraffic(t *testing.T) {
+	// §3.3: the full state as overflow followup minimizes memory
+	// traffic; an emptier followup trades stores for fewer overflows.
+	p, err := forth.Compile(`
+: f 1 2 3 4 5 + + + + ;
+: main 0 50 0 do f + loop . ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(p, core.MinimalPolicy{NRegs: 4, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Run(p, core.MinimalPolicy{NRegs: 4, OverflowTo: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Counters.Stores > low.Counters.Stores {
+		t.Errorf("full-state followup should not store more: full=%d low=%d",
+			full.Counters.Stores, low.Counters.Stores)
+	}
+	if full.Counters.Overflows < low.Counters.Overflows {
+		t.Errorf("full-state followup should overflow at least as often: full=%d low=%d",
+			full.Counters.Overflows, low.Counters.Overflows)
+	}
+}
+
+func TestMoreRegistersReduceOverhead(t *testing.T) {
+	// The paper's central Fig. 22/26 shape: overhead shrinks as
+	// registers are added.
+	p, err := forth.Compile(forthPrograms["sieve"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	for _, n := range []int{1, 2, 4, 8} {
+		res, err := Run(p, core.MinimalPolicy{NRegs: n, OverflowTo: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		over := res.Counters.AccessPerInstruction(core.DefaultCost)
+		if prev >= 0 && over > prev+1e-9 {
+			t.Errorf("overhead rose from %.4f to %.4f at %d regs", prev, over, n)
+		}
+		prev = over
+	}
+}
+
+func TestRiseHistogramRecorded(t *testing.T) {
+	p, err := forth.Compile(forthPrograms["fib"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, core.MinimalPolicy{NRegs: 2, OverflowTo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range res.RiseAfterOverflow {
+		total += n
+	}
+	if res.Counters.Overflows == 0 {
+		t.Fatal("expected overflows in fib with 2 registers")
+	}
+	if total == 0 || total > res.Counters.Overflows {
+		t.Errorf("rise histogram total %d vs overflows %d", total, res.Counters.Overflows)
+	}
+}
+
+func TestInvalidPolicyRejected(t *testing.T) {
+	p, err := forth.Compile(`: main ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, core.MinimalPolicy{NRegs: 0, OverflowTo: 0}); err == nil {
+		t.Error("expected policy validation error")
+	}
+}
+
+func TestRuntimeErrorsPropagate(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Lit(1)
+	b.Lit(0)
+	b.Emit(vm.OpDiv)
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+	_, err := Run(p, core.MinimalPolicy{NRegs: 4, OverflowTo: 4})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStackUnderflowDetected(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Emit(vm.OpAdd)
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+	_, err := Run(p, core.MinimalPolicy{NRegs: 4, OverflowTo: 4})
+	if err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Label("spin")
+	b.BranchTo("spin")
+	p := b.MustBuild()
+	// Run with a machine-level limit by invoking through a machine
+	// hook: Run constructs its own machine, so use a tiny program with
+	// a long loop instead.
+	b2 := vm.NewBuilder()
+	b2.Lit(0)
+	b2.Label("top")
+	b2.Emit(vm.OpOnePlus)
+	b2.Emit(vm.OpDup)
+	b2.EmitArg(vm.OpLitAdd, -1000)
+	b2.BranchZeroTo("done")
+	b2.BranchTo("top")
+	b2.Label("done")
+	b2.Emit(vm.OpDrop)
+	b2.Emit(vm.OpHalt)
+	p2 := b2.MustBuild()
+	if _, err := Run(p2, core.MinimalPolicy{NRegs: 3, OverflowTo: 3}); err != nil {
+		t.Fatalf("bounded loop: %v", err)
+	}
+	_ = p
+}
+
+// TestPropertyMatchesBaseline runs random straight-line programs under
+// random policies and checks behavioural equivalence with the switch
+// interpreter.
+func TestPropertyMatchesBaseline(t *testing.T) {
+	safeOps := []vm.Opcode{
+		vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpMin, vm.OpMax, vm.OpXor,
+		vm.OpDup, vm.OpDrop, vm.OpSwap, vm.OpOver, vm.OpRot, vm.OpTuck,
+		vm.OpTwoDup, vm.OpTwoDrop, vm.OpNip, vm.OpMinusRot,
+		vm.OpOnePlus, vm.OpNegate, vm.OpZeroEq, vm.OpToR, vm.OpRFrom,
+	}
+	f := func(lits []int64, choices []uint8, nregs, fw uint8) bool {
+		n := int(nregs)%8 + 1
+		pol := core.MinimalPolicy{NRegs: n, OverflowTo: int(fw)%n + 1}
+		b := vm.NewBuilder()
+		depth, rdepth := 0, 0
+		for i, v := range lits {
+			if i >= 10 {
+				break
+			}
+			b.Lit(vm.Cell(v))
+			depth++
+		}
+		for depth < 4 {
+			b.Lit(1)
+			depth++
+		}
+		for _, ch := range choices {
+			op := safeOps[int(ch)%len(safeOps)]
+			eff := vm.EffectOf(op)
+			if depth < eff.In || eff.RIn > rdepth || depth+eff.NetEffect() > 40 {
+				continue
+			}
+			b.Emit(op)
+			depth += eff.NetEffect()
+			rdepth += eff.ROut - eff.RIn
+		}
+		// Drain the return stack to keep the program well formed.
+		for ; rdepth > 0; rdepth-- {
+			b.Emit(vm.OpRFrom)
+			depth++
+		}
+		b.Emit(vm.OpHalt)
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			return false
+		}
+		res, err := Run(p, pol)
+		if err != nil {
+			return false
+		}
+		return ref.Snapshot().Equal(res.Machine.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

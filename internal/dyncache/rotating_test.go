@@ -1,0 +1,210 @@
+package dyncache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+var rotPolicies = []core.RotatingPolicy{
+	{NRegs: 1, OverflowTo: 1},
+	{NRegs: 2, OverflowTo: 2},
+	{NRegs: 4, OverflowTo: 2},
+	{NRegs: 4, OverflowTo: 4},
+	{NRegs: 6, OverflowTo: 5},
+	{NRegs: 10, OverflowTo: 7},
+}
+
+func TestRotatingMatchesBaselineOnAllPrograms(t *testing.T) {
+	progs := compileAll(t)
+	for name, p := range progs {
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		want := ref.Snapshot()
+		for _, pol := range rotPolicies {
+			res, err := RunRotating(p, pol)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, pol, err)
+			}
+			if got := res.Machine.Snapshot(); !want.Equal(got) {
+				t.Errorf("%s %+v: snapshot mismatch\nwant stack %v out %q\ngot  stack %v out %q",
+					name, pol, want.Stack, want.Output, got.Stack, got.Output)
+			}
+		}
+	}
+}
+
+// TestRotatingEliminatesOverflowMoves is the §3.3 claim: the rotating
+// organization has the same memory traffic as the minimal one but no
+// moves on overflow.
+func TestRotatingEliminatesOverflowMoves(t *testing.T) {
+	p, err := forth.Compile(`
+: f 1 2 3 4 5 + + + + ;
+: main 0 200 0 do f + loop . ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := Run(p, core.MinimalPolicy{NRegs: 4, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := RunRotating(p, core.RotatingPolicy{NRegs: 4, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Counters.Overflows == 0 {
+		t.Fatal("workload must overflow")
+	}
+	if rot.Counters.Overflows != min.Counters.Overflows {
+		t.Errorf("overflow counts differ: %d vs %d", rot.Counters.Overflows, min.Counters.Overflows)
+	}
+	if rot.Counters.Loads != min.Counters.Loads || rot.Counters.Stores != min.Counters.Stores {
+		t.Errorf("memory traffic differs: %d/%d vs %d/%d",
+			rot.Counters.Loads, rot.Counters.Stores, min.Counters.Loads, min.Counters.Stores)
+	}
+	if rot.Counters.Moves >= min.Counters.Moves {
+		t.Errorf("rotating should move less: %d vs %d", rot.Counters.Moves, min.Counters.Moves)
+	}
+}
+
+func TestRotatingStatesCount(t *testing.T) {
+	org, _ := core.OrganizationByName("overflow move opt.")
+	for n := 1; n <= 8; n++ {
+		pol := core.RotatingPolicy{NRegs: n, OverflowTo: 1}
+		if got, want := int64(pol.States()), org.Count(n); got != want {
+			t.Errorf("States(%d) = %d, want Fig.18's %d", n, got, want)
+		}
+	}
+}
+
+func TestRotatingPolicyValidate(t *testing.T) {
+	if err := (core.RotatingPolicy{NRegs: 4, OverflowTo: 3}).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	for _, pol := range []core.RotatingPolicy{
+		{NRegs: 0, OverflowTo: 0},
+		{NRegs: 4, OverflowTo: 5},
+		{NRegs: 4, OverflowTo: 0},
+	} {
+		if err := pol.Validate(); err == nil {
+			t.Errorf("policy %+v should be invalid", pol)
+		}
+	}
+	p, err := forth.Compile(`: main ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunRotating(p, core.RotatingPolicy{}); err == nil {
+		t.Error("invalid policy accepted by RunRotating")
+	}
+}
+
+func TestRotatingStepProperties(t *testing.T) {
+	f := func(nRegs, followup, c, in, out uint8) bool {
+		n := int(nRegs%8) + 1
+		fw := int(followup)%n + 1
+		pol := core.RotatingPolicy{NRegs: n, OverflowTo: fw}
+		minPol := core.MinimalPolicy{NRegs: n, OverflowTo: fw}
+		ci := int(c) % (n + 1)
+		x := int(in) % 4
+		y := int(out) % 5
+		rt := pol.Step(ci, x, y)
+		mt := minPol.Step(ci, x, y)
+		// Identical except overflows cost no moves.
+		if rt.NewDepth != mt.NewDepth || rt.Loads != mt.Loads ||
+			rt.Stores != mt.Stores || rt.Updates != mt.Updates {
+			return false
+		}
+		if rt.Overflow && rt.Moves != 0 {
+			return false
+		}
+		if !rt.Overflow && rt.Moves != mt.Moves {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotatingManipCosts(t *testing.T) {
+	pol := core.RotatingPolicy{NRegs: 4, OverflowTo: 4}
+	swap := vm.EffectOf(vm.OpSwap)
+	tr := pol.StepManip(2, swap.In, swap.Map)
+	if tr.Moves != 2 {
+		t.Errorf("swap moves = %d, want 2", tr.Moves)
+	}
+	dup := vm.EffectOf(vm.OpDup)
+	// dup with full cache: spill 1 by rotation; the copy itself still
+	// needs one move, nothing else does.
+	tr = pol.StepManip(4, dup.In, dup.Map)
+	if !tr.Overflow || tr.Stores != 1 {
+		t.Errorf("dup overflow: %+v", tr)
+	}
+	if tr.Moves != 1 {
+		t.Errorf("dup overflow moves = %d, want 1 (the copy only)", tr.Moves)
+	}
+	// The minimal organization pays the shift moves on top.
+	minTr := core.MinimalPolicy{NRegs: 4, OverflowTo: 4}.StepManip(4, dup.In, dup.Map)
+	if minTr.Moves <= tr.Moves {
+		t.Errorf("minimal should move more on spilling dup: %d vs %d", minTr.Moves, tr.Moves)
+	}
+}
+
+func TestRotatingPropertyMatchesBaseline(t *testing.T) {
+	safeOps := []vm.Opcode{
+		vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpXor, vm.OpDup, vm.OpDrop,
+		vm.OpSwap, vm.OpOver, vm.OpRot, vm.OpTuck, vm.OpTwoDup,
+		vm.OpTwoDrop, vm.OpNip, vm.OpOnePlus, vm.OpZeroEq,
+	}
+	f := func(lits []int64, choices []uint8, nregs, fw uint8) bool {
+		n := int(nregs)%8 + 1
+		pol := core.RotatingPolicy{NRegs: n, OverflowTo: int(fw)%n + 1}
+		b := vm.NewBuilder()
+		depth := 0
+		for i, v := range lits {
+			if i >= 10 {
+				break
+			}
+			b.Lit(vm.Cell(v))
+			depth++
+		}
+		for depth < 4 {
+			b.Lit(1)
+			depth++
+		}
+		for _, ch := range choices {
+			op := safeOps[int(ch)%len(safeOps)]
+			eff := vm.EffectOf(op)
+			if depth < eff.In || depth+eff.NetEffect() > 40 {
+				continue
+			}
+			b.Emit(op)
+			depth += eff.NetEffect()
+		}
+		b.Emit(vm.OpHalt)
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			return false
+		}
+		res, err := RunRotating(p, pol)
+		if err != nil {
+			return false
+		}
+		return ref.Snapshot().Equal(res.Machine.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

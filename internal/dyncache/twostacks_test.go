@@ -1,0 +1,125 @@
+package dyncache
+
+import (
+	"testing"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+)
+
+func TestTwoStacksMatchesBaselineOnAllPrograms(t *testing.T) {
+	policies := []TwoStackPolicy{
+		{NRegs: 2, RMax: 1, OverflowTo: 1},
+		{NRegs: 4, RMax: 2, OverflowTo: 2},
+		{NRegs: 6, RMax: 2, OverflowTo: 4},
+		{NRegs: 8, RMax: 2, OverflowTo: 6},
+	}
+	progs := compileAll(t)
+	for name, p := range progs {
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		want := ref.Snapshot()
+		for _, pol := range policies {
+			res, err := RunTwoStacks(p, pol)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, pol, err)
+			}
+			if got := res.Machine.Snapshot(); !want.Equal(got) {
+				t.Errorf("%s %+v: snapshot mismatch", name, pol)
+			}
+		}
+	}
+}
+
+func TestTwoStacksStatesMatchFig18(t *testing.T) {
+	org, _ := core.OrganizationByName("two stacks")
+	for n := 2; n <= 8; n++ {
+		pol := TwoStackPolicy{NRegs: n, RMax: 2, OverflowTo: 1}
+		if got, want := int64(pol.States()), org.Count(n); got != want {
+			t.Errorf("States(%d) = %d, want Fig.18's %d", n, got, want)
+		}
+	}
+}
+
+func TestTwoStacksReducesReturnTraffic(t *testing.T) {
+	p, err := forth.Compile(`
+: leaf 1+ ;
+: mid leaf leaf ;
+: outer mid mid ;
+: main 0 500 begin swap outer swap 1- dup 0= until drop . ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTwoStacks(p, TwoStackPolicy{NRegs: 6, RMax: 2, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The return cache must absorb most call/return pairs: leaf calls
+	// hit the cached top.
+	rTraffic := res.RCounters.Loads + res.RCounters.Stores
+	if res.RCounters.Instructions == 0 {
+		t.Fatal("no return-stack activity recorded")
+	}
+	// Without caching, every call stores and every exit loads: traffic
+	// equals the number of return-stack instructions (one access
+	// each). The cache should cut it by more than half.
+	if rTraffic*2 > res.RCounters.Instructions {
+		t.Errorf("return cache absorbed too little: %d traffic on %d rstack instructions",
+			rTraffic, res.RCounters.Instructions)
+	}
+}
+
+func TestTwoStacksPolicyValidation(t *testing.T) {
+	bad := []TwoStackPolicy{
+		{NRegs: 0, RMax: 0, OverflowTo: 0},
+		{NRegs: 4, RMax: 4, OverflowTo: 1}, // RMax must leave data room
+		{NRegs: 4, RMax: -1, OverflowTo: 1},
+		{NRegs: 4, RMax: 2, OverflowTo: 5},
+	}
+	for _, pol := range bad {
+		if err := pol.Validate(); err == nil {
+			t.Errorf("policy %+v should be invalid", pol)
+		}
+	}
+	p, err := forth.Compile(`: main ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTwoStacks(p, TwoStackPolicy{}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+// TestTwoStacksVsSeparate compares sharing against a data-only cache
+// of the full file: sharing trades a little data-cache capacity for a
+// large cut in return-stack traffic on call-heavy code.
+func TestTwoStacksVsSeparate(t *testing.T) {
+	p, err := forth.Compile(`
+: l3 1+ ;
+: l2 l3 l3 ;
+: l1 l2 l2 ;
+: main 0 200 begin swap l1 swap 1- dup 0= until drop . ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunTwoStacks(p, TwoStackPolicy{NRegs: 6, RMax: 2, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataOnly, err := Run(p, core.MinimalPolicy{NRegs: 6, OverflowTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without a return cache, each rstack op touches memory once.
+	rUncached := shared.RCounters.Instructions
+	sharedTotal := shared.Counters.AccessCycles(core.DefaultCost) +
+		shared.RCounters.AccessCycles(core.DefaultCost)
+	separateTotal := dataOnly.Counters.AccessCycles(core.DefaultCost) + float64(rUncached)
+	if sharedTotal >= separateTotal {
+		t.Errorf("sharing should win on call-heavy code: shared %.0f vs separate %.0f",
+			sharedTotal, separateTotal)
+	}
+}

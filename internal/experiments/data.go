@@ -1,0 +1,430 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stackcache/internal/constcache"
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/interp"
+	"stackcache/internal/statcache"
+	"stackcache/internal/trace"
+)
+
+// --- Fig. 7: dispatch technique timing ---
+
+// DispatchRow is one dispatch technique's measured speed.
+type DispatchRow struct {
+	Engine    interp.Engine
+	NsPerInst float64
+	Relative  float64 // relative to the fastest technique
+}
+
+// Fig7Data times the three dispatch techniques on the workload set.
+// Absolute numbers depend on the host; the paper-relevant output is
+// the ordering and rough ratios (switch slowest, threaded fastest).
+func Fig7Data(opt Options) ([]DispatchRow, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DispatchRow, 0, len(interp.Engines))
+	for _, e := range interp.Engines {
+		var totalNs, totalInst float64
+		for _, p := range c.progs {
+			start := time.Now()
+			m, err := interp.Run(p, e)
+			if err != nil {
+				return nil, err
+			}
+			totalNs += float64(time.Since(start).Nanoseconds())
+			totalInst += float64(m.Steps)
+		}
+		rows = append(rows, DispatchRow{Engine: e, NsPerInst: totalNs / totalInst})
+	}
+	best := rows[0].NsPerInst
+	for _, r := range rows {
+		if r.NsPerInst < best {
+			best = r.NsPerInst
+		}
+	}
+	for i := range rows {
+		rows[i].Relative = rows[i].NsPerInst / best
+	}
+	return rows, nil
+}
+
+// --- Fig. 18: state counts ---
+
+// Fig18Row is one organization's state counts for 1..8 registers.
+type Fig18Row struct {
+	Name    string
+	Formula string
+	Counts  [8]int64
+}
+
+// Fig18Data computes the paper's Fig. 18 table exactly.
+func Fig18Data() []Fig18Row {
+	rows := make([]Fig18Row, 0, len(core.Organizations))
+	for _, org := range core.Organizations {
+		r := Fig18Row{Name: org.Name, Formula: org.Formula}
+		for n := 1; n <= 8; n++ {
+			r.Counts[n-1] = org.Count(n)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// --- Fig. 20: program characteristics ---
+
+// Fig20Data computes the per-program characteristics table.
+func Fig20Data(opt Options) ([]trace.Stats, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]trace.Stats, 0, len(c.progs))
+	for i := range c.progs {
+		tr, err := c.trace(i)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, trace.Analyze(c.names[i], tr))
+	}
+	return rows, nil
+}
+
+// --- Fig. 21: constant number of items in registers ---
+
+// Fig21Row is the summed per-instruction overhead with k items always
+// in registers.
+type Fig21Row struct {
+	K                           int
+	MemAccesses, Moves, Updates float64 // per instruction
+	Cycles                      float64 // weighted access overhead per instruction
+}
+
+// Fig21Data sweeps k = 0..6 over the workload traces.
+func Fig21Data(opt Options) ([]Fig21Row, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig21Row
+	for k := 0; k <= 6; k++ {
+		var sum core.Counters
+		for i := range c.progs {
+			tr, err := c.trace(i)
+			if err != nil {
+				return nil, err
+			}
+			cc, err := constcache.Simulate(tr, k)
+			if err != nil {
+				return nil, err
+			}
+			sum.Add(cc)
+		}
+		rows = append(rows, Fig21Row{
+			K:           k,
+			MemAccesses: sum.PerInstruction(float64(sum.Loads + sum.Stores)),
+			Moves:       sum.PerInstruction(float64(sum.Moves)),
+			Updates:     sum.PerInstruction(float64(sum.Updates)),
+			Cycles:      sum.AccessPerInstruction(opt.Cost),
+		})
+	}
+	return rows, nil
+}
+
+// --- Fig. 22/23: dynamic stack caching sweeps ---
+
+// DynPoint is one dynamic-caching configuration's summed result.
+type DynPoint struct {
+	NRegs, OverflowTo int
+	Counters          core.Counters
+	Overhead          float64 // access cycles per instruction
+}
+
+// dynRun sums one policy over all workloads.
+func (c *compiled) dynRun(pol core.MinimalPolicy) (core.Counters, error) {
+	var sum core.Counters
+	for i, p := range c.progs {
+		res, err := dyncache.Run(p, pol)
+		if err != nil {
+			return sum, fmt.Errorf("%s: %w", c.names[i], err)
+		}
+		sum.Add(res.Counters)
+	}
+	return sum, nil
+}
+
+// Fig22Data sweeps register counts 1..MaxRegs and all overflow
+// followup states.
+func Fig22Data(opt Options) ([]DynPoint, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	var points []DynPoint
+	for n := 1; n <= opt.MaxRegs; n++ {
+		for f := 1; f <= n; f++ {
+			sum, err := c.dynRun(core.MinimalPolicy{NRegs: n, OverflowTo: f})
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, DynPoint{
+				NRegs: n, OverflowTo: f,
+				Counters: sum,
+				Overhead: sum.AccessPerInstruction(opt.Cost),
+			})
+		}
+	}
+	return points, nil
+}
+
+// Fig23Data is the 6-register slice of the sweep with per-component
+// detail (the paper's Fig. 23).
+func Fig23Data(opt Options) ([]DynPoint, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	n := 6
+	if opt.MaxRegs < 6 {
+		n = opt.MaxRegs
+	}
+	var points []DynPoint
+	for f := 1; f <= n; f++ {
+		sum, err := c.dynRun(core.MinimalPolicy{NRegs: n, OverflowTo: f})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, DynPoint{
+			NRegs: n, OverflowTo: f,
+			Counters: sum,
+			Overhead: sum.AccessPerInstruction(opt.Cost),
+		})
+	}
+	return points, nil
+}
+
+// --- Fig. 24/25: static stack caching sweeps ---
+
+// StatPoint is one static-caching configuration's summed result.
+type StatPoint struct {
+	NRegs, Canonical int
+	Counters         core.Counters
+	// Net is the paper's Fig. 24 metric: access overhead minus saved
+	// dispatches, per original instruction (can be negative).
+	Net float64
+	// Access is the overhead without the dispatch credit.
+	Access float64
+}
+
+func (c *compiled) statRun(pol statcache.Policy) (core.Counters, error) {
+	var sum core.Counters
+	for i, p := range c.progs {
+		plan, err := statcache.Compile(p, pol)
+		if err != nil {
+			return sum, fmt.Errorf("%s: %w", c.names[i], err)
+		}
+		res, err := statcache.Execute(plan)
+		if err != nil {
+			return sum, fmt.Errorf("%s: %w", c.names[i], err)
+		}
+		sum.Add(res.Counters)
+	}
+	return sum, nil
+}
+
+// Fig24Data sweeps register counts and canonical states.
+func Fig24Data(opt Options) ([]StatPoint, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	var points []StatPoint
+	for n := 3; n <= opt.MaxRegs; n++ {
+		for k := 0; k <= n; k++ {
+			sum, err := c.statRun(statcache.Policy{NRegs: n, Canonical: k})
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, StatPoint{
+				NRegs: n, Canonical: k,
+				Counters: sum,
+				Net:      sum.NetPerInstruction(opt.Cost),
+				Access:   sum.AccessPerInstruction(opt.Cost),
+			})
+		}
+	}
+	return points, nil
+}
+
+// Fig25Data is the 6-register slice with component detail.
+func Fig25Data(opt Options) ([]StatPoint, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	n := 6
+	if opt.MaxRegs < 6 {
+		n = opt.MaxRegs
+	}
+	var points []StatPoint
+	for k := 0; k <= n; k++ {
+		sum, err := c.statRun(statcache.Policy{NRegs: n, Canonical: k})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, StatPoint{
+			NRegs: n, Canonical: k,
+			Counters: sum,
+			Net:      sum.NetPerInstruction(opt.Cost),
+			Access:   sum.AccessPerInstruction(opt.Cost),
+		})
+	}
+	return points, nil
+}
+
+// --- Fig. 26: comparison of the three approaches ---
+
+// Fig26Row compares the approaches at one register count, each with
+// its best evaluated configuration, as the paper does ("For dynamic
+// and static stack caching the best of the evaluated organizations for
+// a specific number of registers was chosen"); the constant-items
+// approach likewise uses its best k ≤ n.
+type Fig26Row struct {
+	NRegs   int
+	ConstK  float64 // best constant k <= n, access cycles/inst
+	Dynamic float64 // best overflow followup, access cycles/inst
+	Static  float64 // best canonical state, net cycles/inst
+}
+
+// Fig26Data builds the comparison. Static caching needs at least
+// MaxIn registers, so its column starts at 3.
+func Fig26Data(opt Options) ([]Fig26Row, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig26Row
+	for n := 1; n <= opt.MaxRegs; n++ {
+		row := Fig26Row{NRegs: n}
+
+		bestK := -1.0
+		for k := 0; k <= n; k++ {
+			var constSum core.Counters
+			for i := range c.progs {
+				tr, err := c.trace(i)
+				if err != nil {
+					return nil, err
+				}
+				cc, err := constcache.Simulate(tr, k)
+				if err != nil {
+					return nil, err
+				}
+				constSum.Add(cc)
+			}
+			if v := constSum.AccessPerInstruction(opt.Cost); bestK < 0 || v < bestK {
+				bestK = v
+			}
+		}
+		row.ConstK = bestK
+
+		best := -1.0
+		for f := 1; f <= n; f++ {
+			sum, err := c.dynRun(core.MinimalPolicy{NRegs: n, OverflowTo: f})
+			if err != nil {
+				return nil, err
+			}
+			if v := sum.AccessPerInstruction(opt.Cost); best < 0 || v < best {
+				best = v
+			}
+		}
+		row.Dynamic = best
+
+		if n >= 3 {
+			best = -1.0
+			first := true
+			for k := 0; k <= n; k++ {
+				sum, err := c.statRun(statcache.Policy{NRegs: n, Canonical: k})
+				if err != nil {
+					return nil, err
+				}
+				if v := sum.NetPerInstruction(opt.Cost); first || v < best {
+					best = v
+					first = false
+				}
+			}
+			row.Static = best
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- §6 random-walk analysis ---
+
+// WalkRow compares overflow behaviour of the random-walk model with a
+// real workload for one overflow followup state of a 10-register
+// cache.
+type WalkRow struct {
+	OverflowTo    int
+	WalkOverflows int64
+	RealOverflows int64
+}
+
+// WalkData reproduces the §6 analysis: on the random walk, emptier
+// followup states cut overflows sharply; on real programs they barely
+// do.
+func WalkData(opt Options) ([]WalkRow, map[int]int64, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := 10
+	walk := trace.RandomWalk(500000, 150, 0xa5)
+	var rows []WalkRow
+	riseHist := make(map[int]int64)
+	for f := 3; f <= n; f++ {
+		pol := core.MinimalPolicy{NRegs: n, OverflowTo: f}
+		wres, err := trace.Simulate(walk, pol)
+		if err != nil {
+			return nil, nil, err
+		}
+		var realOv int64
+		for i := range c.progs {
+			tr, err := c.trace(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			rres, err := trace.Simulate(trace.Effects(tr), pol)
+			if err != nil {
+				return nil, nil, err
+			}
+			realOv += rres.Counters.Overflows
+			if f == 7 {
+				for k, v := range rres.RiseAfterOverflow {
+					riseHist[k] += v
+				}
+			}
+		}
+		rows = append(rows, WalkRow{
+			OverflowTo:    f,
+			WalkOverflows: wres.Counters.Overflows,
+			RealOverflows: realOv,
+		})
+	}
+	return rows, riseHist, nil
+}

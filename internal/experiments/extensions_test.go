@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"stackcache/internal/workloads"
+)
+
+func extOpt() Options {
+	return Options{Workloads: []workloads.Workload{
+		mustWorkload("fib"),
+		mustWorkload("sieve"),
+	}}
+}
+
+func TestInlineData(t *testing.T) {
+	rows, err := InlineData(Options{Workloads: workloads.Suite()[2:3]}) // prims2x
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if r.CallsInlined >= r.CallsPlain {
+		t.Errorf("inlining should reduce call density: %.3f vs %.3f",
+			r.CallsInlined, r.CallsPlain)
+	}
+	if r.NetInlined >= r.NetPlain {
+		t.Errorf("inlining should improve static caching net overhead: %.3f vs %.3f",
+			r.NetInlined, r.NetPlain)
+	}
+}
+
+func TestRStackData(t *testing.T) {
+	rows, err := RStackData(extOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NoCache <= 0 {
+			t.Errorf("%s: no return-stack traffic", r.Name)
+			continue
+		}
+		// A real cache removes most of the traffic; a bigger cache
+		// never does worse.
+		if r.Cached2 > r.NoCache/2 {
+			t.Errorf("%s: 2-register cache left %.3f of %.3f traffic", r.Name, r.Cached2, r.NoCache)
+		}
+		if r.Cached4 > r.Cached2+1e-9 {
+			t.Errorf("%s: 4-register cache worse than 2: %.3f vs %.3f", r.Name, r.Cached4, r.Cached2)
+		}
+	}
+}
+
+func TestPrefetchData(t *testing.T) {
+	rows, err := PrefetchData(extOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PrefetchUnderflows != 0 {
+			t.Errorf("%d regs: prefetching left %d underflows", r.NRegs, r.PrefetchUnderflows)
+		}
+		if r.PrefetchLoads < r.PlainLoads {
+			t.Errorf("%d regs: prefetching reduced loads (%.3f < %.3f)",
+				r.NRegs, r.PrefetchLoads, r.PlainLoads)
+		}
+	}
+}
+
+func TestExtensionsRegistered(t *testing.T) {
+	for _, id := range []string{"inline", "rstack", "prefetch"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one runnable reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, opt Options) error
+}
+
+// Registry lists all experiments in paper order.
+var Registry = []Experiment{
+	{"7", "Fig. 7: instruction dispatch techniques", Fig7},
+	{"18", "Fig. 18: number of cache states per organization", func(w io.Writer, _ Options) error { return Fig18(w) }},
+	{"20", "Fig. 20: benchmark program characteristics", Fig20},
+	{"21", "Fig. 21: constant number of stack items in registers", Fig21},
+	{"22", "Fig. 22: dynamic caching, overhead vs overflow followup state", Fig22},
+	{"23", "Fig. 23: dynamic caching components, 6 registers", Fig23},
+	{"24", "Fig. 24: static caching, overhead vs canonical state", Fig24},
+	{"25", "Fig. 25: static caching components, 6 registers", Fig25},
+	{"26", "Fig. 26: comparison of the three approaches", Fig26},
+	{"walk", "§6: random-walk model vs real programs", Walk},
+	{"regvm", "§2.3: register architecture comparison", RegVM},
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Fig7 writes the dispatch-technique comparison.
+func Fig7(w io.Writer, opt Options) error {
+	rows, err := Fig7Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 7 analog: cost of instruction dispatch techniques")
+	fmt.Fprintln(w, "(paper, MIPS cycles: direct 3-4, call 9-10, switch 12-13;")
+	fmt.Fprintln(w, " Go has no computed goto, so ratios are compressed)")
+	fmt.Fprintf(w, "%-10s %12s %10s\n", "technique", "ns/inst", "relative")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.2f %10.2fx\n", r.Engine, r.NsPerInst, r.Relative)
+	}
+	return nil
+}
+
+// Fig18 writes the state-count table (exact reproduction).
+func Fig18(w io.Writer) error {
+	fmt.Fprintln(w, "Fig. 18: the number of cache states")
+	fmt.Fprintf(w, "%-20s", "registers")
+	for n := 1; n <= 8; n++ {
+		fmt.Fprintf(w, "%12d", n)
+	}
+	fmt.Fprintf(w, "  %s\n", "formula")
+	for _, r := range Fig18Data() {
+		fmt.Fprintf(w, "%-20s", r.Name)
+		for _, c := range r.Counts {
+			fmt.Fprintf(w, "%12d", c)
+		}
+		fmt.Fprintf(w, "  %s\n", r.Formula)
+	}
+	return nil
+}
+
+// Fig20 writes the program-characteristics table.
+func Fig20(w io.Writer, opt Options) error {
+	rows, err := Fig20Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 20: the measured programs and some of their characteristics")
+	fmt.Fprintf(w, "%-8s %10s  %5s %5s %5s %5s %5s\n",
+		"prog", "inst", "loads", "upd", "rload", "rupd", "calls")
+	for _, s := range rows {
+		fmt.Fprintln(w, s.String())
+	}
+	return nil
+}
+
+// Fig21 writes the constant-k sweep.
+func Fig21(w io.Writer, opt Options) error {
+	rows, err := Fig21Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 21: keeping a constant number of items in registers")
+	fmt.Fprintf(w, "%5s %12s %8s %8s %10s\n", "items", "loads+stores", "moves", "updates", "cycles/inst")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5d %12.3f %8.3f %8.3f %10.3f\n",
+			r.K, r.MemAccesses, r.Moves, r.Updates, r.Cycles)
+	}
+	return nil
+}
+
+// Fig22 writes the dynamic-caching sweep as a (registers × followup)
+// matrix of access cycles per instruction.
+func Fig22(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	points, err := Fig22Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 22: dynamic stack caching, argument access overhead")
+	fmt.Fprintln(w, "(cycles/instruction; rows = registers, cols = overflow followup state)")
+	fmt.Fprintf(w, "%4s", "n\\f")
+	for f := 1; f <= opt.MaxRegs; f++ {
+		fmt.Fprintf(w, "%8d", f)
+	}
+	fmt.Fprintf(w, "%10s\n", "best")
+	byN := map[int][]DynPoint{}
+	for _, p := range points {
+		byN[p.NRegs] = append(byN[p.NRegs], p)
+	}
+	var ns []int
+	for n := range byN {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		fmt.Fprintf(w, "%4d", n)
+		best, bestF := -1.0, 0
+		for _, p := range byN[n] {
+			fmt.Fprintf(w, "%8.3f", p.Overhead)
+			if best < 0 || p.Overhead < best {
+				best, bestF = p.Overhead, p.OverflowTo
+			}
+		}
+		for f := len(byN[n]); f < opt.MaxRegs; f++ {
+			fmt.Fprintf(w, "%8s", "-")
+		}
+		fmt.Fprintf(w, "   %.3f@%d\n", best, bestF)
+	}
+	return nil
+}
+
+// Fig23 writes the 6-register component breakdown.
+func Fig23(w io.Writer, opt Options) error {
+	points, err := Fig23Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 23: dynamic stack caching components, 6 registers")
+	fmt.Fprintf(w, "%8s %12s %8s %8s %10s %10s\n",
+		"followup", "loads+stores", "moves", "updates", "overflows", "underflows")
+	for _, p := range points {
+		c := p.Counters
+		fmt.Fprintf(w, "%8d %12.3f %8.3f %8.3f %10d %10d\n",
+			p.OverflowTo,
+			c.PerInstruction(float64(c.Loads+c.Stores)),
+			c.PerInstruction(float64(c.Moves)),
+			c.PerInstruction(float64(c.Updates)),
+			c.Overflows, c.Underflows)
+	}
+	return nil
+}
+
+// Fig24 writes the static-caching sweep matrix (net cycles per
+// original instruction; rows = registers, cols = canonical state).
+func Fig24(w io.Writer, opt Options) error {
+	opt = opt.withDefaults()
+	points, err := Fig24Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 24: static stack caching, overhead per original instruction")
+	fmt.Fprintln(w, "(access cycles minus saved dispatch cycles; rows = registers, cols = canonical state)")
+	fmt.Fprintf(w, "%4s", "n\\c")
+	for k := 0; k <= opt.MaxRegs; k++ {
+		fmt.Fprintf(w, "%8d", k)
+	}
+	fmt.Fprintf(w, "%10s\n", "best")
+	byN := map[int][]StatPoint{}
+	for _, p := range points {
+		byN[p.NRegs] = append(byN[p.NRegs], p)
+	}
+	var ns []int
+	for n := range byN {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		fmt.Fprintf(w, "%4d", n)
+		best, bestK := 0.0, 0
+		first := true
+		for _, p := range byN[n] {
+			fmt.Fprintf(w, "%8.3f", p.Net)
+			if first || p.Net < best {
+				best, bestK = p.Net, p.Canonical
+				first = false
+			}
+		}
+		for k := len(byN[n]); k <= opt.MaxRegs; k++ {
+			fmt.Fprintf(w, "%8s", "-")
+		}
+		fmt.Fprintf(w, "   %.3f@%d\n", best, bestK)
+	}
+	return nil
+}
+
+// Fig25 writes the 6-register static component breakdown.
+func Fig25(w io.Writer, opt Options) error {
+	points, err := Fig25Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 25: static stack caching components, 6 registers")
+	fmt.Fprintf(w, "%9s %12s %8s %8s %12s %10s\n",
+		"canonical", "loads+stores", "moves", "updates", "dispatches", "net/inst")
+	for _, p := range points {
+		c := p.Counters
+		fmt.Fprintf(w, "%9d %12.3f %8.3f %8.3f %12.3f %10.3f\n",
+			p.Canonical,
+			c.PerInstruction(float64(c.Loads+c.Stores)),
+			c.PerInstruction(float64(c.Moves)),
+			c.PerInstruction(float64(c.Updates)),
+			c.PerInstruction(float64(c.Dispatches)),
+			p.Net)
+	}
+	return nil
+}
+
+// Fig26 writes the three-way comparison.
+func Fig26(w io.Writer, opt Options) error {
+	rows, err := Fig26Data(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig. 26: comparison of the approaches, overhead vs registers")
+	fmt.Fprintln(w, "(constant-k and dynamic: access cycles/inst; static: net incl. dispatch credit)")
+	fmt.Fprintf(w, "%4s %12s %10s %10s\n", "regs", "constant-k", "dynamic", "static")
+	for _, r := range rows {
+		static := "      -"
+		if r.NRegs >= 3 {
+			static = fmt.Sprintf("%10.3f", r.Static)
+		}
+		fmt.Fprintf(w, "%4d %12.3f %10.3f %s\n", r.NRegs, r.ConstK, r.Dynamic, static)
+	}
+	return nil
+}
+
+// Walk writes the random-walk comparison.
+func Walk(w io.Writer, opt Options) error {
+	rows, rises, err := WalkData(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "§6 analysis: random-walk model [HS85] vs real programs")
+	fmt.Fprintln(w, "(overflows of a 10-register cache as the overflow followup state is lowered;")
+	fmt.Fprintln(w, " the model predicts a strong drop, real programs barely react)")
+	fmt.Fprintf(w, "%8s %14s %14s\n", "followup", "walk ovf", "real ovf")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %14d %14d\n", r.OverflowTo, r.WalkOverflows, r.RealOverflows)
+	}
+	fmt.Fprintln(w, "\nrise above followup state after overflow (all workloads, followup 7):")
+	var ks []int
+	for k := range rises {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fmt.Fprintf(w, "  rose %2d: %d times\n", k, rises[k])
+	}
+	return nil
+}
+
+// RegVM writes the §2.3 architecture comparison.
+func RegVM(w io.Writer, opt Options) error {
+	rows, err := RegVMData(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "§2.3: register vs stack architecture (total model cycles)")
+	fmt.Fprintf(w, "%-8s %14s %14s %14s %14s\n",
+		"prog", "register VM", "simple stack", "dynamic", "static")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %14.0f %14.0f %14.0f %14.0f\n",
+			r.Name, r.RegisterVM, r.SimpleStack, r.Dynamic, r.Static)
+	}
+	fmt.Fprintln(w, "\nunfolded register VM code explosion (versions per instruction set):")
+	fmt.Fprintf(w, "%9s %16s %16s\n", "registers", "3-op versions", "ISA total")
+	for _, r := range UnfoldedData(8) {
+		fmt.Fprintf(w, "%9d %16d %16d\n", r.Registers, r.ThreeOpVersions, r.TotalVersions)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§2.1 Fig. 7, §3.5 Fig. 18, §6 Figs. 20–26 and
+// the random-walk analysis) plus the §2.3 register-VM comparison, on
+// the workloads of internal/workloads. Each experiment has a data
+// function returning structured results (tested) and a writer function
+// producing the formatted table the CLI prints.
+package experiments
+
+import (
+	"stackcache/internal/core"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+	"stackcache/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Workloads to measure; defaults to the paper's four-program
+	// suite.
+	Workloads []workloads.Workload
+
+	// MaxRegs bounds the register-count sweeps (default 10, like the
+	// paper's largest evaluated cache).
+	MaxRegs int
+
+	// Cost is the cycle-weight model (default: the paper's).
+	Cost core.CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workloads == nil {
+		o.Workloads = workloads.Suite()
+	}
+	if o.MaxRegs == 0 {
+		o.MaxRegs = 10
+	}
+	if o.Cost == (core.CostModel{}) {
+		o.Cost = core.DefaultCost
+	}
+	return o
+}
+
+// compiled caches the compiled programs and captured traces of a
+// workload set for the duration of one experiment run.
+type compiled struct {
+	names  []string
+	progs  []*vm.Program
+	traces [][]vm.Opcode
+}
+
+func compileAll(ws []workloads.Workload) (*compiled, error) {
+	c := &compiled{}
+	for _, w := range ws {
+		p, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		c.names = append(c.names, w.Name)
+		c.progs = append(c.progs, p)
+		c.traces = append(c.traces, nil) // captured lazily
+	}
+	return c, nil
+}
+
+func (c *compiled) trace(i int) ([]vm.Opcode, error) {
+	if c.traces[i] == nil {
+		tr, _, err := interp.Capture(c.progs[i])
+		if err != nil {
+			return nil, err
+		}
+		c.traces[i] = tr
+	}
+	return c.traces[i], nil
+}

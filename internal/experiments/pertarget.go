@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stackcache/internal/statcache"
+)
+
+func init() {
+	Registry = append(Registry,
+		Experiment{"pertarget", "extension: per-target states for static caching (§5)", PerTarget})
+}
+
+// PerTargetRow compares the canonical-state convention with per-target
+// entry states on one workload.
+type PerTargetRow struct {
+	Name string
+	// Net cycles per original instruction.
+	Canonical, PerTarget float64
+	// Reconciliation traffic (loads+stores+moves per instruction).
+	CanonTraffic, PerTargetTraffic float64
+}
+
+// PerTargetData measures the §5 "slightly more complex, but faster
+// solution": branches transition directly to the state at the branch
+// target instead of resetting to a canonical state.
+func PerTargetData(opt Options) ([]PerTargetRow, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PerTargetRow
+	for i, p := range c.progs {
+		row := PerTargetRow{Name: c.names[i]}
+		for _, per := range []bool{false, true} {
+			plan, err := statcache.Compile(p, statcache.Policy{
+				NRegs: 6, Canonical: 2, PerTargetStates: per,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.names[i], err)
+			}
+			res, err := statcache.Execute(plan)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.names[i], err)
+			}
+			net := res.Counters.NetPerInstruction(opt.Cost)
+			traffic := res.Counters.PerInstruction(
+				float64(res.Counters.Loads + res.Counters.Stores + res.Counters.Moves))
+			if per {
+				row.PerTarget, row.PerTargetTraffic = net, traffic
+			} else {
+				row.Canonical, row.CanonTraffic = net, traffic
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PerTarget writes the comparison.
+func PerTarget(w io.Writer, opt Options) error {
+	rows, err := PerTargetData(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "extension (§5): per-target entry states vs canonical-state convention")
+	fmt.Fprintln(w, "(static caching, 6 registers, canonical depth 2)")
+	fmt.Fprintf(w, "%-8s %12s %12s %14s %14s\n",
+		"prog", "canon net", "target net", "canon traffic", "target traffic")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12.3f %12.3f %14.3f %14.3f\n",
+			r.Name, r.Canonical, r.PerTarget, r.CanonTraffic, r.PerTargetTraffic)
+	}
+	fmt.Fprintln(w, "\nGreedy first-edge-wins target states win on call-free loops and lose")
+	fmt.Fprintln(w, "where calls force canonical resets inside loops (mismatched loop-head")
+	fmt.Fprintln(w, "states then churn every back edge). The paper leaves transition")
+	fmt.Fprintln(w, "selection as an open optimization problem (§3: \"we leave [it] for")
+	fmt.Fprintln(w, "future work\"); this experiment shows why.")
+	return nil
+}

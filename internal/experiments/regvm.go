@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stackcache/internal/constcache"
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/regvm"
+	"stackcache/internal/statcache"
+	"stackcache/internal/vm"
+)
+
+// RegVMRow compares one algorithm across architectures: the same
+// computation as a simple register VM, a simple stack VM (no caching),
+// a dynamically cached stack VM and a statically cached stack VM, in
+// total model cycles (argument access + dispatch), the §2.3
+// comparison.
+type RegVMRow struct {
+	Name string
+	// Output sanity: all implementations must print the same result.
+	Output string
+	// Cycles per architecture (total, in model cycles).
+	RegisterVM  float64
+	SimpleStack float64
+	Dynamic     float64
+	Static      float64
+}
+
+// regvmPairs pairs register VM programs with equivalent Forth source.
+func regvmPairs() []struct {
+	name  string
+	reg   *regvm.Program
+	forth string
+} {
+	return []struct {
+		name  string
+		reg   *regvm.Program
+		forth string
+	}{
+		{
+			name:  "fib",
+			reg:   regvm.FibProgram(21),
+			forth: `: fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 21 fib . ;`,
+		},
+		{
+			name:  "sum",
+			reg:   regvm.SumProgram(20000),
+			forth: `: main 0 20000 0 do i + loop . ;`,
+		},
+		{
+			name: "sieve",
+			reg:  regvm.SieveProgram(8192, 3),
+			forth: `
+create flags 8192 allot
+: pass
+  8192 0 do 1 flags i + c! loop
+  91 2 do flags i + c@ if 8192 i dup * do 0 flags i + c! j +loop then loop ;
+: main 3 0 do pass loop 0 8192 2 do flags i + c@ if 1+ then loop . ;`,
+		},
+	}
+}
+
+// RegVMData runs the §2.3 comparison.
+func RegVMData(opt Options) ([]RegVMRow, error) {
+	opt = opt.withDefaults()
+	var rows []RegVMRow
+	for _, pair := range regvmPairs() {
+		row := RegVMRow{Name: pair.name}
+
+		rm, rc, err := regvm.Run(pair.reg, 0)
+		if err != nil {
+			return nil, fmt.Errorf("regvm %s: %w", pair.name, err)
+		}
+		row.Output = rm.Out.String()
+		row.RegisterVM = rc.Cycles(opt.Cost.Dispatch)
+
+		p, err := forth.Compile(pair.forth)
+		if err != nil {
+			return nil, fmt.Errorf("forth %s: %w", pair.name, err)
+		}
+		tr, m, err := interp.Capture(p)
+		if err != nil {
+			return nil, fmt.Errorf("stack %s: %w", pair.name, err)
+		}
+		if m.Out.String() != row.Output {
+			return nil, fmt.Errorf("%s: stack VM output %q != register VM output %q",
+				pair.name, m.Out.String(), row.Output)
+		}
+		// Simple stack machine: the k=0 positional model plus
+		// dispatch, exactly Fig. 11.
+		simple, err := simpleStackCycles(tr, opt.Cost)
+		if err != nil {
+			return nil, err
+		}
+		row.SimpleStack = simple
+
+		dres, err := dyncache.Run(p, core.MinimalPolicy{NRegs: 6, OverflowTo: 5})
+		if err != nil {
+			return nil, err
+		}
+		row.Dynamic = dres.Counters.TotalCycles(opt.Cost)
+
+		plan, err := statcache.Compile(p, statcache.Policy{NRegs: 6, Canonical: 2})
+		if err != nil {
+			return nil, err
+		}
+		sres, err := statcache.Execute(plan)
+		if err != nil {
+			return nil, err
+		}
+		row.Static = sres.Counters.TotalCycles(opt.Cost)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// simpleStackCycles prices a trace under the no-caching stack model.
+func simpleStackCycles(tr []vm.Opcode, cost core.CostModel) (float64, error) {
+	c, err := constcache.Simulate(tr, 0)
+	if err != nil {
+		return 0, err
+	}
+	return c.TotalCycles(cost), nil
+}
+
+// UnfoldedRow is the §2.3 code-explosion estimate for an "unfolded"
+// register VM: one specialized implementation per register
+// combination (Fig. 10's 288–512 versions of a three-register add).
+type UnfoldedRow struct {
+	Registers int
+	// ThreeOpVersions is the number of versions of one three-operand
+	// instruction.
+	ThreeOpVersions int64
+	// TotalVersions is the versions summed over an ISA the size of
+	// ours (one version per register assignment of each instruction).
+	TotalVersions int64
+}
+
+// UnfoldedData computes the unfolded register VM's code-size table.
+func UnfoldedData(maxRegs int) []UnfoldedRow {
+	var rows []UnfoldedRow
+	for r := 2; r <= maxRegs; r++ {
+		var total int64
+		for op := regvm.Opcode(0); op < regvm.NumOpcodes; op++ {
+			n := regvm.Operands(op)
+			v := int64(1)
+			for i := 0; i < n; i++ {
+				v *= int64(r)
+			}
+			total += v
+		}
+		rows = append(rows, UnfoldedRow{
+			Registers:       r,
+			ThreeOpVersions: int64(r) * int64(r) * int64(r),
+			TotalVersions:   total,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+)
+
+func init() {
+	Registry = append(Registry,
+		Experiment{"rotate", "extension: overflow-move-optimized organization (§3.3)", Rotate})
+}
+
+// RotateRow compares the minimal and the overflow-move-optimized
+// (rotating) organizations at one register count, both with the full
+// state as overflow followup.
+type RotateRow struct {
+	NRegs          int
+	MinimalMoves   float64 // moves per instruction
+	RotatingMoves  float64
+	MinimalCycles  float64 // access cycles per instruction
+	RotatingCycles float64
+	States         struct{ Minimal, Rotating int64 }
+}
+
+// RotateData measures the §3.3 trade: n²+1 states buy zero overflow
+// moves.
+func RotateData(opt Options) ([]RotateRow, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	minOrg, _ := core.OrganizationByName("minimal")
+	rotOrg, _ := core.OrganizationByName("overflow move opt.")
+	var rows []RotateRow
+	for n := 2; n <= opt.MaxRegs; n += 2 {
+		var minSum, rotSum core.Counters
+		for i, p := range c.progs {
+			mres, err := dyncache.Run(p, core.MinimalPolicy{NRegs: n, OverflowTo: n})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.names[i], err)
+			}
+			minSum.Add(mres.Counters)
+			rres, err := dyncache.RunRotating(p, core.RotatingPolicy{NRegs: n, OverflowTo: n})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.names[i], err)
+			}
+			rotSum.Add(rres.Counters)
+		}
+		row := RotateRow{
+			NRegs:          n,
+			MinimalMoves:   minSum.PerInstruction(float64(minSum.Moves)),
+			RotatingMoves:  rotSum.PerInstruction(float64(rotSum.Moves)),
+			MinimalCycles:  minSum.AccessPerInstruction(opt.Cost),
+			RotatingCycles: rotSum.AccessPerInstruction(opt.Cost),
+		}
+		row.States.Minimal = minOrg.Count(n)
+		row.States.Rotating = rotOrg.Count(n)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Rotate writes the comparison.
+func Rotate(w io.Writer, opt Options) error {
+	rows, err := RotateData(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "extension (§3.3): overflow move optimization")
+	fmt.Fprintln(w, "(minimal vs rotating organization, overflow followup = full)")
+	fmt.Fprintf(w, "%4s %10s %10s %12s %12s %8s %8s\n",
+		"regs", "min moves", "rot moves", "min cyc/in", "rot cyc/in", "min st", "rot st")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %10.3f %10.3f %12.3f %12.3f %8d %8d\n",
+			r.NRegs, r.MinimalMoves, r.RotatingMoves,
+			r.MinimalCycles, r.RotatingCycles,
+			r.States.Minimal, r.States.Rotating)
+	}
+	return nil
+}

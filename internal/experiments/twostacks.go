@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+)
+
+func init() {
+	Registry = append(Registry,
+		Experiment{"twostacks", "extension: unified two-stack caching (§3.4)", TwoStacks})
+}
+
+// TwoStacksRow compares a data-only cache with the unified two-stack
+// organization at one register count. Totals include both stacks'
+// traffic (data-only leaves the return stack entirely in memory: one
+// access per return-stack instruction).
+type TwoStacksRow struct {
+	NRegs          int
+	SeparateCycles float64 // data-only cache + uncached return stack
+	SharedCycles   float64 // unified organization
+	SharedRSaved   float64 // fraction of return traffic absorbed
+}
+
+// TwoStacksData measures §3.4's unified treatment of both stacks.
+func TwoStacksData(opt Options) ([]TwoStacksRow, error) {
+	opt = opt.withDefaults()
+	c, err := compileAll(opt.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TwoStacksRow
+	for n := 4; n <= opt.MaxRegs; n += 2 {
+		var sepTotal, sharedTotal, rTraffic, rInstr float64
+		for i, p := range c.progs {
+			f := n - 2
+			if f < 1 {
+				f = 1
+			}
+			dres, err := dyncache.Run(p, core.MinimalPolicy{NRegs: n, OverflowTo: f})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.names[i], err)
+			}
+			sres, err := dyncache.RunTwoStacks(p, dyncache.TwoStackPolicy{
+				NRegs: n, RMax: 2, OverflowTo: f,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", c.names[i], err)
+			}
+			// Uncached return stack: one memory access per
+			// return-stack instruction.
+			sepTotal += dres.Counters.AccessCycles(opt.Cost) +
+				float64(sres.RCounters.Instructions)
+			sharedTotal += sres.Counters.AccessCycles(opt.Cost) +
+				sres.RCounters.AccessCycles(opt.Cost)
+			rTraffic += float64(sres.RCounters.Loads + sres.RCounters.Stores)
+			rInstr += float64(sres.RCounters.Instructions)
+		}
+		row := TwoStacksRow{
+			NRegs:          n,
+			SeparateCycles: sepTotal,
+			SharedCycles:   sharedTotal,
+		}
+		if rInstr > 0 {
+			row.SharedRSaved = 1 - rTraffic/rInstr
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TwoStacks writes the comparison.
+func TwoStacks(w io.Writer, opt Options) error {
+	rows, err := TwoStacksData(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "extension (§3.4): caching both stacks in one register file")
+	fmt.Fprintln(w, "(total model cycles for both stacks' argument access; RMax = 2)")
+	fmt.Fprintf(w, "%4s %16s %16s %18s\n", "regs", "data-only cache", "unified cache", "rstack absorbed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d %16.0f %16.0f %17.1f%%\n",
+			r.NRegs, r.SeparateCycles, r.SharedCycles, r.SharedRSaved*100)
+	}
+	return nil
+}

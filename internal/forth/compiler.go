@@ -1,0 +1,574 @@
+package forth
+
+import (
+	"fmt"
+
+	"stackcache/internal/vm"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Superinstructions enables peephole combination of frequent
+	// sequences into higher-semantic-content opcodes (paper §2.2),
+	// currently `lit +` → OpLitAdd.
+	Superinstructions bool
+
+	// Inline enables procedure inlining of short straight-line words:
+	// calls to a word whose body is at most InlineLimit instructions
+	// with no control flow are replaced by the body. The paper's §6
+	// points out that inlining is "the best way to reduce the number
+	// of cache resets" under static stack caching, since most resets
+	// come from calls and returns.
+	Inline bool
+
+	// InlineLimit caps the inlined body length (default 8).
+	InlineLimit int
+
+	// NoPrelude suppresses the built-in prelude (cr, space, …). Used
+	// by tests that want full control of the dictionary.
+	NoPrelude bool
+}
+
+// Compile compiles src with default options.
+func Compile(src string) (*vm.Program, error) {
+	return CompileWithOptions(src, Options{})
+}
+
+// CompileWithOptions compiles a Forth program to a vm.Program. The
+// program must define "main"; the generated entry code calls main and
+// halts.
+func CompileWithOptions(src string, opt Options) (*vm.Program, error) {
+	c := &compiler{
+		b:       vm.NewBuilder(),
+		dict:    make(map[string]dictEntry),
+		opt:     opt,
+		lastLit: -1,
+	}
+	if !opt.NoPrelude {
+		if err := c.compileSource(prelude); err != nil {
+			return nil, fmt.Errorf("forth: prelude: %w", err)
+		}
+	}
+	if err := c.compileSource(src); err != nil {
+		return nil, err
+	}
+	if _, ok := c.dict["main"]; !ok {
+		return nil, fmt.Errorf("forth: no main defined")
+	}
+	entry := c.b.Pos()
+	c.b.CallTo("main")
+	c.b.Emit(vm.OpHalt)
+	c.b.SetEntryPos(entry)
+	return c.b.Build()
+}
+
+// wordKind classifies dictionary entries.
+type wordKind int
+
+const (
+	kindColon    wordKind = iota // user definition: compile a call
+	kindConstant                 // compile a literal
+	kindVariable                 // compile the address as a literal
+)
+
+type dictEntry struct {
+	kind  wordKind
+	value vm.Cell // code address, constant value, or data address
+
+	// body is the word's straight-line body (exit stripped) when the
+	// word is eligible for inlining, nil otherwise.
+	body []vm.Instr
+}
+
+// ctlKind tags entries of the control-flow stack during compilation.
+type ctlKind int
+
+const (
+	ctlIf ctlKind = iota
+	ctlBegin
+	ctlWhile
+	ctlDo
+)
+
+type ctlEntry struct {
+	kind  ctlKind
+	label string // primary label (if: else/then target; begin/do: loop head)
+	exit  string // secondary label (while: exit; do: leave target)
+}
+
+type compiler struct {
+	b    *vm.Builder
+	dict map[string]dictEntry
+	opt  Options
+
+	lx        *lexer
+	inColon   bool
+	current   string // word being defined, for recurse
+	ctl       []ctlEntry
+	nextLabel int
+
+	// istack is the interpret-mode stack, fed by literals and
+	// constants; allot, constant and , consume it.
+	istack []vm.Cell
+
+	// lastLit is the code index of the previous instruction when it
+	// was OpLit, or -1; it drives the superinstruction peephole.
+	lastLit int
+}
+
+func (c *compiler) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("forth: line %d: "+format, append([]any{line}, args...)...)
+}
+
+func (c *compiler) genLabel() string {
+	c.nextLabel++
+	return fmt.Sprintf(".L%d", c.nextLabel)
+}
+
+func (c *compiler) compileSource(src string) error {
+	saved := c.lx
+	c.lx = newLexer(src)
+	defer func() { c.lx = saved }()
+	for {
+		tok, ok := c.lx.next()
+		if !ok {
+			if c.inColon {
+				return fmt.Errorf("forth: unterminated definition of %q", c.current)
+			}
+			if len(c.ctl) > 0 {
+				return fmt.Errorf("forth: unbalanced control structure at end of input")
+			}
+			return nil
+		}
+		if err := c.word(tok); err != nil {
+			return err
+		}
+	}
+}
+
+// word processes one token in the current mode.
+func (c *compiler) word(tok token) error {
+	name := tok.text
+	switch name {
+	case "\\":
+		c.lx.skipLine()
+		return nil
+	case "(":
+		_, err := c.lx.readUntil(')')
+		return err
+	case ":":
+		return c.startColon(tok)
+	case ";":
+		return c.endColon(tok)
+	}
+	if c.inColon {
+		return c.compileWord(tok)
+	}
+	return c.interpretWord(tok)
+}
+
+func (c *compiler) startColon(tok token) error {
+	if c.inColon {
+		return c.errf(tok.line, "nested ':'")
+	}
+	nameTok, ok := c.lx.next()
+	if !ok {
+		return c.errf(tok.line, "':' at end of input")
+	}
+	name := nameTok.text
+	if _, dup := c.dict[name]; dup {
+		return c.errf(nameTok.line, "redefinition of %q", name)
+	}
+	if _, prim := vm.OpcodeByName(name); prim {
+		return c.errf(nameTok.line, "cannot redefine primitive %q", name)
+	}
+	c.dict[name] = dictEntry{kind: kindColon, value: vm.Cell(c.b.Pos())}
+	c.b.Word(name)
+	c.inColon = true
+	c.current = name
+	c.lastLit = -1
+	return nil
+}
+
+func (c *compiler) endColon(tok token) error {
+	if !c.inColon {
+		return c.errf(tok.line, "';' outside definition")
+	}
+	if len(c.ctl) > 0 {
+		return c.errf(tok.line, "unbalanced control structure in %q", c.current)
+	}
+	c.emit(vm.OpExit)
+	if c.opt.Inline {
+		c.recordInlineBody()
+	}
+	c.inColon = false
+	c.current = ""
+	return nil
+}
+
+// recordInlineBody makes the just-finished word inlinable if its body
+// (without the final exit) is short and straight-line: no control
+// flow, hence also no internal branch targets.
+func (c *compiler) recordInlineBody() {
+	limit := c.opt.InlineLimit
+	if limit <= 0 {
+		limit = 8
+	}
+	e := c.dict[c.current]
+	start, end := int(e.value), c.b.Pos()-1 // end excludes the exit
+	if end-start > limit {
+		return
+	}
+	body := make([]vm.Instr, 0, end-start)
+	for pc := start; pc < end; pc++ {
+		ins := c.b.InstrAt(pc)
+		if vm.EffectOf(ins.Op).Control {
+			return
+		}
+		body = append(body, ins)
+	}
+	e.body = body
+	c.dict[c.current] = e
+}
+
+// emit appends an instruction in compile mode, maintaining the
+// superinstruction peephole state.
+func (c *compiler) emit(op vm.Opcode) {
+	if c.opt.Superinstructions && op == vm.OpAdd && c.lastLit >= 0 {
+		// Rewrite `lit n +` to the single superinstruction `lit+ n`,
+		// in place of the literal (paper §2.2: combining often-used
+		// sequences increases semantic content and saves a dispatch).
+		// lastLit is reset at every label, so no branch target can
+		// point between the two instructions being fused.
+		arg := c.b.InstrAt(c.lastLit).Arg
+		c.b.ReplaceAt(c.lastLit, vm.Instr{Op: vm.OpLitAdd, Arg: arg})
+		c.lastLit = -1
+		return
+	}
+	c.b.Emit(op)
+	c.lastLit = -1
+}
+
+func (c *compiler) emitLit(n vm.Cell) {
+	c.lastLit = c.b.Lit(n)
+}
+
+func (c *compiler) compileWord(tok token) error {
+	name := tok.text
+
+	// Control structures and compile-time words.
+	switch name {
+	case "if":
+		l := c.genLabel()
+		c.b.BranchZeroTo(l)
+		c.lastLit = -1
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlIf, label: l})
+		return nil
+	case "else":
+		top, err := c.popCtl(tok, ctlIf, "else")
+		if err != nil {
+			return err
+		}
+		end := c.genLabel()
+		c.b.BranchTo(end)
+		c.b.Label(top.label)
+		c.lastLit = -1
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlIf, label: end})
+		return nil
+	case "then":
+		top, err := c.popCtl(tok, ctlIf, "then")
+		if err != nil {
+			return err
+		}
+		c.b.Label(top.label)
+		c.lastLit = -1
+		return nil
+	case "begin":
+		l := c.genLabel()
+		c.b.Label(l)
+		c.lastLit = -1
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlBegin, label: l})
+		return nil
+	case "until":
+		top, err := c.popCtl(tok, ctlBegin, "until")
+		if err != nil {
+			return err
+		}
+		c.b.BranchZeroTo(top.label)
+		c.lastLit = -1
+		return nil
+	case "again":
+		top, err := c.popCtl(tok, ctlBegin, "again")
+		if err != nil {
+			return err
+		}
+		c.b.BranchTo(top.label)
+		c.lastLit = -1
+		return nil
+	case "while":
+		if len(c.ctl) == 0 || c.ctl[len(c.ctl)-1].kind != ctlBegin {
+			return c.errf(tok.line, "'while' without 'begin'")
+		}
+		exit := c.genLabel()
+		c.b.BranchZeroTo(exit)
+		c.lastLit = -1
+		c.ctl[len(c.ctl)-1] = ctlEntry{kind: ctlWhile, label: c.ctl[len(c.ctl)-1].label, exit: exit}
+		return nil
+	case "repeat":
+		top, err := c.popCtl(tok, ctlWhile, "repeat")
+		if err != nil {
+			return err
+		}
+		c.b.BranchTo(top.label)
+		c.b.Label(top.exit)
+		c.lastLit = -1
+		return nil
+	case "do":
+		c.emit(vm.OpDo)
+		head := c.genLabel()
+		leave := c.genLabel()
+		c.b.Label(head)
+		c.ctl = append(c.ctl, ctlEntry{kind: ctlDo, label: head, exit: leave})
+		return nil
+	case "loop":
+		top, err := c.popCtl(tok, ctlDo, "loop")
+		if err != nil {
+			return err
+		}
+		c.b.LoopTo(top.label)
+		c.b.Label(top.exit)
+		c.lastLit = -1
+		return nil
+	case "+loop":
+		top, err := c.popCtl(tok, ctlDo, "+loop")
+		if err != nil {
+			return err
+		}
+		c.b.PlusLoopTo(top.label)
+		c.b.Label(top.exit)
+		c.lastLit = -1
+		return nil
+	case "leave":
+		for i := len(c.ctl) - 1; i >= 0; i-- {
+			if c.ctl[i].kind == ctlDo {
+				c.emit(vm.OpUnloop)
+				c.b.BranchTo(c.ctl[i].exit)
+				return nil
+			}
+		}
+		return c.errf(tok.line, "'leave' outside do-loop")
+	case "recurse":
+		c.b.CallTo(c.current)
+		c.lastLit = -1
+		return nil
+	case ".\"":
+		c.lx.skipOneSpace()
+		s, err := c.lx.readUntil('"')
+		if err != nil {
+			return err
+		}
+		addr := c.b.AllocData([]byte(s))
+		c.emitLit(addr)
+		c.emitLit(vm.Cell(len(s)))
+		c.emit(vm.OpType)
+		return nil
+	case "s\"":
+		c.lx.skipOneSpace()
+		s, err := c.lx.readUntil('"')
+		if err != nil {
+			return err
+		}
+		addr := c.b.AllocData([]byte(s))
+		c.emitLit(addr)
+		c.emitLit(vm.Cell(len(s)))
+		return nil
+	case "[char]", "char":
+		ch, ok := c.lx.next()
+		if !ok || len(ch.text) == 0 {
+			return c.errf(tok.line, "%s at end of input", name)
+		}
+		c.emitLit(vm.Cell(ch.text[0]))
+		return nil
+	}
+
+	// Primitives.
+	if op, ok := vm.OpcodeByName(name); ok {
+		if allowed := compilablePrimitive(op); !allowed {
+			return c.errf(tok.line, "%q cannot be used directly", name)
+		}
+		c.emit(op)
+		return nil
+	}
+
+	// Dictionary words.
+	if e, ok := c.dict[name]; ok {
+		switch e.kind {
+		case kindColon:
+			if c.opt.Inline && e.body != nil {
+				for _, ins := range e.body {
+					c.b.EmitArg(ins.Op, ins.Arg)
+				}
+				c.lastLit = -1
+				return nil
+			}
+			c.b.CallTo(name)
+			c.lastLit = -1
+		case kindConstant, kindVariable:
+			c.emitLit(e.value)
+		}
+		return nil
+	}
+
+	// Numbers.
+	if n, ok := parseNumber(name); ok {
+		c.emitLit(n)
+		return nil
+	}
+	return c.errf(tok.line, "undefined word %q", name)
+}
+
+// compilablePrimitive excludes raw control-flow opcodes that must be
+// produced through structured words, so user programs cannot create
+// ill-formed code.
+func compilablePrimitive(op vm.Opcode) bool {
+	switch op {
+	case vm.OpLit, vm.OpLitAdd, vm.OpBranch, vm.OpBranchZero, vm.OpCall,
+		vm.OpHalt, vm.OpDo, vm.OpLoop, vm.OpPlusLoop:
+		return false
+	}
+	return true
+}
+
+func (c *compiler) popCtl(tok token, want ctlKind, word string) (ctlEntry, error) {
+	if len(c.ctl) == 0 || c.ctl[len(c.ctl)-1].kind != want {
+		return ctlEntry{}, c.errf(tok.line, "%q without matching opener", word)
+	}
+	top := c.ctl[len(c.ctl)-1]
+	c.ctl = c.ctl[:len(c.ctl)-1]
+	return top, nil
+}
+
+// interpretWord handles top-level (interpret mode) tokens: data
+// definitions and the small literal stack that feeds them.
+func (c *compiler) interpretWord(tok token) error {
+	name := tok.text
+	switch name {
+	case "variable":
+		nameTok, ok := c.lx.next()
+		if !ok {
+			return c.errf(tok.line, "'variable' at end of input")
+		}
+		if _, dup := c.dict[nameTok.text]; dup {
+			return c.errf(nameTok.line, "redefinition of %q", nameTok.text)
+		}
+		addr := c.b.Alloc(vm.CellSize)
+		c.dict[nameTok.text] = dictEntry{kind: kindVariable, value: addr}
+		return nil
+	case "constant":
+		nameTok, ok := c.lx.next()
+		if !ok {
+			return c.errf(tok.line, "'constant' at end of input")
+		}
+		v, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		if _, dup := c.dict[nameTok.text]; dup {
+			return c.errf(nameTok.line, "redefinition of %q", nameTok.text)
+		}
+		c.dict[nameTok.text] = dictEntry{kind: kindConstant, value: v}
+		return nil
+	case "create":
+		nameTok, ok := c.lx.next()
+		if !ok {
+			return c.errf(tok.line, "'create' at end of input")
+		}
+		if _, dup := c.dict[nameTok.text]; dup {
+			return c.errf(nameTok.line, "redefinition of %q", nameTok.text)
+		}
+		c.dict[nameTok.text] = dictEntry{kind: kindVariable, value: vm.Cell(c.b.MemSize())}
+		return nil
+	case "allot":
+		n, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return c.errf(tok.line, "negative allot")
+		}
+		c.b.Alloc(int(n))
+		return nil
+	case ",":
+		v, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, vm.CellSize)
+		for i := 0; i < vm.CellSize; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		c.b.AllocData(buf)
+		return nil
+	case "c,":
+		v, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		c.b.AllocData([]byte{byte(v)})
+		return nil
+	case "char":
+		ch, ok := c.lx.next()
+		if !ok || len(ch.text) == 0 {
+			return c.errf(tok.line, "'char' at end of input")
+		}
+		c.istack = append(c.istack, vm.Cell(ch.text[0]))
+		return nil
+	case "cells":
+		v, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		c.istack = append(c.istack, v*vm.CellSize)
+		return nil
+	case "+":
+		b, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		a, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		c.istack = append(c.istack, a+b)
+		return nil
+	case "*":
+		b, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		a, err := c.ipop(tok)
+		if err != nil {
+			return err
+		}
+		c.istack = append(c.istack, a*b)
+		return nil
+	}
+	if e, ok := c.dict[name]; ok && (e.kind == kindConstant || e.kind == kindVariable) {
+		c.istack = append(c.istack, e.value)
+		return nil
+	}
+	if n, ok := parseNumber(name); ok {
+		c.istack = append(c.istack, n)
+		return nil
+	}
+	return c.errf(tok.line, "cannot interpret %q outside a definition", name)
+}
+
+func (c *compiler) ipop(tok token) (vm.Cell, error) {
+	if len(c.istack) == 0 {
+		return 0, c.errf(tok.line, "interpret stack empty")
+	}
+	v := c.istack[len(c.istack)-1]
+	c.istack = c.istack[:len(c.istack)-1]
+	return v, nil
+}

@@ -1,0 +1,383 @@
+package forth
+
+import (
+	"strings"
+	"testing"
+
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+// runOut compiles and runs src, returning the program output.
+func runOut(t *testing.T, src string) string {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := interp.Run(p, interp.EngineSwitch)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.SP != 0 {
+		t.Fatalf("program left %d items on the stack: %v", m.SP, m.Stack[:m.SP])
+	}
+	return m.Out.String()
+}
+
+func TestHelloWorld(t *testing.T) {
+	out := runOut(t, `: main ." hello, world" cr ;`)
+	if out != "hello, world\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestArithmeticWords(t *testing.T) {
+	out := runOut(t, `: main 2 3 + . 10 3 - . 6 7 * . 22 7 / . 22 7 mod . ;`)
+	if out != "5 7 42 3 1 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestNumberBases(t *testing.T) {
+	out := runOut(t, `: main $ff . 0x10 . -42 . ;`)
+	if out != "255 16 -42 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestIfElseThen(t *testing.T) {
+	src := `
+: sign ( n -- ) dup 0< if drop ." neg" else 0> if ." pos" else ." zero" then then ;
+: main 5 sign space -5 sign space 0 sign cr ;`
+	out := runOut(t, src)
+	if out != "pos neg zero\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBeginUntil(t *testing.T) {
+	out := runOut(t, `: main 5 begin dup . 1- dup 0= until drop ;`)
+	if out != "5 4 3 2 1 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBeginWhileRepeat(t *testing.T) {
+	out := runOut(t, `: main 1 begin dup 100 < while dup . 2* repeat drop ;`)
+	if out != "1 2 4 8 16 32 64 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBeginAgainWithExit(t *testing.T) {
+	src := `
+: count-to-3 0 begin 1+ dup . dup 3 = if drop exit then again ;
+: main count-to-3 ;`
+	out := runOut(t, src)
+	if out != "1 2 3 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestDoLoop(t *testing.T) {
+	out := runOut(t, `: main 5 0 do i . loop ;`)
+	if out != "0 1 2 3 4 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestDoPlusLoop(t *testing.T) {
+	out := runOut(t, `: main 10 0 do i . 3 +loop ;`)
+	if out != "0 3 6 9 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestNestedLoopsIJ(t *testing.T) {
+	out := runOut(t, `: main 2 0 do 3 0 do j . i . space loop loop ;`)
+	if out != "0 0  0 1  0 2  1 0  1 1  1 2  " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLeave(t *testing.T) {
+	out := runOut(t, `: main 10 0 do i dup 4 = if drop leave then . loop ;`)
+	if out != "0 1 2 3 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestVariables(t *testing.T) {
+	src := `
+variable x
+variable y
+: main 10 x ! 32 y ! x @ y @ + . 5 x +! x @ . ;`
+	out := runOut(t, src)
+	if out != "42 15 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	out := runOut(t, `7 constant seven : main seven seven * . ;`)
+	if out != "49 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestConstantExpressions(t *testing.T) {
+	// Interpret-time arithmetic: 3 cells = 24, 2 5 * + -> base.
+	out := runOut(t, `3 cells constant sz : main sz . ;`)
+	if out != "24 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCreateAllotComma(t *testing.T) {
+	src := `
+create table 10 , 20 , 30 ,
+create buf 16 allot
+: main
+  table @ . table cell+ @ . table 2 cells + @ .
+  65 buf c! buf c@ emit cr ;`
+	out := runOut(t, src)
+	if out != "10 20 30 A\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCComma(t *testing.T) {
+	out := runOut(t, `create s char h c, char i c, : main s 2 type ;`)
+	if out != "hi" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestCharWords(t *testing.T) {
+	out := runOut(t, `: main [char] * emit char Z emit ;`)
+	if out != "*Z" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSQuote(t *testing.T) {
+	out := runOut(t, `: main s" forth" type ;`)
+	if out != "forth" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+\ a line comment with : if weird ; words
+: main ( n -- ) ( another comment )
+  1 ( inline ) 2 + . \ trailing
+;`
+	out := runOut(t, src)
+	if out != "3 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRecurse(t *testing.T) {
+	src := `
+: fib ( n -- fib ) dup 2 < if exit then dup 1- recurse swap 2 - recurse + ;
+: main 10 fib . ;`
+	out := runOut(t, src)
+	if out != "55 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestPreludeWords(t *testing.T) {
+	src := `
+: main
+  true . false .
+  3 spaces [char] x emit cr
+  5 sq .
+  3 1 10 within . 11 1 10 within .
+  1 2 ?dup . . . 0 ?dup . ;`
+	out := runOut(t, src)
+	want := "-1 0    x\n25 -1 0 2 2 1 0 "
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestReturnStackWords(t *testing.T) {
+	out := runOut(t, `: main 1 2 >r 10 + r> . . ;`)
+	if out != "2 11 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestUnloopExit(t *testing.T) {
+	src := `
+: find ( n -- idx|-1 ) 10 0 do dup i = if drop i unloop exit then loop drop -1 ;
+: main 7 find . 99 find . ;`
+	out := runOut(t, src)
+	if out != "7 -1 " {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSuperinstructions(t *testing.T) {
+	src := `: main 40 2 + . 1 2 + 3 + . ;`
+	plain, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := CompileWithOptions(src, Options{Superinstructions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countOp := func(p *vm.Program, op vm.Opcode) int {
+		n := 0
+		for _, ins := range p.Code {
+			if ins.Op == op {
+				n++
+			}
+		}
+		return n
+	}
+	if countOp(fused, vm.OpLitAdd) == 0 {
+		t.Error("no superinstructions emitted")
+	}
+	if countOp(fused, vm.OpAdd) >= countOp(plain, vm.OpAdd) {
+		t.Error("superinstructions did not reduce OpAdd count")
+	}
+	if len(fused.Code) >= len(plain.Code) {
+		t.Error("superinstructions did not shrink code")
+	}
+	m1, err := interp.Run(plain, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := interp.Run(fused, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Out.String() != m2.Out.String() {
+		t.Errorf("outputs differ: %q vs %q", m1.Out.String(), m2.Out.String())
+	}
+}
+
+func TestSuperinstructionNotAcrossLabels(t *testing.T) {
+	// The `2 +` after `then` must not fuse with a literal before the
+	// label; and the program must still be correct.
+	src := `: f ( n -- n' ) dup 0< if negate then 2 + ; : main -40 f . 40 f . ;`
+	p, err := CompileWithOptions(src, Options{Superinstructions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.Run(p, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Out.String() != "42 42 " {
+		t.Errorf("output = %q", m.Out.String())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no-main", `: foo ;`, "no main"},
+		{"undefined", `: main frobnicate ;`, "undefined word"},
+		{"unterminated-colon", `: main 1 .`, "unterminated definition"},
+		{"semicolon-outside", `;`, "';' outside"},
+		{"nested-colon", `: a : b ;`, "nested"},
+		{"redefinition", `: a ; : a ; : main ;`, "redefinition"},
+		{"redefine-prim", `: dup ;`, "primitive"},
+		{"unbalanced-if", `: main 1 if ;`, "unbalanced"},
+		{"else-no-if", `: main else ;`, "without matching opener"},
+		{"then-no-if", `: main then ;`, "without matching opener"},
+		{"until-no-begin", `: main until ;`, "without matching opener"},
+		{"repeat-no-while", `: main begin repeat ;`, "without matching opener"},
+		{"while-no-begin", `: main while ;`, "'while' without 'begin'"},
+		{"loop-no-do", `: main loop ;`, "without matching opener"},
+		{"leave-outside", `: main leave ;`, "'leave' outside"},
+		{"unterminated-string", `: main ." abc`, "unterminated"},
+		{"unterminated-paren", `: main ( abc`, "unterminated"},
+		{"interpret-junk", `junk`, "cannot interpret"},
+		{"constant-empty", `constant x`, "interpret stack empty"},
+		{"allot-negative", `-4 allot`, "negative allot"},
+		{"bad-prim-use", `: main branch ;`, "cannot be used directly"},
+		{"interpret-only-at-top", `: main ;  dup`, "cannot interpret"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	src := ": main\n  1 .\n  frobnicate ;"
+	_, err := Compile(src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %v, want line 3", err)
+	}
+}
+
+func TestNoPrelude(t *testing.T) {
+	if _, err := CompileWithOptions(`: main cr ;`, Options{NoPrelude: true}); err == nil {
+		t.Error("cr should be undefined without prelude")
+	}
+	if _, err := CompileWithOptions(`: main 1 emit ;`, Options{NoPrelude: true}); err != nil {
+		t.Errorf("primitives should work without prelude: %v", err)
+	}
+}
+
+func TestAllEnginesAgreeOnForthProgram(t *testing.T) {
+	src := `
+variable acc
+: step ( n -- ) dup * acc +! ;
+: main 0 acc ! 20 1 do i step loop acc @ . ;`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref interp.Snapshot
+	for i, e := range interp.Engines {
+		m, err := interp.Run(p, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = m.Snapshot()
+		} else if !ref.Equal(m.Snapshot()) {
+			t.Fatalf("%v disagrees", e)
+		}
+	}
+	// sum of squares 1..19 = 19*20*39/6 = 2470
+	if ref.Output != "2470 " {
+		t.Errorf("output = %q", ref.Output)
+	}
+}
+
+func TestSieveBenchmarkStyleProgram(t *testing.T) {
+	// A classic Forth sieve, exercising memory, loops and flags.
+	src := `
+create flags 100 allot
+: main
+  100 0 do 1 flags i + c! loop
+  10 2 do
+    flags i + c@ if
+      100 i dup * do 0 flags i + c! j +loop
+    then
+  loop
+  0 ( count ) 100 2 do flags i + c@ if 1+ then loop . ;`
+	out := runOut(t, src)
+	if out != "25 " { // primes below 100
+		t.Errorf("output = %q, want 25", out)
+	}
+}

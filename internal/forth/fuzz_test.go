@@ -1,0 +1,80 @@
+package forth
+
+import (
+	"testing"
+
+	"stackcache/internal/interp"
+)
+
+// FuzzCompile feeds arbitrary source to the compiler: it must either
+// fail cleanly or produce a validated program that runs (up to a step
+// budget) without panicking.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		`: main 1 2 + . ;`,
+		`: main 10 0 do i . loop ;`,
+		`variable x : main 5 x ! x @ . ;`,
+		`: f dup 0> if 1- recurse then ; : main 10 f . ;`,
+		`: main ." hello" s" x" type ;`,
+		`: main begin 1 until ;`,
+		"0 constant z create t 1 , 2 c, : main t @ . ;",
+		`: main ( comment ) \ line`,
+		`:::: ;;;;`,
+		`: main 99999999999999999999 . ;`,
+		`: main [char]`,
+		`: main if if if then`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("compiled program does not validate: %v", err)
+		}
+		m := interp.NewMachine(p)
+		m.MaxSteps = 100000
+		_ = interp.RunSwitch(m) // runtime errors are fine; panics are not
+	})
+}
+
+// FuzzCompileEnginesAgree checks behavioural equivalence of all
+// engines on fuzzer-found programs that compile and terminate.
+func FuzzCompileEnginesAgree(f *testing.F) {
+	f.Add(`: sq dup * ; : main 4 sq . 2 sq . ;`)
+	f.Add(`: main 0 100 0 do i + loop . ;`)
+	f.Add(`: main 1 2 3 rot swap over . . . . ;`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return
+		}
+		run := func(e interp.Engine) (interp.Snapshot, error) {
+			m := interp.NewMachine(p)
+			m.MaxSteps = 100000
+			var err error
+			switch e {
+			case interp.EngineSwitch:
+				err = interp.RunSwitch(m)
+			case interp.EngineToken:
+				err = interp.RunToken(m)
+			default:
+				err = interp.RunThreaded(m)
+			}
+			return m.Snapshot(), err
+		}
+		ref, refErr := run(interp.EngineSwitch)
+		for _, e := range []interp.Engine{interp.EngineToken, interp.EngineThreaded} {
+			got, gotErr := run(e)
+			if (refErr == nil) != (gotErr == nil) {
+				t.Fatalf("%v error disagreement: %v vs %v", e, refErr, gotErr)
+			}
+			if refErr == nil && !ref.Equal(got) {
+				t.Fatalf("%v result disagreement", e)
+			}
+		}
+	})
+}

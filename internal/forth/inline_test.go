@@ -1,0 +1,128 @@
+package forth
+
+import (
+	"testing"
+
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+func countCalls(p *vm.Program) int {
+	n := 0
+	for _, ins := range p.Code {
+		if ins.Op == vm.OpCall {
+			n++
+		}
+	}
+	return n
+}
+
+func TestInlineEliminatesCalls(t *testing.T) {
+	src := `
+: square dup * ;
+: cube dup square * ;
+: main 5 cube . 3 square . ;`
+	plain, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlined, err := CompileWithOptions(src, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countCalls(inlined) >= countCalls(plain) {
+		t.Errorf("inlining did not reduce calls: %d vs %d",
+			countCalls(inlined), countCalls(plain))
+	}
+	m1, err := interp.Run(plain, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := interp.Run(inlined, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Out.String() != m2.Out.String() {
+		t.Errorf("outputs differ: %q vs %q", m1.Out.String(), m2.Out.String())
+	}
+	if m2.Steps >= m1.Steps {
+		t.Errorf("inlining should reduce executed instructions: %d vs %d", m2.Steps, m1.Steps)
+	}
+	if m1.Out.String() != "125 9 " {
+		t.Errorf("output = %q", m1.Out.String())
+	}
+}
+
+func TestInlineTransitive(t *testing.T) {
+	// cube's body contains square already inlined, and cube itself is
+	// short enough to inline into main.
+	src := `
+: square dup * ;
+: cube dup square * ;
+: main 2 cube . ;`
+	p, err := CompileWithOptions(src, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCalls(p); got != 1 { // only the entry call to main
+		t.Errorf("%d calls remain, want 1", got)
+	}
+}
+
+func TestInlineSkipsControlFlow(t *testing.T) {
+	src := `
+: abs2 dup 0< if negate then ;
+: main -7 abs2 . ;`
+	p, err := CompileWithOptions(src, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// abs2 has control flow and must stay a call.
+	if got := countCalls(p); got != 2 {
+		t.Errorf("%d calls, want 2 (entry + abs2)", got)
+	}
+	m, err := interp.Run(p, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Out.String() != "7 " {
+		t.Errorf("output = %q", m.Out.String())
+	}
+}
+
+func TestInlineRespectsLimit(t *testing.T) {
+	src := `
+: big 1 1 1 1 1 1 1 1 1 1 + + + + + + + + + ;
+: main big . ;`
+	p, err := CompileWithOptions(src, Options{Inline: true, InlineLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCalls(p); got != 2 {
+		t.Errorf("%d calls, want 2 (big exceeds limit)", got)
+	}
+	p2, err := CompileWithOptions(src, Options{Inline: true, InlineLimit: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCalls(p2); got != 1 {
+		t.Errorf("%d calls, want 1 (big inlined)", got)
+	}
+}
+
+func TestInlineRecursiveWordStaysCall(t *testing.T) {
+	src := `
+: fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ;
+: main 10 fib . ;`
+	p, err := CompileWithOptions(src, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.Run(p, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Out.String() != "55 " {
+		t.Errorf("output = %q", m.Out.String())
+	}
+}

@@ -1,0 +1,151 @@
+// Package forth compiles a Forth-like language to virtual machine code
+// (vm.Program). It is the "compiler" of the paper's terminology — the
+// program that generates virtual machine code — and the substrate on
+// which the benchmark workloads (internal/workloads) are written, just
+// as the paper's measurements were taken on real Forth applications.
+//
+// The dialect is a practical subset of Forth:
+//
+//	: name ... ;                    colon definitions
+//	if else then                    conditionals
+//	begin until / begin again       loops
+//	begin while repeat
+//	do loop +loop i j leave unloop  counted loops
+//	variable constant create allot , c,
+//	." text"  s" text"  char [char]
+//	\ line comments, ( ... ) comments
+//	recurse exit
+//
+// plus all primitives of the instruction set under their usual Forth
+// names (+ - * / mod dup swap over rot @ ! c@ c! +! >r r> r@ emit .
+// type …). Programs must define "main"; the compiled program calls it
+// and halts.
+package forth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// token is one lexical unit with its source position.
+type token struct {
+	text string
+	line int
+}
+
+// lexer splits Forth source into whitespace-separated tokens, tracking
+// line numbers. Comments and string literals need lookahead that
+// depends on the word being compiled (e.g. `."` consumes up to the
+// closing quote), so the lexer exposes both next-token and
+// read-until-delimiter operations, as a Forth outer interpreter does.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// next returns the next token, or ok=false at end of input.
+func (lx *lexer) next() (token, bool) {
+	for lx.pos < len(lx.src) && isSpace(lx.src[lx.pos]) {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+		}
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return token{}, false
+	}
+	start := lx.pos
+	for lx.pos < len(lx.src) && !isSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	return token{text: lx.src[start:lx.pos], line: lx.line}, true
+}
+
+// readUntil consumes input up to and including the next occurrence of
+// delim and returns the text before it (used for string literals and
+// ( comments ). The leading space after the introducing word has
+// already been skipped by next()'s caller via skipOneSpace.
+func (lx *lexer) readUntil(delim byte) (string, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == delim {
+			s := lx.src[start:lx.pos]
+			lx.pos++
+			return s, nil
+		}
+		if c == '\n' {
+			lx.line++
+		}
+		lx.pos++
+	}
+	return "", fmt.Errorf("line %d: unterminated %q", lx.line, string(delim))
+}
+
+// skipOneSpace skips exactly one space character if present; Forth's
+// string words (`." hello"`) are separated from their text by a single
+// blank.
+func (lx *lexer) skipOneSpace() {
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == ' ' || lx.src[lx.pos] == '\t') {
+		lx.pos++
+	}
+}
+
+// skipLine consumes the remainder of the current line (\ comments).
+func (lx *lexer) skipLine() {
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// parseNumber recognizes Forth number literals: decimal with optional
+// sign, $-prefixed or 0x-prefixed hexadecimal.
+func parseNumber(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '-' && len(s) > 1 {
+		neg, s = true, s[1:]
+	}
+	base := int64(10)
+	switch {
+	case s[0] == '$' && len(s) > 1:
+		base, s = 16, s[1:]
+	case strings.HasPrefix(s, "0x") && len(s) > 2:
+		base, s = 16, s[2:]
+	}
+	var n int64
+	for i := 0; i < len(s); i++ {
+		d := digitVal(s[i])
+		if d < 0 || int64(d) >= base {
+			return 0, false
+		}
+		n = n*base + int64(d)
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

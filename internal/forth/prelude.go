@@ -1,0 +1,24 @@
+package forth
+
+// prelude is the small standard library compiled ahead of every
+// program, written in the dialect itself. It provides the convenience
+// words the workloads use that are not virtual machine primitives.
+const prelude = `
+\ --- stackcache Forth prelude ---
+-1 constant true
+0 constant false
+32 constant bl
+8 constant cell
+
+: cr 10 emit ;
+: space bl emit ;
+: spaces begin dup 0> while space 1- repeat drop ;
+: cell+ cell + ;
+: char+ 1+ ;
+: not 0= ;
+: 2@ dup cell+ @ swap @ ;
+: 2! dup >r ! r> cell+ ! ;
+: ?dup dup 0<> if dup then ;
+: within over - >r - r> u< ;
+: sq dup * ;
+`

@@ -1,0 +1,66 @@
+package gendyn
+
+import (
+	"testing"
+
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+// TestExhaustiveStateOpcode runs every non-control opcode from every
+// initial stack depth 0..NRegs+2, so that every (cache state, opcode)
+// case of the generated interpreter executes at least once, including
+// the overflow and underflow paths, and compares against the baseline.
+// This guards the generator — and the compiler's treatment of the
+// giant goto function — per case.
+func TestExhaustiveStateOpcode(t *testing.T) {
+	skip := map[vm.Opcode]bool{
+		vm.OpBranch: true, vm.OpBranchZero: true, vm.OpCall: true,
+		vm.OpExit: true, vm.OpHalt: true, vm.OpLoop: true, vm.OpPlusLoop: true,
+	}
+	for op := vm.Opcode(0); op < vm.NumOpcodes; op++ {
+		if skip[op] {
+			continue
+		}
+		eff := vm.EffectOf(op)
+		for d := 0; d <= NRegs+2; d++ {
+			if d < eff.In {
+				continue // would be a stack-underflow error; tested elsewhere
+			}
+			b := vm.NewBuilder()
+			b.Alloc(64) // valid memory for @/!/c@/c!/+!/type at address 8
+			for i := 0; i < d; i++ {
+				b.Lit(8)
+			}
+			for i := 0; i < eff.RIn; i++ {
+				b.Lit(8)
+				b.Emit(vm.OpToR)
+			}
+			arg := vm.Cell(0)
+			if eff.Arg == vm.ArgValue {
+				arg = 5
+			}
+			b.EmitArg(op, arg)
+			for i := 0; i < eff.ROut; i++ {
+				b.Emit(vm.OpRFrom)
+			}
+			b.Emit(vm.OpHalt)
+			p, err := b.Build()
+			if err != nil {
+				t.Fatalf("%v d=%d: %v", op, d, err)
+			}
+			ref, refErr := interp.Run(p, interp.EngineSwitch)
+			m := interp.NewMachine(p)
+			genErr := Run(m)
+			if (refErr == nil) != (genErr == nil) {
+				t.Errorf("%v d=%d: error disagreement: baseline %v, generated %v",
+					op, d, refErr, genErr)
+				continue
+			}
+			if refErr == nil && !ref.Snapshot().Equal(m.Snapshot()) {
+				t.Errorf("%v d=%d: state mismatch\nwant stack %v\ngot  stack %v",
+					op, d, ref.Snapshot().Stack, m.Snapshot().Stack)
+			}
+		}
+	}
+}

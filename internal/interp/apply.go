@@ -1,0 +1,359 @@
+package interp
+
+import (
+	"errors"
+
+	"stackcache/internal/vm"
+)
+
+// ErrHalt is returned by Apply when OpHalt executes. Callers translate
+// it into normal termination.
+var ErrHalt = errors.New("interp: halt")
+
+// Apply executes the semantics of one instruction independently of how
+// the data stack is stored. The caller supplies the instruction's
+// data-stack arguments in args (bottom-first: args[len-1] is the top
+// of stack) and a result buffer out with room for vm.MaxOut cells;
+// Apply writes the results bottom-first and returns how many it
+// produced.
+//
+// Apply performs every other machine effect itself: memory reads and
+// writes, return-stack traffic, output, and the PC update (including
+// branches, calls and loop back-edges). depth must be the true current
+// data-stack depth *after* popping args (used only by OpDepth).
+//
+// The caching execution engines (internal/dyncache,
+// internal/statcache) hold stack items in a register file and call
+// Apply for instruction semantics, which keeps their behaviour
+// identical to the baseline interpreters by construction.
+func Apply(m *Machine, ins vm.Instr, args []vm.Cell, out []vm.Cell, depth int) (int, error) {
+	top := func() vm.Cell { return args[len(args)-1] }
+	second := func() vm.Cell { return args[len(args)-2] }
+	switch ins.Op {
+	case vm.OpNop:
+		m.PC++
+		return 0, nil
+	case vm.OpLit:
+		out[0] = ins.Arg
+		m.PC++
+		return 1, nil
+
+	case vm.OpAdd:
+		out[0] = second() + top()
+		m.PC++
+		return 1, nil
+	case vm.OpSub:
+		out[0] = second() - top()
+		m.PC++
+		return 1, nil
+	case vm.OpMul:
+		out[0] = second() * top()
+		m.PC++
+		return 1, nil
+	case vm.OpDiv:
+		if top() == 0 {
+			return 0, m.fail(ins.Op, "division by zero")
+		}
+		out[0] = FloorDiv(second(), top())
+		m.PC++
+		return 1, nil
+	case vm.OpMod:
+		if top() == 0 {
+			return 0, m.fail(ins.Op, "division by zero")
+		}
+		out[0] = FloorMod(second(), top())
+		m.PC++
+		return 1, nil
+	case vm.OpNegate:
+		out[0] = -top()
+		m.PC++
+		return 1, nil
+	case vm.OpAbs:
+		out[0] = top()
+		if out[0] < 0 {
+			out[0] = -out[0]
+		}
+		m.PC++
+		return 1, nil
+	case vm.OpMin:
+		out[0] = top()
+		if second() < out[0] {
+			out[0] = second()
+		}
+		m.PC++
+		return 1, nil
+	case vm.OpMax:
+		out[0] = top()
+		if second() > out[0] {
+			out[0] = second()
+		}
+		m.PC++
+		return 1, nil
+	case vm.OpAnd:
+		out[0] = second() & top()
+		m.PC++
+		return 1, nil
+	case vm.OpOr:
+		out[0] = second() | top()
+		m.PC++
+		return 1, nil
+	case vm.OpXor:
+		out[0] = second() ^ top()
+		m.PC++
+		return 1, nil
+	case vm.OpInvert:
+		out[0] = ^top()
+		m.PC++
+		return 1, nil
+	case vm.OpLshift:
+		out[0] = ShiftLeft(second(), top())
+		m.PC++
+		return 1, nil
+	case vm.OpRshift:
+		out[0] = ShiftRight(second(), top())
+		m.PC++
+		return 1, nil
+	case vm.OpOnePlus:
+		out[0] = top() + 1
+		m.PC++
+		return 1, nil
+	case vm.OpOneMinus:
+		out[0] = top() - 1
+		m.PC++
+		return 1, nil
+	case vm.OpTwoStar:
+		out[0] = top() << 1
+		m.PC++
+		return 1, nil
+	case vm.OpTwoSlash:
+		out[0] = top() >> 1
+		m.PC++
+		return 1, nil
+	case vm.OpCells:
+		out[0] = top() * vm.CellSize
+		m.PC++
+		return 1, nil
+	case vm.OpLitAdd:
+		out[0] = top() + ins.Arg
+		m.PC++
+		return 1, nil
+
+	case vm.OpEq:
+		out[0] = Flag(second() == top())
+		m.PC++
+		return 1, nil
+	case vm.OpNe:
+		out[0] = Flag(second() != top())
+		m.PC++
+		return 1, nil
+	case vm.OpLt:
+		out[0] = Flag(second() < top())
+		m.PC++
+		return 1, nil
+	case vm.OpGt:
+		out[0] = Flag(second() > top())
+		m.PC++
+		return 1, nil
+	case vm.OpLe:
+		out[0] = Flag(second() <= top())
+		m.PC++
+		return 1, nil
+	case vm.OpGe:
+		out[0] = Flag(second() >= top())
+		m.PC++
+		return 1, nil
+	case vm.OpULt:
+		out[0] = Flag(uint64(second()) < uint64(top()))
+		m.PC++
+		return 1, nil
+	case vm.OpZeroEq:
+		out[0] = Flag(top() == 0)
+		m.PC++
+		return 1, nil
+	case vm.OpZeroNe:
+		out[0] = Flag(top() != 0)
+		m.PC++
+		return 1, nil
+	case vm.OpZeroLt:
+		out[0] = Flag(top() < 0)
+		m.PC++
+		return 1, nil
+	case vm.OpZeroGt:
+		out[0] = Flag(top() > 0)
+		m.PC++
+		return 1, nil
+
+	case vm.OpDup, vm.OpDrop, vm.OpSwap, vm.OpOver, vm.OpRot,
+		vm.OpMinusRot, vm.OpNip, vm.OpTuck, vm.OpTwoDup, vm.OpTwoDrop:
+		eff := vm.EffectOf(ins.Op)
+		// Output k (0 = top) copies input Map[k] (0 = top).
+		for k, src := range eff.Map {
+			out[eff.Out-1-k] = args[len(args)-1-src]
+		}
+		m.PC++
+		return eff.Out, nil
+
+	case vm.OpToR:
+		if err := m.rpush(top()); err != nil {
+			return 0, err
+		}
+		m.PC++
+		return 0, nil
+	case vm.OpRFrom:
+		x, err := m.rpop()
+		if err != nil {
+			return 0, err
+		}
+		out[0] = x
+		m.PC++
+		return 1, nil
+	case vm.OpRFetch:
+		if m.RP < 1 {
+			return 0, m.fail(ins.Op, "return stack underflow")
+		}
+		out[0] = m.RSt[m.RP-1]
+		m.PC++
+		return 1, nil
+
+	case vm.OpFetch:
+		x, ok := m.CellAt(top())
+		if !ok {
+			return 0, m.fail(ins.Op, "memory access out of range")
+		}
+		out[0] = x
+		m.PC++
+		return 1, nil
+	case vm.OpStore:
+		if !m.SetCellAt(top(), second()) {
+			return 0, m.fail(ins.Op, "memory access out of range")
+		}
+		m.PC++
+		return 0, nil
+	case vm.OpCFetch:
+		c, ok := m.ByteAt(top())
+		if !ok {
+			return 0, m.fail(ins.Op, "memory access out of range")
+		}
+		out[0] = vm.Cell(c)
+		m.PC++
+		return 1, nil
+	case vm.OpCStore:
+		if !m.SetByteAt(top(), second()) {
+			return 0, m.fail(ins.Op, "memory access out of range")
+		}
+		m.PC++
+		return 0, nil
+	case vm.OpPlusStore:
+		x, ok := m.CellAt(top())
+		if !ok || !m.SetCellAt(top(), x+second()) {
+			return 0, m.fail(ins.Op, "memory access out of range")
+		}
+		m.PC++
+		return 0, nil
+
+	case vm.OpBranch:
+		m.PC = int(ins.Arg)
+		return 0, nil
+	case vm.OpBranchZero:
+		if top() == 0 {
+			m.PC = int(ins.Arg)
+		} else {
+			m.PC++
+		}
+		return 0, nil
+	case vm.OpCall:
+		if err := m.rpush(vm.Cell(m.PC + 1)); err != nil {
+			return 0, err
+		}
+		m.PC = int(ins.Arg)
+		return 0, nil
+	case vm.OpExit:
+		ret, err := m.rpop()
+		if err != nil {
+			return 0, err
+		}
+		m.PC = int(ret)
+		return 0, nil
+	case vm.OpHalt:
+		return 0, ErrHalt
+
+	case vm.OpDo:
+		if err := m.rpush(second()); err != nil {
+			return 0, err
+		}
+		if err := m.rpush(top()); err != nil {
+			return 0, err
+		}
+		m.PC++
+		return 0, nil
+	case vm.OpLoop:
+		if m.RP < 2 {
+			return 0, m.fail(ins.Op, "return stack underflow")
+		}
+		m.RSt[m.RP-1]++
+		if m.RSt[m.RP-1] == m.RSt[m.RP-2] {
+			m.RP -= 2
+			m.PC++
+		} else {
+			m.PC = int(ins.Arg)
+		}
+		return 0, nil
+	case vm.OpPlusLoop:
+		if m.RP < 2 {
+			return 0, m.fail(ins.Op, "return stack underflow")
+		}
+		old := m.RSt[m.RP-1] - m.RSt[m.RP-2]
+		m.RSt[m.RP-1] += top()
+		now := m.RSt[m.RP-1] - m.RSt[m.RP-2]
+		if (old < 0) != (now < 0) {
+			m.RP -= 2
+			m.PC++
+		} else {
+			m.PC = int(ins.Arg)
+		}
+		return 0, nil
+	case vm.OpI:
+		if m.RP < 1 {
+			return 0, m.fail(ins.Op, "return stack underflow")
+		}
+		out[0] = m.RSt[m.RP-1]
+		m.PC++
+		return 1, nil
+	case vm.OpJ:
+		if m.RP < 3 {
+			return 0, m.fail(ins.Op, "return stack underflow")
+		}
+		out[0] = m.RSt[m.RP-3]
+		m.PC++
+		return 1, nil
+	case vm.OpUnloop:
+		if m.RP < 2 {
+			return 0, m.fail(ins.Op, "return stack underflow")
+		}
+		m.RP -= 2
+		m.PC++
+		return 0, nil
+
+	case vm.OpEmit:
+		m.Out.WriteByte(byte(top()))
+		m.PC++
+		return 0, nil
+	case vm.OpDot:
+		m.writeDot(top())
+		m.PC++
+		return 0, nil
+	case vm.OpType:
+		addr, n := second(), top()
+		if n < 0 || addr < 0 || addr+n > vm.Cell(len(m.Mem)) {
+			return 0, m.fail(ins.Op, "memory access out of range")
+		}
+		m.Out.Write(m.Mem[addr : addr+n])
+		m.PC++
+		return 0, nil
+	case vm.OpDepth:
+		out[0] = vm.Cell(depth)
+		m.PC++
+		return 1, nil
+	}
+	return 0, m.fail(ins.Op, "invalid opcode")
+}

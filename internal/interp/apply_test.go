@@ -1,0 +1,285 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"stackcache/internal/vm"
+)
+
+// applyMachine builds a machine with some memory for Apply tests.
+func applyMachine(t *testing.T) *Machine {
+	t.Helper()
+	b := vm.NewBuilder()
+	b.Alloc(64)
+	// Room for the PC to wander during single-instruction tests: error
+	// messages are built from Code[PC].
+	for i := 0; i < 64; i++ {
+		b.Emit(vm.OpHalt)
+	}
+	return NewMachine(b.MustBuild())
+}
+
+// apply drives one instruction through Apply.
+func apply(t *testing.T, m *Machine, op vm.Opcode, arg vm.Cell, args ...vm.Cell) ([]vm.Cell, error) {
+	t.Helper()
+	var out [8]vm.Cell
+	n, err := Apply(m, vm.Instr{Op: op, Arg: arg}, args, out[:], 10)
+	return out[:n], err
+}
+
+func TestApplyArithmetic(t *testing.T) {
+	m := applyMachine(t)
+	cases := []struct {
+		op   vm.Opcode
+		args []vm.Cell
+		want vm.Cell
+	}{
+		{vm.OpAdd, []vm.Cell{2, 3}, 5},
+		{vm.OpSub, []vm.Cell{10, 4}, 6},
+		{vm.OpMul, []vm.Cell{6, 7}, 42},
+		{vm.OpDiv, []vm.Cell{-7, 2}, -4},
+		{vm.OpMod, []vm.Cell{-7, 2}, 1},
+		{vm.OpNegate, []vm.Cell{5}, -5},
+		{vm.OpAbs, []vm.Cell{-5}, 5},
+		{vm.OpMin, []vm.Cell{3, 9}, 3},
+		{vm.OpMax, []vm.Cell{3, 9}, 9},
+		{vm.OpAnd, []vm.Cell{12, 10}, 8},
+		{vm.OpOr, []vm.Cell{12, 10}, 14},
+		{vm.OpXor, []vm.Cell{12, 10}, 6},
+		{vm.OpInvert, []vm.Cell{0}, -1},
+		{vm.OpLshift, []vm.Cell{1, 4}, 16},
+		{vm.OpRshift, []vm.Cell{16, 4}, 1},
+		{vm.OpOnePlus, []vm.Cell{41}, 42},
+		{vm.OpOneMinus, []vm.Cell{43}, 42},
+		{vm.OpTwoStar, []vm.Cell{21}, 42},
+		{vm.OpTwoSlash, []vm.Cell{84}, 42},
+		{vm.OpCells, []vm.Cell{2}, 16},
+		{vm.OpEq, []vm.Cell{4, 4}, -1},
+		{vm.OpNe, []vm.Cell{4, 4}, 0},
+		{vm.OpLt, []vm.Cell{1, 2}, -1},
+		{vm.OpGt, []vm.Cell{1, 2}, 0},
+		{vm.OpLe, []vm.Cell{2, 2}, -1},
+		{vm.OpGe, []vm.Cell{1, 2}, 0},
+		{vm.OpULt, []vm.Cell{-1, 1}, 0},
+		{vm.OpZeroEq, []vm.Cell{0}, -1},
+		{vm.OpZeroNe, []vm.Cell{0}, 0},
+		{vm.OpZeroLt, []vm.Cell{-3}, -1},
+		{vm.OpZeroGt, []vm.Cell{3}, -1},
+	}
+	for _, c := range cases {
+		m.PC = 0
+		out, err := apply(t, m, c.op, 0, c.args...)
+		if err != nil {
+			t.Errorf("%v: %v", c.op, err)
+			continue
+		}
+		if len(out) != 1 || out[0] != c.want {
+			t.Errorf("%v%v = %v, want %v", c.op, c.args, out, c.want)
+		}
+		if m.PC != 1 {
+			t.Errorf("%v: pc = %d, want 1", c.op, m.PC)
+		}
+	}
+}
+
+func TestApplyLitAndLitAdd(t *testing.T) {
+	m := applyMachine(t)
+	out, err := apply(t, m, vm.OpLit, 99)
+	if err != nil || len(out) != 1 || out[0] != 99 {
+		t.Errorf("lit: %v %v", out, err)
+	}
+	out, err = apply(t, m, vm.OpLitAdd, 2, 40)
+	if err != nil || len(out) != 1 || out[0] != 42 {
+		t.Errorf("lit+: %v %v", out, err)
+	}
+}
+
+func TestApplyManips(t *testing.T) {
+	m := applyMachine(t)
+	out, err := apply(t, m, vm.OpTuck, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []vm.Cell{2, 1, 2}
+	if len(out) != 3 {
+		t.Fatalf("tuck out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("tuck out = %v, want %v", out, want)
+		}
+	}
+	if out, _ := apply(t, m, vm.OpTwoDrop, 0, 1, 2); len(out) != 0 {
+		t.Errorf("2drop out = %v", out)
+	}
+}
+
+func TestApplyReturnStack(t *testing.T) {
+	m := applyMachine(t)
+	if _, err := apply(t, m, vm.OpToR, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if m.RP != 1 || m.RSt[0] != 7 {
+		t.Fatalf("rstack = %v", m.RSt[:m.RP])
+	}
+	out, err := apply(t, m, vm.OpRFetch, 0)
+	if err != nil || out[0] != 7 || m.RP != 1 {
+		t.Errorf("r@: %v %v", out, err)
+	}
+	out, err = apply(t, m, vm.OpRFrom, 0)
+	if err != nil || out[0] != 7 || m.RP != 0 {
+		t.Errorf("r>: %v %v", out, err)
+	}
+	// Underflows.
+	if _, err := apply(t, m, vm.OpRFrom, 0); err == nil {
+		t.Error("r> on empty rstack should fail")
+	}
+	if _, err := apply(t, m, vm.OpRFetch, 0); err == nil {
+		t.Error("r@ on empty rstack should fail")
+	}
+	if _, err := apply(t, m, vm.OpI, 0); err == nil {
+		t.Error("i on empty rstack should fail")
+	}
+	if _, err := apply(t, m, vm.OpJ, 0); err == nil {
+		t.Error("j on shallow rstack should fail")
+	}
+	if _, err := apply(t, m, vm.OpUnloop, 0); err == nil {
+		t.Error("unloop on empty rstack should fail")
+	}
+	if _, err := apply(t, m, vm.OpLoop, 0); err == nil {
+		t.Error("loop on empty rstack should fail")
+	}
+	if _, err := apply(t, m, vm.OpPlusLoop, 0, 1); err == nil {
+		t.Error("+loop on empty rstack should fail")
+	}
+}
+
+func TestApplyMemory(t *testing.T) {
+	m := applyMachine(t)
+	if _, err := apply(t, m, vm.OpStore, 0, 1234, 8); err != nil {
+		t.Fatal(err)
+	}
+	out, err := apply(t, m, vm.OpFetch, 0, 8)
+	if err != nil || out[0] != 1234 {
+		t.Errorf("@: %v %v", out, err)
+	}
+	if _, err := apply(t, m, vm.OpPlusStore, 0, 100, 8); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = apply(t, m, vm.OpFetch, 0, 8)
+	if out[0] != 1334 {
+		t.Errorf("+!: %v", out)
+	}
+	if _, err := apply(t, m, vm.OpCStore, 0, 65, 3); err != nil {
+		t.Fatal(err)
+	}
+	out, err = apply(t, m, vm.OpCFetch, 0, 3)
+	if err != nil || out[0] != 65 {
+		t.Errorf("c@: %v %v", out, err)
+	}
+	// Out-of-range errors.
+	for _, tc := range []struct {
+		op   vm.Opcode
+		args []vm.Cell
+	}{
+		{vm.OpFetch, []vm.Cell{-8}},
+		{vm.OpStore, []vm.Cell{1, 1 << 40}},
+		{vm.OpCFetch, []vm.Cell{-1}},
+		{vm.OpCStore, []vm.Cell{1, 1 << 40}},
+		{vm.OpPlusStore, []vm.Cell{1, -8}},
+		{vm.OpType, []vm.Cell{0, 1000}},
+		{vm.OpType, []vm.Cell{0, -1}},
+	} {
+		if _, err := apply(t, m, tc.op, 0, tc.args...); err == nil {
+			t.Errorf("%v%v should fail", tc.op, tc.args)
+		}
+	}
+}
+
+func TestApplyControl(t *testing.T) {
+	m := applyMachine(t)
+	m.PC = 5
+	if _, err := apply(t, m, vm.OpBranch, 2); err != nil || m.PC != 2 {
+		t.Errorf("branch: pc=%d err=%v", m.PC, err)
+	}
+	m.PC = 5
+	apply(t, m, vm.OpBranchZero, 2, 0)
+	if m.PC != 2 {
+		t.Errorf("0branch taken: pc=%d", m.PC)
+	}
+	m.PC = 5
+	apply(t, m, vm.OpBranchZero, 2, 1)
+	if m.PC != 6 {
+		t.Errorf("0branch not taken: pc=%d", m.PC)
+	}
+	m.PC = 5
+	if _, err := apply(t, m, vm.OpCall, 3); err != nil || m.PC != 3 || m.RSt[m.RP-1] != 6 {
+		t.Errorf("call: pc=%d err=%v", m.PC, err)
+	}
+	if _, err := apply(t, m, vm.OpExit, 0); err != nil || m.PC != 6 {
+		t.Errorf("exit: pc=%d err=%v", m.PC, err)
+	}
+	if _, err := apply(t, m, vm.OpHalt, 0); err != ErrHalt {
+		t.Errorf("halt err = %v", err)
+	}
+}
+
+func TestApplyLoops(t *testing.T) {
+	m := applyMachine(t)
+	if _, err := apply(t, m, vm.OpDo, 0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := apply(t, m, vm.OpI, 0)
+	if err != nil || out[0] != 0 {
+		t.Errorf("i: %v %v", out, err)
+	}
+	m.PC = 9
+	apply(t, m, vm.OpLoop, 4)
+	if m.PC != 4 || m.RSt[m.RP-1] != 1 {
+		t.Errorf("loop back edge: pc=%d idx=%d", m.PC, m.RSt[m.RP-1])
+	}
+	m.PC = 9
+	apply(t, m, vm.OpPlusLoop, 4, 5) // index 1+5=6 crosses limit 3
+	if m.PC != 10 || m.RP != 0 {
+		t.Errorf("+loop exit: pc=%d rp=%d", m.PC, m.RP)
+	}
+}
+
+func TestApplyIOAndDepth(t *testing.T) {
+	m := applyMachine(t)
+	apply(t, m, vm.OpEmit, 0, 'A')
+	apply(t, m, vm.OpDot, 0, 42)
+	if _, err := apply(t, m, vm.OpStore, 0, int64('h')|int64('i')<<8, 0); err != nil {
+		t.Fatal(err)
+	}
+	apply(t, m, vm.OpType, 0, 0, 2)
+	if got := m.Out.String(); got != "A42 hi" {
+		t.Errorf("out = %q", got)
+	}
+	out, err := apply(t, m, vm.OpDepth, 0)
+	if err != nil || out[0] != 10 { // depth parameter passed by helper
+		t.Errorf("depth: %v %v", out, err)
+	}
+	out, err = apply(t, m, vm.OpNop, 0)
+	if err != nil || len(out) != 0 {
+		t.Errorf("nop: %v %v", out, err)
+	}
+}
+
+func TestApplyDivByZero(t *testing.T) {
+	m := applyMachine(t)
+	for _, op := range []vm.Opcode{vm.OpDiv, vm.OpMod} {
+		if _, err := apply(t, m, op, 0, 1, 0); err == nil ||
+			!strings.Contains(err.Error(), "division by zero") {
+			t.Errorf("%v: err = %v", op, err)
+		}
+	}
+}
+
+func TestApplyInvalidOpcode(t *testing.T) {
+	m := applyMachine(t)
+	if _, err := apply(t, m, vm.Opcode(250), 0); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}

@@ -1,0 +1,597 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stackcache/internal/vm"
+)
+
+// runAll executes p on every engine and checks they agree; it returns
+// the switch engine's machine.
+func runAll(t *testing.T, p *vm.Program) *Machine {
+	t.Helper()
+	var ref *Machine
+	var refSnap Snapshot
+	for _, e := range Engines {
+		m, err := Run(p, e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if ref == nil {
+			ref, refSnap = m, m.Snapshot()
+			continue
+		}
+		if snap := m.Snapshot(); !refSnap.Equal(snap) {
+			t.Fatalf("%v disagrees with %v:\n%+v\nvs\n%+v", e, Engines[0], snap, refSnap)
+		}
+	}
+	return ref
+}
+
+// prog builds a straight-line program from opcodes (no immediates)
+// preceded by literals, ending in halt.
+func prog(t *testing.T, lits []vm.Cell, ops ...vm.Opcode) *vm.Program {
+	t.Helper()
+	b := vm.NewBuilder()
+	for _, n := range lits {
+		b.Lit(n)
+	}
+	for _, op := range ops {
+		b.Emit(op)
+	}
+	b.Emit(vm.OpHalt)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func wantStack(t *testing.T, m *Machine, want ...vm.Cell) {
+	t.Helper()
+	if m.SP != len(want) {
+		t.Fatalf("stack depth = %d, want %d (stack %v)", m.SP, len(want), m.Stack[:m.SP])
+	}
+	for i, w := range want {
+		if m.Stack[i] != w {
+			t.Fatalf("stack = %v, want %v", m.Stack[:m.SP], want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		lits []vm.Cell
+		op   vm.Opcode
+		want vm.Cell
+	}{
+		{"add", []vm.Cell{2, 3}, vm.OpAdd, 5},
+		{"sub", []vm.Cell{10, 4}, vm.OpSub, 6},
+		{"mul", []vm.Cell{-3, 7}, vm.OpMul, -21},
+		{"div", []vm.Cell{7, 2}, vm.OpDiv, 3},
+		{"div-floored", []vm.Cell{-7, 2}, vm.OpDiv, -4},
+		{"mod", []vm.Cell{7, 3}, vm.OpMod, 1},
+		{"mod-floored", []vm.Cell{-7, 3}, vm.OpMod, 2},
+		{"mod-neg-divisor", []vm.Cell{7, -3}, vm.OpMod, -2},
+		{"negate", []vm.Cell{5}, vm.OpNegate, -5},
+		{"abs", []vm.Cell{-5}, vm.OpAbs, 5},
+		{"abs-pos", []vm.Cell{5}, vm.OpAbs, 5},
+		{"min", []vm.Cell{3, 9}, vm.OpMin, 3},
+		{"max", []vm.Cell{3, 9}, vm.OpMax, 9},
+		{"and", []vm.Cell{0b1100, 0b1010}, vm.OpAnd, 0b1000},
+		{"or", []vm.Cell{0b1100, 0b1010}, vm.OpOr, 0b1110},
+		{"xor", []vm.Cell{0b1100, 0b1010}, vm.OpXor, 0b0110},
+		{"invert", []vm.Cell{0}, vm.OpInvert, -1},
+		{"lshift", []vm.Cell{1, 4}, vm.OpLshift, 16},
+		{"rshift", []vm.Cell{-1, 60}, vm.OpRshift, 15},
+		{"1+", []vm.Cell{41}, vm.OpOnePlus, 42},
+		{"1-", []vm.Cell{43}, vm.OpOneMinus, 42},
+		{"2*", []vm.Cell{-3}, vm.OpTwoStar, -6},
+		{"2/", []vm.Cell{-7}, vm.OpTwoSlash, -4},
+		{"cells", []vm.Cell{3}, vm.OpCells, 24},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := runAll(t, prog(t, c.lits, c.op))
+			wantStack(t, m, c.want)
+		})
+	}
+}
+
+func TestLitAdd(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Lit(40)
+	b.EmitArg(vm.OpLitAdd, 2)
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, 42)
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		name string
+		lits []vm.Cell
+		op   vm.Opcode
+		want vm.Cell
+	}{
+		{"eq-true", []vm.Cell{4, 4}, vm.OpEq, -1},
+		{"eq-false", []vm.Cell{4, 5}, vm.OpEq, 0},
+		{"ne", []vm.Cell{4, 5}, vm.OpNe, -1},
+		{"lt", []vm.Cell{-2, 1}, vm.OpLt, -1},
+		{"lt-false", []vm.Cell{1, -2}, vm.OpLt, 0},
+		{"gt", []vm.Cell{3, 2}, vm.OpGt, -1},
+		{"le-eq", []vm.Cell{2, 2}, vm.OpLe, -1},
+		{"ge", []vm.Cell{2, 3}, vm.OpGe, 0},
+		{"ult", []vm.Cell{-1, 1}, vm.OpULt, 0}, // unsigned: 2^64-1 > 1
+		{"0=", []vm.Cell{0}, vm.OpZeroEq, -1},
+		{"0<>", []vm.Cell{7}, vm.OpZeroNe, -1},
+		{"0<", []vm.Cell{-7}, vm.OpZeroLt, -1},
+		{"0<-false", []vm.Cell{7}, vm.OpZeroLt, 0},
+		{"0>", []vm.Cell{7}, vm.OpZeroGt, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := runAll(t, prog(t, c.lits, c.op))
+			wantStack(t, m, c.want)
+		})
+	}
+}
+
+func TestStackManipulation(t *testing.T) {
+	cases := []struct {
+		name string
+		lits []vm.Cell
+		op   vm.Opcode
+		want []vm.Cell
+	}{
+		{"dup", []vm.Cell{7}, vm.OpDup, []vm.Cell{7, 7}},
+		{"drop", []vm.Cell{7, 8}, vm.OpDrop, []vm.Cell{7}},
+		{"swap", []vm.Cell{1, 2}, vm.OpSwap, []vm.Cell{2, 1}},
+		{"over", []vm.Cell{1, 2}, vm.OpOver, []vm.Cell{1, 2, 1}},
+		{"rot", []vm.Cell{1, 2, 3}, vm.OpRot, []vm.Cell{2, 3, 1}},
+		{"-rot", []vm.Cell{1, 2, 3}, vm.OpMinusRot, []vm.Cell{3, 1, 2}},
+		{"nip", []vm.Cell{1, 2}, vm.OpNip, []vm.Cell{2}},
+		{"tuck", []vm.Cell{1, 2}, vm.OpTuck, []vm.Cell{2, 1, 2}},
+		{"2dup", []vm.Cell{1, 2}, vm.OpTwoDup, []vm.Cell{1, 2, 1, 2}},
+		{"2drop", []vm.Cell{1, 2}, vm.OpTwoDrop, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := runAll(t, prog(t, c.lits, c.op))
+			wantStack(t, m, c.want...)
+		})
+	}
+}
+
+func TestReturnStackOps(t *testing.T) {
+	m := runAll(t, prog(t, []vm.Cell{1, 2}, vm.OpToR, vm.OpOnePlus, vm.OpRFrom, vm.OpAdd))
+	wantStack(t, m, 4)
+
+	m = runAll(t, prog(t, []vm.Cell{9}, vm.OpToR, vm.OpRFetch, vm.OpRFrom, vm.OpAdd))
+	wantStack(t, m, 18)
+}
+
+func TestMemoryOps(t *testing.T) {
+	b := vm.NewBuilder()
+	addr := b.Alloc(16)
+	b.Lit(1234)
+	b.Lit(addr)
+	b.Emit(vm.OpStore)
+	b.Lit(addr)
+	b.Emit(vm.OpFetch)
+	b.Lit(100)
+	b.Lit(addr)
+	b.Emit(vm.OpPlusStore)
+	b.Lit(addr)
+	b.Emit(vm.OpFetch)
+	b.Lit(0xAB)
+	b.Lit(addr + 8)
+	b.Emit(vm.OpCStore)
+	b.Lit(addr + 8)
+	b.Emit(vm.OpCFetch)
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, 1234, 1334, 0xAB)
+}
+
+func TestMemoryNegativeCellValue(t *testing.T) {
+	b := vm.NewBuilder()
+	addr := b.Alloc(8)
+	b.Lit(-42)
+	b.Lit(addr)
+	b.Emit(vm.OpStore)
+	b.Lit(addr)
+	b.Emit(vm.OpFetch)
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, -42)
+}
+
+func TestControlFlow(t *testing.T) {
+	// if/else via 0branch: push 0 -> takes else arm.
+	b := vm.NewBuilder()
+	b.Lit(0)
+	b.BranchZeroTo("else")
+	b.Lit(111)
+	b.BranchTo("end")
+	b.Label("else")
+	b.Lit(222)
+	b.Label("end")
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, 222)
+}
+
+func TestCallExit(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Word("triple")
+	b.Emit(vm.OpDup)
+	b.Emit(vm.OpDup)
+	b.Emit(vm.OpAdd)
+	b.Emit(vm.OpAdd)
+	b.Emit(vm.OpExit)
+	b.Word("main")
+	b.Lit(14)
+	b.CallTo("triple")
+	b.Emit(vm.OpHalt)
+	b.SetEntry("word:main")
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, 42)
+}
+
+func TestDoLoop(t *testing.T) {
+	// : main 0 5 0 do i + loop ; => 0+1+2+3+4 = 10
+	b := vm.NewBuilder()
+	b.Lit(0)
+	b.Lit(5)
+	b.Lit(0)
+	b.Emit(vm.OpDo)
+	b.Label("top")
+	b.Emit(vm.OpI)
+	b.Emit(vm.OpAdd)
+	b.LoopTo("top")
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, 10)
+}
+
+func TestNestedDoLoopWithJ(t *testing.T) {
+	// sum over i in [0,3), j in [0,3) of (i*10+j) where j is outer.
+	b := vm.NewBuilder()
+	b.Lit(0) // acc
+	b.Lit(3)
+	b.Lit(0)
+	b.Emit(vm.OpDo) // outer
+	b.Label("outer")
+	b.Lit(3)
+	b.Lit(0)
+	b.Emit(vm.OpDo) // inner
+	b.Label("inner")
+	b.Emit(vm.OpI)
+	b.Emit(vm.OpJ)
+	b.Lit(10)
+	b.Emit(vm.OpMul)
+	b.Emit(vm.OpAdd)
+	b.Emit(vm.OpAdd)
+	b.LoopTo("inner")
+	b.LoopTo("outer")
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	// sum_{j,i} (j*10 + i) = 9*(0+1+2)*? -> j sum: (0+1+2)*10*3 + (0+1+2)*3 = 90+9 = 99
+	wantStack(t, m, 99)
+}
+
+func TestPlusLoop(t *testing.T) {
+	// 10 0 do i + 2 +loop over 0,2,4,6,8 = 20
+	b := vm.NewBuilder()
+	b.Lit(0)
+	b.Lit(10)
+	b.Lit(0)
+	b.Emit(vm.OpDo)
+	b.Label("top")
+	b.Emit(vm.OpI)
+	b.Emit(vm.OpAdd)
+	b.Lit(2)
+	b.PlusLoopTo("top")
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, 20)
+}
+
+func TestUnloopAndExitFromLoop(t *testing.T) {
+	// A word that searches 0..9 for 7 and exits early with unloop.
+	b := vm.NewBuilder()
+	b.Word("find7")
+	b.Lit(10)
+	b.Lit(0)
+	b.Emit(vm.OpDo)
+	b.Label("top")
+	b.Emit(vm.OpI)
+	b.Lit(7)
+	b.Emit(vm.OpEq)
+	b.BranchZeroTo("cont")
+	b.Emit(vm.OpI)
+	b.Emit(vm.OpUnloop)
+	b.Emit(vm.OpExit)
+	b.Label("cont")
+	b.LoopTo("top")
+	b.Lit(-1)
+	b.Emit(vm.OpExit)
+	b.Word("main")
+	b.CallTo("find7")
+	b.Emit(vm.OpHalt)
+	b.SetEntry("word:main")
+	m := runAll(t, b.MustBuild())
+	wantStack(t, m, 7)
+}
+
+func TestOutput(t *testing.T) {
+	b := vm.NewBuilder()
+	addr := b.AllocData([]byte("hi!"))
+	b.Lit('A')
+	b.Emit(vm.OpEmit)
+	b.Lit(42)
+	b.Emit(vm.OpDot)
+	b.Lit(addr)
+	b.Lit(3)
+	b.Emit(vm.OpType)
+	b.Emit(vm.OpHalt)
+	m := runAll(t, b.MustBuild())
+	if got := m.Out.String(); got != "A42 hi!" {
+		t.Errorf("output = %q, want %q", got, "A42 hi!")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	m := runAll(t, prog(t, []vm.Cell{10, 20}, vm.OpDepth))
+	wantStack(t, m, 10, 20, 2)
+}
+
+func TestNop(t *testing.T) {
+	m := runAll(t, prog(t, []vm.Cell{5}, vm.OpNop, vm.OpNop))
+	wantStack(t, m, 5)
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		lits []vm.Cell
+		ops  []vm.Opcode
+		want string
+	}{
+		{"underflow-add", nil, []vm.Opcode{vm.OpAdd}, "stack underflow"},
+		{"underflow-dup", nil, []vm.Opcode{vm.OpDup}, "stack underflow"},
+		{"underflow-rot", []vm.Cell{1, 2}, []vm.Opcode{vm.OpRot}, "stack underflow"},
+		{"div-zero", []vm.Cell{1, 0}, []vm.Opcode{vm.OpDiv}, "division by zero"},
+		{"mod-zero", []vm.Cell{1, 0}, []vm.Opcode{vm.OpMod}, "division by zero"},
+		{"rstack-underflow", nil, []vm.Opcode{vm.OpRFrom}, "return stack underflow"},
+		{"exit-underflow", nil, []vm.Opcode{vm.OpExit}, "return stack underflow"},
+		{"bad-fetch", []vm.Cell{1 << 40}, []vm.Opcode{vm.OpFetch}, "memory access out of range"},
+		{"bad-store", []vm.Cell{1, -8}, []vm.Opcode{vm.OpStore}, "memory access out of range"},
+		{"bad-cfetch", []vm.Cell{-1}, []vm.Opcode{vm.OpCFetch}, "memory access out of range"},
+		{"bad-type", []vm.Cell{0, 100}, []vm.Opcode{vm.OpType}, "memory access out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := prog(t, c.lits, c.ops...)
+			for _, e := range Engines {
+				_, err := Run(p, e)
+				if err == nil {
+					t.Fatalf("%v: expected error", e)
+				}
+				if !strings.Contains(err.Error(), c.want) {
+					t.Fatalf("%v: error %q does not contain %q", e, err, c.want)
+				}
+				var rte *RuntimeError
+				if !errorsAs(err, &rte) {
+					t.Fatalf("%v: error is not a *RuntimeError: %T", e, err)
+				}
+			}
+		})
+	}
+}
+
+// errorsAs is a minimal errors.As for *RuntimeError to avoid importing
+// errors for one call.
+func errorsAs(err error, target **RuntimeError) bool {
+	rte, ok := err.(*RuntimeError)
+	if ok {
+		*target = rte
+	}
+	return ok
+}
+
+func TestStepLimit(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Label("spin")
+	b.BranchTo("spin")
+	p := b.MustBuild()
+	for _, e := range Engines {
+		m := NewMachine(p)
+		m.MaxSteps = 1000
+		var err error
+		switch e {
+		case EngineSwitch:
+			err = RunSwitch(m)
+		case EngineToken:
+			err = RunToken(m)
+		case EngineThreaded:
+			err = RunThreaded(m)
+		}
+		if err == nil || !strings.Contains(err.Error(), "step limit") {
+			t.Errorf("%v: err = %v, want step limit", e, err)
+		}
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Label("spin")
+	b.Lit(1)
+	b.BranchTo("spin")
+	p := b.MustBuild()
+	for _, e := range Engines {
+		_, err := Run(p, e)
+		if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+			t.Errorf("%v: err = %v, want stack overflow", e, err)
+		}
+	}
+}
+
+func TestMachineReset(t *testing.T) {
+	b := vm.NewBuilder()
+	addr := b.Alloc(8)
+	b.Lit(9)
+	b.Lit(addr)
+	b.Emit(vm.OpStore)
+	b.Lit(1)
+	b.Emit(vm.OpDot)
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+	m := NewMachine(p)
+	if err := RunSwitch(m); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Snapshot()
+	m.Reset()
+	if m.Out.Len() != 0 || m.SP != 0 || m.Steps != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if err := RunSwitch(m); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(m.Snapshot()) {
+		t.Error("second run differs from first after Reset")
+	}
+}
+
+func TestRunTracedMatchesPlainRun(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Lit(0)
+	b.Lit(100)
+	b.Lit(0)
+	b.Emit(vm.OpDo)
+	b.Label("top")
+	b.Emit(vm.OpI)
+	b.Emit(vm.OpAdd)
+	b.LoopTo("top")
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+
+	trace, m, err := Capture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(p, EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Snapshot().Equal(m.Snapshot()) {
+		t.Error("traced run state differs from plain run")
+	}
+	if int64(len(trace)) != m.Steps {
+		t.Errorf("trace length %d != steps %d", len(trace), m.Steps)
+	}
+	// 4 setup + 100 iterations * 3 + halt
+	if len(trace) != 4+300+1 {
+		t.Errorf("trace length = %d, want 305", len(trace))
+	}
+}
+
+func TestFloorDivModProperties(t *testing.T) {
+	f := func(a vm.Cell, b vm.Cell) bool {
+		if b == 0 {
+			return true
+		}
+		q, r := FloorDiv(a, b), FloorMod(a, b)
+		if q*b+r != a {
+			return false
+		}
+		// Remainder has the sign of the divisor (or is zero).
+		if r != 0 && ((r < 0) != (b < 0)) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnginesAgreeOnRandomArithmetic is the central differential
+// property test: random straight-line arithmetic programs produce
+// identical results on every engine.
+func TestEnginesAgreeOnRandomArithmetic(t *testing.T) {
+	safeOps := []vm.Opcode{
+		vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpMin, vm.OpMax, vm.OpAnd,
+		vm.OpOr, vm.OpXor, vm.OpNegate, vm.OpAbs, vm.OpInvert,
+		vm.OpOnePlus, vm.OpOneMinus, vm.OpTwoStar, vm.OpTwoSlash,
+		vm.OpDup, vm.OpSwap, vm.OpOver, vm.OpRot, vm.OpTuck,
+		vm.OpEq, vm.OpLt, vm.OpGt, vm.OpZeroEq, vm.OpZeroLt,
+	}
+	f := func(seedLits []int64, choices []uint8) bool {
+		b := vm.NewBuilder()
+		// Seed with enough literals that ops never underflow.
+		depth := 0
+		for _, n := range seedLits {
+			b.Lit(vm.Cell(n))
+			depth++
+		}
+		for i := 0; depth < 3 && i < 3; i++ {
+			b.Lit(vm.Cell(i))
+			depth++
+		}
+		for _, c := range choices {
+			op := safeOps[int(c)%len(safeOps)]
+			eff := vm.EffectOf(op)
+			if depth < eff.In || depth+eff.NetEffect() > 64 {
+				continue
+			}
+			b.Emit(op)
+			depth += eff.NetEffect()
+		}
+		b.Emit(vm.OpHalt)
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var ref Snapshot
+		for i, e := range Engines {
+			m, err := Run(p, e)
+			if err != nil {
+				return false
+			}
+			if i == 0 {
+				ref = m.Snapshot()
+			} else if !ref.Equal(m.Snapshot()) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineSwitch.String() != "switch" || EngineToken.String() != "token" ||
+		EngineThreaded.String() != "threaded" {
+		t.Error("engine names wrong")
+	}
+	if !strings.Contains(Engine(9).String(), "9") {
+		t.Error("unknown engine name should include number")
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	p := prog(t, nil)
+	if _, err := Run(p, Engine(42)); err == nil {
+		t.Error("expected error for unknown engine")
+	}
+}

@@ -1,0 +1,212 @@
+// Package interp provides baseline interpreters for the virtual stack
+// machine of internal/vm, one per instruction-dispatch technique the
+// paper compares in §2.1:
+//
+//   - Switch: one giant switch inside a loop (the paper's Fig. 2);
+//   - Token: a table of functions indexed by opcode, the paper's
+//     "direct call threading" (Fig. 3);
+//   - Threaded: the code is pre-translated to a sequence of function
+//     values, the closest Go analog of direct threading (Fig. 1/8 —
+//     Go has no computed goto, so the jump through the instruction
+//     stream is a call through a function value).
+//
+// All interpreters share the Machine state and have identical
+// semantics; differential tests in this package and the caching
+// engines rely on that. None of them cache stack items in registers:
+// they are the "no stack caching" baseline against which
+// internal/dyncache and internal/statcache are measured.
+package interp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"stackcache/internal/vm"
+)
+
+// Default capacity limits. Generous for the workloads in this
+// repository while still catching runaway programs.
+const (
+	DefaultStackCap  = 4096
+	DefaultRStackCap = 4096
+	DefaultMaxSteps  = 1 << 32
+)
+
+// Machine is the mutable state of one virtual machine execution: the
+// two stacks, data memory, the instruction pointer and the output
+// stream. All interpreters and caching engines operate on a Machine.
+type Machine struct {
+	Prog *vm.Program
+
+	Stack []vm.Cell // data stack; Stack[SP-1] is the top
+	SP    int
+	RSt   []vm.Cell // return stack; RSt[RP-1] is the top
+	RP    int
+	Mem   []byte
+	PC    int
+
+	// Out receives everything the program prints (OpEmit, OpDot,
+	// OpType).
+	Out bytes.Buffer
+
+	// MaxSteps bounds the number of executed instructions; exceeding
+	// it is an error. Zero means DefaultMaxSteps.
+	MaxSteps int64
+
+	// Steps is the number of instructions executed so far.
+	Steps int64
+}
+
+// NewMachine prepares a machine to run p from its entry point.
+func NewMachine(p *vm.Program) *Machine {
+	m := &Machine{
+		Prog:  p,
+		Stack: make([]vm.Cell, DefaultStackCap),
+		RSt:   make([]vm.Cell, DefaultRStackCap),
+		Mem:   make([]byte, p.MemSize),
+		PC:    p.Entry,
+	}
+	copy(m.Mem, p.Data)
+	return m
+}
+
+// Reset returns the machine to its initial state so the same program
+// can be run again.
+func (m *Machine) Reset() {
+	m.SP, m.RP = 0, 0
+	m.PC = m.Prog.Entry
+	m.Steps = 0
+	m.Out.Reset()
+	for i := range m.Mem {
+		m.Mem[i] = 0
+	}
+	copy(m.Mem, m.Prog.Data)
+}
+
+// RuntimeError is an execution failure annotated with the program
+// counter where it occurred.
+type RuntimeError struct {
+	PC  int
+	Op  vm.Opcode
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("vm runtime error at pc %d (%s): %s", e.PC, e.Op, e.Msg)
+}
+
+func (m *Machine) fail(op vm.Opcode, msg string) error {
+	return &RuntimeError{PC: m.PC, Op: op, Msg: msg}
+}
+
+// Snapshot captures the observable final state of an execution for
+// differential testing: stack contents, output, and memory hash.
+type Snapshot struct {
+	Stack  []vm.Cell
+	RStack []vm.Cell
+	Output string
+	Mem    []byte
+	Steps  int64
+}
+
+// Snapshot returns the machine's observable state.
+func (m *Machine) Snapshot() Snapshot {
+	return Snapshot{
+		Stack:  append([]vm.Cell(nil), m.Stack[:m.SP]...),
+		RStack: append([]vm.Cell(nil), m.RSt[:m.RP]...),
+		Output: m.Out.String(),
+		Mem:    append([]byte(nil), m.Mem...),
+		Steps:  m.Steps,
+	}
+}
+
+// Equal reports whether two snapshots describe the same observable
+// state (step counts may differ between engines that eliminate
+// instructions and are not compared).
+func (s Snapshot) Equal(t Snapshot) bool {
+	if len(s.Stack) != len(t.Stack) || len(s.RStack) != len(t.RStack) ||
+		s.Output != t.Output || !bytes.Equal(s.Mem, t.Mem) {
+		return false
+	}
+	for i := range s.Stack {
+		if s.Stack[i] != t.Stack[i] {
+			return false
+		}
+	}
+	for i := range s.RStack {
+		if s.RStack[i] != t.RStack[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CellAt loads the cell at byte address addr.
+func (m *Machine) CellAt(addr vm.Cell) (vm.Cell, bool) {
+	if addr < 0 || addr+vm.CellSize > vm.Cell(len(m.Mem)) {
+		return 0, false
+	}
+	return vm.Cell(binary.LittleEndian.Uint64(m.Mem[addr:])), true
+}
+
+// SetCellAt stores x at byte address addr.
+func (m *Machine) SetCellAt(addr, x vm.Cell) bool {
+	if addr < 0 || addr+vm.CellSize > vm.Cell(len(m.Mem)) {
+		return false
+	}
+	binary.LittleEndian.PutUint64(m.Mem[addr:], uint64(x))
+	return true
+}
+
+// ByteAt loads the byte at addr.
+func (m *Machine) ByteAt(addr vm.Cell) (byte, bool) {
+	if addr < 0 || addr >= vm.Cell(len(m.Mem)) {
+		return 0, false
+	}
+	return m.Mem[addr], true
+}
+
+// SetByteAt stores the low byte of x at addr.
+func (m *Machine) SetByteAt(addr, x vm.Cell) bool {
+	if addr < 0 || addr >= vm.Cell(len(m.Mem)) {
+		return false
+	}
+	m.Mem[addr] = byte(x)
+	return true
+}
+
+// writeDot prints n in Forth's ". " format: decimal followed by a
+// space.
+func (m *Machine) writeDot(n vm.Cell) {
+	m.Out.WriteString(strconv.FormatInt(n, 10))
+	m.Out.WriteByte(' ')
+}
+
+// FloorDiv is Forth's floored division; the quotient rounds toward
+// negative infinity.
+func FloorDiv(a, b vm.Cell) vm.Cell {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// FloorMod is the remainder matching FloorDiv; it has the sign of the
+// divisor.
+func FloorMod(a, b vm.Cell) vm.Cell {
+	r := a % b
+	if r != 0 && ((a < 0) != (b < 0)) {
+		r += b
+	}
+	return r
+}
+
+func (m *Machine) maxSteps() int64 {
+	if m.MaxSteps > 0 {
+		return m.MaxSteps
+	}
+	return DefaultMaxSteps
+}

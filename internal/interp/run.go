@@ -1,0 +1,90 @@
+package interp
+
+import (
+	"fmt"
+
+	"stackcache/internal/vm"
+)
+
+// Engine selects a dispatch technique.
+type Engine int
+
+const (
+	// EngineSwitch is the giant-switch interpreter (paper Fig. 2).
+	EngineSwitch Engine = iota
+	// EngineToken is the function-table interpreter, "direct call
+	// threading" (paper Fig. 3).
+	EngineToken
+	// EngineThreaded is the pre-translated function-value interpreter,
+	// the Go analog of direct threading (paper Fig. 1/8).
+	EngineThreaded
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineSwitch:
+		return "switch"
+	case EngineToken:
+		return "token"
+	case EngineThreaded:
+		return "threaded"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Engines lists all dispatch techniques, for differential tests and
+// the Fig. 7 benchmark sweep.
+var Engines = []Engine{EngineSwitch, EngineToken, EngineThreaded}
+
+// Run executes p on a fresh machine with the chosen engine and returns
+// the final machine.
+func Run(p *vm.Program, e Engine) (*Machine, error) {
+	m := NewMachine(p)
+	var err error
+	switch e {
+	case EngineSwitch:
+		err = RunSwitch(m)
+	case EngineToken:
+		err = RunToken(m)
+	case EngineThreaded:
+		err = RunThreaded(m)
+	default:
+		err = fmt.Errorf("interp: unknown engine %d", int(e))
+	}
+	return m, err
+}
+
+// RunTraced executes p with token dispatch, invoking visit before each
+// instruction. Trace capture and all trace-driven simulators
+// (internal/constcache, internal/trace) build on this.
+func RunTraced(p *vm.Program, visit func(pc int, ins vm.Instr)) (*Machine, error) {
+	m := NewMachine(p)
+	code := p.Code
+	limit := m.maxSteps()
+	for {
+		if m.Steps >= limit {
+			return m, m.fail(code[m.PC].Op, "step limit exceeded")
+		}
+		ins := code[m.PC]
+		visit(m.PC, ins)
+		m.Steps++
+		if err := handlers[ins.Op](m, ins.Arg); err != nil {
+			if err == errHalt {
+				return m, nil
+			}
+			return m, err
+		}
+	}
+}
+
+// Capture runs p and returns the sequence of executed opcodes (the
+// trace format all trace-driven cache simulators consume) along with
+// the final machine state.
+func Capture(p *vm.Program) ([]vm.Opcode, *Machine, error) {
+	trace := make([]vm.Opcode, 0, 1<<16)
+	m, err := RunTraced(p, func(_ int, ins vm.Instr) {
+		trace = append(trace, ins.Op)
+	})
+	return trace, m, err
+}

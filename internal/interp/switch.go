@@ -1,0 +1,723 @@
+package interp
+
+import "stackcache/internal/vm"
+
+// RunSwitch executes the machine's program with switch dispatch: the
+// whole interpreter is one loop around a giant switch, the paper's
+// Fig. 2. Virtual machine registers (pc, sp, rp) live in locals, which
+// the paper notes is the main advantage switch dispatch has over call
+// threading in C; in Go the compiler enregisters them when it can.
+func RunSwitch(m *Machine) error {
+	code := m.Prog.Code
+	st := m.Stack
+	rs := m.RSt
+	pc, sp, rp := m.PC, m.SP, m.RP
+	steps := m.Steps
+	limit := m.maxSteps()
+
+	// sync spills the locals back into the machine, for error paths
+	// and at halt.
+	sync := func() {
+		m.PC, m.SP, m.RP, m.Steps = pc, sp, rp, steps
+	}
+
+	for {
+		if steps >= limit {
+			sync()
+			return m.fail(code[pc].Op, "step limit exceeded")
+		}
+		ins := code[pc]
+		steps++
+		switch ins.Op {
+		case vm.OpNop:
+			pc++
+
+		case vm.OpLit:
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpAdd:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] += st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpSub:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] -= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpMul:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] *= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpDiv:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if st[sp-1] == 0 {
+				sync()
+				return m.fail(ins.Op, "division by zero")
+			}
+			st[sp-2] = FloorDiv(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpMod:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if st[sp-1] == 0 {
+				sync()
+				return m.fail(ins.Op, "division by zero")
+			}
+			st[sp-2] = FloorMod(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpNegate:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] = -st[sp-1]
+			pc++
+
+		case vm.OpAbs:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if st[sp-1] < 0 {
+				st[sp-1] = -st[sp-1]
+			}
+			pc++
+
+		case vm.OpMin:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if st[sp-1] < st[sp-2] {
+				st[sp-2] = st[sp-1]
+			}
+			sp--
+			pc++
+
+		case vm.OpMax:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if st[sp-1] > st[sp-2] {
+				st[sp-2] = st[sp-1]
+			}
+			sp--
+			pc++
+
+		case vm.OpAnd:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] &= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpOr:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] |= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpXor:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] ^= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpInvert:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] = ^st[sp-1]
+			pc++
+
+		case vm.OpLshift:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = ShiftLeft(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpRshift:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = ShiftRight(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpOnePlus:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1]++
+			pc++
+
+		case vm.OpOneMinus:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1]--
+			pc++
+
+		case vm.OpTwoStar:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] <<= 1
+			pc++
+
+		case vm.OpTwoSlash:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] >>= 1
+			pc++
+
+		case vm.OpCells:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] *= vm.CellSize
+			pc++
+
+		case vm.OpLitAdd:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] += ins.Arg
+			pc++
+
+		case vm.OpEq:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = Flag(st[sp-2] == st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpNe:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = Flag(st[sp-2] != st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpLt:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = Flag(st[sp-2] < st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpGt:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = Flag(st[sp-2] > st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpLe:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = Flag(st[sp-2] <= st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpGe:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = Flag(st[sp-2] >= st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpULt:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = Flag(uint64(st[sp-2]) < uint64(st[sp-1]))
+			sp--
+			pc++
+
+		case vm.OpZeroEq:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] = Flag(st[sp-1] == 0)
+			pc++
+
+		case vm.OpZeroNe:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] = Flag(st[sp-1] != 0)
+			pc++
+
+		case vm.OpZeroLt:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] = Flag(st[sp-1] < 0)
+			pc++
+
+		case vm.OpZeroGt:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1] = Flag(st[sp-1] > 0)
+			pc++
+
+		case vm.OpDup:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = st[sp-1]
+			sp++
+			pc++
+
+		case vm.OpDrop:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			sp--
+			pc++
+
+		case vm.OpSwap:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-1], st[sp-2] = st[sp-2], st[sp-1]
+			pc++
+
+		case vm.OpOver:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = st[sp-2]
+			sp++
+			pc++
+
+		case vm.OpRot:
+			if sp < 3 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-3], st[sp-2], st[sp-1] = st[sp-2], st[sp-1], st[sp-3]
+			pc++
+
+		case vm.OpMinusRot:
+			if sp < 3 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-3], st[sp-2], st[sp-1] = st[sp-1], st[sp-3], st[sp-2]
+			pc++
+
+		case vm.OpNip:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			st[sp-2] = st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpTuck:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = st[sp-1]
+			st[sp-1] = st[sp-2]
+			st[sp-2] = st[sp]
+			sp++
+			pc++
+
+		case vm.OpTwoDup:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if sp+2 > len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = st[sp-2]
+			st[sp+1] = st[sp-1]
+			sp += 2
+			pc++
+
+		case vm.OpTwoDrop:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpToR:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if rp == len(rs) {
+				sync()
+				return m.fail(ins.Op, "return stack overflow")
+			}
+			rs[rp] = st[sp-1]
+			rp++
+			sp--
+			pc++
+
+		case vm.OpRFrom:
+			if rp < 1 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = rs[rp-1]
+			sp++
+			rp--
+			pc++
+
+		case vm.OpRFetch:
+			if rp < 1 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = rs[rp-1]
+			sp++
+			pc++
+
+		case vm.OpFetch:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			addr := st[sp-1]
+			x, ok := m.CellAt(addr)
+			if !ok {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			st[sp-1] = x
+			pc++
+
+		case vm.OpStore:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if !m.SetCellAt(st[sp-1], st[sp-2]) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpCFetch:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			c, ok := m.ByteAt(st[sp-1])
+			if !ok {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			st[sp-1] = vm.Cell(c)
+			pc++
+
+		case vm.OpCStore:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if !m.SetByteAt(st[sp-1], st[sp-2]) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpPlusStore:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			addr := st[sp-1]
+			x, ok := m.CellAt(addr)
+			if !ok || !m.SetCellAt(addr, x+st[sp-2]) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpBranch:
+			pc = int(ins.Arg)
+
+		case vm.OpBranchZero:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			sp--
+			if st[sp] == 0 {
+				pc = int(ins.Arg)
+			} else {
+				pc++
+			}
+
+		case vm.OpCall:
+			if rp == len(rs) {
+				sync()
+				return m.fail(ins.Op, "return stack overflow")
+			}
+			rs[rp] = vm.Cell(pc + 1)
+			rp++
+			pc = int(ins.Arg)
+
+		case vm.OpExit:
+			if rp < 1 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			rp--
+			pc = int(rs[rp])
+
+		case vm.OpHalt:
+			sync()
+			return nil
+
+		case vm.OpDo:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if rp+2 > len(rs) {
+				sync()
+				return m.fail(ins.Op, "return stack overflow")
+			}
+			rs[rp] = st[sp-2]   // limit
+			rs[rp+1] = st[sp-1] // index
+			rp += 2
+			sp -= 2
+			pc++
+
+		case vm.OpLoop:
+			if rp < 2 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			rs[rp-1]++
+			if rs[rp-1] == rs[rp-2] {
+				rp -= 2
+				pc++
+			} else {
+				pc = int(ins.Arg)
+			}
+
+		case vm.OpPlusLoop:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			if rp < 2 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			n := st[sp-1]
+			sp--
+			old := rs[rp-1] - rs[rp-2]
+			rs[rp-1] += n
+			now := rs[rp-1] - rs[rp-2]
+			if (old < 0) != (now < 0) {
+				rp -= 2
+				pc++
+			} else {
+				pc = int(ins.Arg)
+			}
+
+		case vm.OpI:
+			if rp < 1 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = rs[rp-1]
+			sp++
+			pc++
+
+		case vm.OpJ:
+			if rp < 3 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = rs[rp-3]
+			sp++
+			pc++
+
+		case vm.OpUnloop:
+			if rp < 2 {
+				sync()
+				return m.fail(ins.Op, "return stack underflow")
+			}
+			rp -= 2
+			pc++
+
+		case vm.OpEmit:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			m.Out.WriteByte(byte(st[sp-1]))
+			sp--
+			pc++
+
+		case vm.OpDot:
+			if sp < 1 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			m.writeDot(st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpType:
+			if sp < 2 {
+				sync()
+				return m.fail(ins.Op, "stack underflow")
+			}
+			addr, n := st[sp-2], st[sp-1]
+			if n < 0 || addr < 0 || addr+n > vm.Cell(len(m.Mem)) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			m.Out.Write(m.Mem[addr : addr+n])
+			sp -= 2
+			pc++
+
+		case vm.OpDepth:
+			if sp == len(st) {
+				sync()
+				return m.fail(ins.Op, "stack overflow")
+			}
+			st[sp] = vm.Cell(sp)
+			sp++
+			pc++
+
+		default:
+			sync()
+			return m.fail(ins.Op, "invalid opcode")
+		}
+	}
+}
+
+// Flag converts a Go bool to a Forth flag: -1 for true, 0 for false.
+func Flag(b bool) vm.Cell {
+	if b {
+		return -1
+	}
+	return 0
+}
+
+// ShiftLeft implements OpLshift: the shift count is masked to the cell
+// width, as on most hardware.
+func ShiftLeft(a, u vm.Cell) vm.Cell { return a << (uint64(u) & 63) }
+
+// ShiftRight implements OpRshift (logical shift).
+func ShiftRight(a, u vm.Cell) vm.Cell { return vm.Cell(uint64(a) >> (uint64(u) & 63)) }

@@ -1,0 +1,593 @@
+package interp
+
+import (
+	"errors"
+
+	"stackcache/internal/vm"
+)
+
+// errHalt is the internal sentinel a handler returns when OpHalt
+// executes; the driving loops translate it to a nil error.
+var errHalt = errors.New("halt")
+
+// handler implements one opcode over machine state kept in memory
+// (fields of *Machine) — exactly the property the paper points out
+// makes "direct call threading" slow in C: every virtual machine
+// register access is a load or store.
+type handler func(m *Machine, arg vm.Cell) error
+
+// RunToken executes the program with token dispatch (the paper's
+// Fig. 3, "direct call threading"): each instruction is looked up in a
+// table of routines indexed by opcode and called.
+func RunToken(m *Machine) error {
+	code := m.Prog.Code
+	limit := m.maxSteps()
+	for {
+		if m.Steps >= limit {
+			return m.fail(code[m.PC].Op, "step limit exceeded")
+		}
+		ins := code[m.PC]
+		m.Steps++
+		if err := handlers[ins.Op](m, ins.Arg); err != nil {
+			if err == errHalt {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// threadedInstr is one slot of pre-translated threaded code: the
+// handler address plus the decoded immediate. Translating the opcode
+// to a function value ahead of time removes the table lookup from the
+// dispatch path; this is as close as Go gets to the paper's direct
+// threading (Fig. 1/8).
+type threadedInstr struct {
+	fn  handler
+	arg vm.Cell
+}
+
+// Threaded is a program pre-translated for threaded execution.
+type Threaded struct {
+	m    *Machine
+	code []threadedInstr
+}
+
+// NewThreaded translates p into threaded code for machine m.
+func NewThreaded(m *Machine) *Threaded {
+	t := &Threaded{m: m, code: make([]threadedInstr, len(m.Prog.Code))}
+	for i, ins := range m.Prog.Code {
+		t.code[i] = threadedInstr{fn: handlers[ins.Op], arg: ins.Arg}
+	}
+	return t
+}
+
+// Run executes the threaded code until halt or error.
+func (t *Threaded) Run() error {
+	m := t.m
+	limit := m.maxSteps()
+	for {
+		if m.Steps >= limit {
+			return m.fail(m.Prog.Code[m.PC].Op, "step limit exceeded")
+		}
+		ins := t.code[m.PC]
+		m.Steps++
+		if err := ins.fn(m, ins.arg); err != nil {
+			if err == errHalt {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// RunThreaded translates and runs in one step.
+func RunThreaded(m *Machine) error { return NewThreaded(m).Run() }
+
+// Stack helpers used by the handlers. They keep all virtual machine
+// state in the Machine, as call-threaded interpreters must.
+
+func (m *Machine) push(x vm.Cell) error {
+	if m.SP == len(m.Stack) {
+		return m.fail(m.Prog.Code[m.PC].Op, "stack overflow")
+	}
+	m.Stack[m.SP] = x
+	m.SP++
+	return nil
+}
+
+func (m *Machine) pop() (vm.Cell, error) {
+	if m.SP == 0 {
+		return 0, m.fail(m.Prog.Code[m.PC].Op, "stack underflow")
+	}
+	m.SP--
+	return m.Stack[m.SP], nil
+}
+
+func (m *Machine) pop2() (second, top vm.Cell, err error) {
+	if m.SP < 2 {
+		return 0, 0, m.fail(m.Prog.Code[m.PC].Op, "stack underflow")
+	}
+	m.SP -= 2
+	return m.Stack[m.SP], m.Stack[m.SP+1], nil
+}
+
+func (m *Machine) rpush(x vm.Cell) error {
+	if m.RP == len(m.RSt) {
+		return m.fail(m.Prog.Code[m.PC].Op, "return stack overflow")
+	}
+	m.RSt[m.RP] = x
+	m.RP++
+	return nil
+}
+
+func (m *Machine) rpop() (vm.Cell, error) {
+	if m.RP == 0 {
+		return 0, m.fail(m.Prog.Code[m.PC].Op, "return stack underflow")
+	}
+	m.RP--
+	return m.RSt[m.RP], nil
+}
+
+// binOp builds a handler for a two-operand arithmetic instruction.
+func binOp(f func(a, b vm.Cell) vm.Cell) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		b, err := m.pop()
+		if err != nil {
+			return err
+		}
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if err := m.push(f(a, b)); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	}
+}
+
+// unOp builds a handler for a one-operand instruction.
+func unOp(f func(a vm.Cell) vm.Cell) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		if m.SP < 1 {
+			return m.fail(m.Prog.Code[m.PC].Op, "stack underflow")
+		}
+		m.Stack[m.SP-1] = f(m.Stack[m.SP-1])
+		m.PC++
+		return nil
+	}
+}
+
+func divHandler(mod bool) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		b, err := m.pop()
+		if err != nil {
+			return err
+		}
+		a, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if b == 0 {
+			return m.fail(m.Prog.Code[m.PC].Op, "division by zero")
+		}
+		var r vm.Cell
+		if mod {
+			r = FloorMod(a, b)
+		} else {
+			r = FloorDiv(a, b)
+		}
+		if err := m.push(r); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	}
+}
+
+var handlers = [vm.NumOpcodes]handler{
+	vm.OpNop: func(m *Machine, _ vm.Cell) error { m.PC++; return nil },
+	vm.OpLit: func(m *Machine, arg vm.Cell) error {
+		if err := m.push(arg); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+
+	vm.OpAdd:    binOp(func(a, b vm.Cell) vm.Cell { return a + b }),
+	vm.OpSub:    binOp(func(a, b vm.Cell) vm.Cell { return a - b }),
+	vm.OpMul:    binOp(func(a, b vm.Cell) vm.Cell { return a * b }),
+	vm.OpDiv:    divHandler(false),
+	vm.OpMod:    divHandler(true),
+	vm.OpNegate: unOp(func(a vm.Cell) vm.Cell { return -a }),
+	vm.OpAbs: unOp(func(a vm.Cell) vm.Cell {
+		if a < 0 {
+			return -a
+		}
+		return a
+	}),
+	vm.OpMin: binOp(func(a, b vm.Cell) vm.Cell {
+		if a < b {
+			return a
+		}
+		return b
+	}),
+	vm.OpMax: binOp(func(a, b vm.Cell) vm.Cell {
+		if a > b {
+			return a
+		}
+		return b
+	}),
+	vm.OpAnd:      binOp(func(a, b vm.Cell) vm.Cell { return a & b }),
+	vm.OpOr:       binOp(func(a, b vm.Cell) vm.Cell { return a | b }),
+	vm.OpXor:      binOp(func(a, b vm.Cell) vm.Cell { return a ^ b }),
+	vm.OpInvert:   unOp(func(a vm.Cell) vm.Cell { return ^a }),
+	vm.OpLshift:   binOp(ShiftLeft),
+	vm.OpRshift:   binOp(ShiftRight),
+	vm.OpOnePlus:  unOp(func(a vm.Cell) vm.Cell { return a + 1 }),
+	vm.OpOneMinus: unOp(func(a vm.Cell) vm.Cell { return a - 1 }),
+	vm.OpTwoStar:  unOp(func(a vm.Cell) vm.Cell { return a << 1 }),
+	vm.OpTwoSlash: unOp(func(a vm.Cell) vm.Cell { return a >> 1 }),
+	vm.OpCells:    unOp(func(a vm.Cell) vm.Cell { return a * vm.CellSize }),
+	vm.OpLitAdd: func(m *Machine, arg vm.Cell) error {
+		if m.SP < 1 {
+			return m.fail(vm.OpLitAdd, "stack underflow")
+		}
+		m.Stack[m.SP-1] += arg
+		m.PC++
+		return nil
+	},
+
+	vm.OpEq:     binOp(func(a, b vm.Cell) vm.Cell { return Flag(a == b) }),
+	vm.OpNe:     binOp(func(a, b vm.Cell) vm.Cell { return Flag(a != b) }),
+	vm.OpLt:     binOp(func(a, b vm.Cell) vm.Cell { return Flag(a < b) }),
+	vm.OpGt:     binOp(func(a, b vm.Cell) vm.Cell { return Flag(a > b) }),
+	vm.OpLe:     binOp(func(a, b vm.Cell) vm.Cell { return Flag(a <= b) }),
+	vm.OpGe:     binOp(func(a, b vm.Cell) vm.Cell { return Flag(a >= b) }),
+	vm.OpULt:    binOp(func(a, b vm.Cell) vm.Cell { return Flag(uint64(a) < uint64(b)) }),
+	vm.OpZeroEq: unOp(func(a vm.Cell) vm.Cell { return Flag(a == 0) }),
+	vm.OpZeroNe: unOp(func(a vm.Cell) vm.Cell { return Flag(a != 0) }),
+	vm.OpZeroLt: unOp(func(a vm.Cell) vm.Cell { return Flag(a < 0) }),
+	vm.OpZeroGt: unOp(func(a vm.Cell) vm.Cell { return Flag(a > 0) }),
+
+	vm.OpDup: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 1 {
+			return m.fail(vm.OpDup, "stack underflow")
+		}
+		if err := m.push(m.Stack[m.SP-1]); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpDrop: func(m *Machine, _ vm.Cell) error {
+		if _, err := m.pop(); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpSwap: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 2 {
+			return m.fail(vm.OpSwap, "stack underflow")
+		}
+		m.Stack[m.SP-1], m.Stack[m.SP-2] = m.Stack[m.SP-2], m.Stack[m.SP-1]
+		m.PC++
+		return nil
+	},
+	vm.OpOver: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 2 {
+			return m.fail(vm.OpOver, "stack underflow")
+		}
+		if err := m.push(m.Stack[m.SP-2]); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpRot: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 3 {
+			return m.fail(vm.OpRot, "stack underflow")
+		}
+		s := m.Stack
+		s[m.SP-3], s[m.SP-2], s[m.SP-1] = s[m.SP-2], s[m.SP-1], s[m.SP-3]
+		m.PC++
+		return nil
+	},
+	vm.OpMinusRot: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 3 {
+			return m.fail(vm.OpMinusRot, "stack underflow")
+		}
+		s := m.Stack
+		s[m.SP-3], s[m.SP-2], s[m.SP-1] = s[m.SP-1], s[m.SP-3], s[m.SP-2]
+		m.PC++
+		return nil
+	},
+	vm.OpNip: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 2 {
+			return m.fail(vm.OpNip, "stack underflow")
+		}
+		m.Stack[m.SP-2] = m.Stack[m.SP-1]
+		m.SP--
+		m.PC++
+		return nil
+	},
+	vm.OpTuck: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 2 {
+			return m.fail(vm.OpTuck, "stack underflow")
+		}
+		if m.SP == len(m.Stack) {
+			return m.fail(vm.OpTuck, "stack overflow")
+		}
+		s := m.Stack
+		s[m.SP] = s[m.SP-1]
+		s[m.SP-1] = s[m.SP-2]
+		s[m.SP-2] = s[m.SP]
+		m.SP++
+		m.PC++
+		return nil
+	},
+	vm.OpTwoDup: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 2 {
+			return m.fail(vm.OpTwoDup, "stack underflow")
+		}
+		if m.SP+2 > len(m.Stack) {
+			return m.fail(vm.OpTwoDup, "stack overflow")
+		}
+		s := m.Stack
+		s[m.SP] = s[m.SP-2]
+		s[m.SP+1] = s[m.SP-1]
+		m.SP += 2
+		m.PC++
+		return nil
+	},
+	vm.OpTwoDrop: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 2 {
+			return m.fail(vm.OpTwoDrop, "stack underflow")
+		}
+		m.SP -= 2
+		m.PC++
+		return nil
+	},
+
+	vm.OpToR: func(m *Machine, _ vm.Cell) error {
+		x, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if err := m.rpush(x); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpRFrom: func(m *Machine, _ vm.Cell) error {
+		x, err := m.rpop()
+		if err != nil {
+			return err
+		}
+		if err := m.push(x); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpRFetch: func(m *Machine, _ vm.Cell) error {
+		if m.RP < 1 {
+			return m.fail(vm.OpRFetch, "return stack underflow")
+		}
+		if err := m.push(m.RSt[m.RP-1]); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+
+	vm.OpFetch: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 1 {
+			return m.fail(vm.OpFetch, "stack underflow")
+		}
+		x, ok := m.CellAt(m.Stack[m.SP-1])
+		if !ok {
+			return m.fail(vm.OpFetch, "memory access out of range")
+		}
+		m.Stack[m.SP-1] = x
+		m.PC++
+		return nil
+	},
+	vm.OpStore: func(m *Machine, _ vm.Cell) error {
+		x, addr, err := m.pop2()
+		if err != nil {
+			return err
+		}
+		if !m.SetCellAt(addr, x) {
+			return m.fail(vm.OpStore, "memory access out of range")
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpCFetch: func(m *Machine, _ vm.Cell) error {
+		if m.SP < 1 {
+			return m.fail(vm.OpCFetch, "stack underflow")
+		}
+		c, ok := m.ByteAt(m.Stack[m.SP-1])
+		if !ok {
+			return m.fail(vm.OpCFetch, "memory access out of range")
+		}
+		m.Stack[m.SP-1] = vm.Cell(c)
+		m.PC++
+		return nil
+	},
+	vm.OpCStore: func(m *Machine, _ vm.Cell) error {
+		x, addr, err := m.pop2()
+		if err != nil {
+			return err
+		}
+		if !m.SetByteAt(addr, x) {
+			return m.fail(vm.OpCStore, "memory access out of range")
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpPlusStore: func(m *Machine, _ vm.Cell) error {
+		n, addr, err := m.pop2()
+		if err != nil {
+			return err
+		}
+		x, ok := m.CellAt(addr)
+		if !ok || !m.SetCellAt(addr, x+n) {
+			return m.fail(vm.OpPlusStore, "memory access out of range")
+		}
+		m.PC++
+		return nil
+	},
+
+	vm.OpBranch: func(m *Machine, arg vm.Cell) error {
+		m.PC = int(arg)
+		return nil
+	},
+	vm.OpBranchZero: func(m *Machine, arg vm.Cell) error {
+		flag, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if flag == 0 {
+			m.PC = int(arg)
+		} else {
+			m.PC++
+		}
+		return nil
+	},
+	vm.OpCall: func(m *Machine, arg vm.Cell) error {
+		if err := m.rpush(vm.Cell(m.PC + 1)); err != nil {
+			return err
+		}
+		m.PC = int(arg)
+		return nil
+	},
+	vm.OpExit: func(m *Machine, _ vm.Cell) error {
+		ret, err := m.rpop()
+		if err != nil {
+			return err
+		}
+		m.PC = int(ret)
+		return nil
+	},
+	vm.OpHalt: func(m *Machine, _ vm.Cell) error { return errHalt },
+
+	vm.OpDo: func(m *Machine, _ vm.Cell) error {
+		limit, index, err := m.pop2()
+		if err != nil {
+			return err
+		}
+		if err := m.rpush(limit); err != nil {
+			return err
+		}
+		if err := m.rpush(index); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpLoop: func(m *Machine, arg vm.Cell) error {
+		if m.RP < 2 {
+			return m.fail(vm.OpLoop, "return stack underflow")
+		}
+		m.RSt[m.RP-1]++
+		if m.RSt[m.RP-1] == m.RSt[m.RP-2] {
+			m.RP -= 2
+			m.PC++
+		} else {
+			m.PC = int(arg)
+		}
+		return nil
+	},
+	vm.OpPlusLoop: func(m *Machine, arg vm.Cell) error {
+		n, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if m.RP < 2 {
+			return m.fail(vm.OpPlusLoop, "return stack underflow")
+		}
+		old := m.RSt[m.RP-1] - m.RSt[m.RP-2]
+		m.RSt[m.RP-1] += n
+		now := m.RSt[m.RP-1] - m.RSt[m.RP-2]
+		if (old < 0) != (now < 0) {
+			m.RP -= 2
+			m.PC++
+		} else {
+			m.PC = int(arg)
+		}
+		return nil
+	},
+	vm.OpI: func(m *Machine, _ vm.Cell) error {
+		if m.RP < 1 {
+			return m.fail(vm.OpI, "return stack underflow")
+		}
+		if err := m.push(m.RSt[m.RP-1]); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpJ: func(m *Machine, _ vm.Cell) error {
+		if m.RP < 3 {
+			return m.fail(vm.OpJ, "return stack underflow")
+		}
+		if err := m.push(m.RSt[m.RP-3]); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpUnloop: func(m *Machine, _ vm.Cell) error {
+		if m.RP < 2 {
+			return m.fail(vm.OpUnloop, "return stack underflow")
+		}
+		m.RP -= 2
+		m.PC++
+		return nil
+	},
+
+	vm.OpEmit: func(m *Machine, _ vm.Cell) error {
+		c, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.Out.WriteByte(byte(c))
+		m.PC++
+		return nil
+	},
+	vm.OpDot: func(m *Machine, _ vm.Cell) error {
+		n, err := m.pop()
+		if err != nil {
+			return err
+		}
+		m.writeDot(n)
+		m.PC++
+		return nil
+	},
+	vm.OpType: func(m *Machine, _ vm.Cell) error {
+		addr, n, err := m.pop2()
+		if err != nil {
+			return err
+		}
+		if n < 0 || addr < 0 || addr+n > vm.Cell(len(m.Mem)) {
+			return m.fail(vm.OpType, "memory access out of range")
+		}
+		m.Out.Write(m.Mem[addr : addr+n])
+		m.PC++
+		return nil
+	},
+	vm.OpDepth: func(m *Machine, _ vm.Cell) error {
+		if err := m.push(vm.Cell(m.SP)); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+}

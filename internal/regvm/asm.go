@@ -1,0 +1,103 @@
+package regvm
+
+import "fmt"
+
+// Asm builds register VM programs with labels, mirroring vm.Builder.
+type Asm struct {
+	code   []Instr
+	labels map[string]int
+	fixups map[string][]int
+	mem    int
+	err    error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int), fixups: make(map[string][]int)}
+}
+
+// Label defines name at the current position.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup && a.err == nil {
+		a.err = fmt.Errorf("regvm asm: duplicate label %q", name)
+		return
+	}
+	a.labels[name] = len(a.code)
+	for _, pc := range a.fixups[name] {
+		a.code[pc].Imm = Cell(len(a.code))
+	}
+	delete(a.fixups, name)
+}
+
+// I emits a raw instruction.
+func (a *Asm) I(op Opcode, dst, s1, s2 uint8, imm Cell) {
+	a.code = append(a.code, Instr{Op: op, Dst: dst, S1: s1, S2: s2, Imm: imm})
+}
+
+// Li loads an immediate.
+func (a *Asm) Li(dst uint8, imm Cell) { a.I(RLi, dst, 0, 0, imm) }
+
+// Op3 emits a three-address ALU operation.
+func (a *Asm) Op3(op Opcode, dst, s1, s2 uint8) { a.I(op, dst, s1, s2, 0) }
+
+// Mov copies a register.
+func (a *Asm) Mov(dst, src uint8) { a.I(RMov, dst, src, 0, 0) }
+
+// AddI adds an immediate.
+func (a *Asm) AddI(dst, src uint8, imm Cell) { a.I(RAddI, dst, src, 0, imm) }
+
+func (a *Asm) target(op Opcode, s1 uint8, label string) {
+	pc := len(a.code)
+	a.I(op, 0, s1, 0, 0)
+	if at, ok := a.labels[label]; ok {
+		a.code[pc].Imm = Cell(at)
+	} else {
+		a.fixups[label] = append(a.fixups[label], pc)
+	}
+}
+
+// Br branches unconditionally to label.
+func (a *Asm) Br(label string) { a.target(RBr, 0, label) }
+
+// Brz branches to label when reg is zero.
+func (a *Asm) Brz(reg uint8, label string) { a.target(RBrz, reg, label) }
+
+// Call calls the label.
+func (a *Asm) Call(label string) { a.target(RCall, 0, label) }
+
+// Ret returns.
+func (a *Asm) Ret() { a.I(RRet, 0, 0, 0, 0) }
+
+// Push spills a register.
+func (a *Asm) Push(src uint8) { a.I(RPush, 0, src, 0, 0) }
+
+// Pop reloads a register.
+func (a *Asm) Pop(dst uint8) { a.I(RPop, dst, 0, 0, 0) }
+
+// Dot prints a register.
+func (a *Asm) Dot(src uint8) { a.I(RDot, 0, src, 0, 0) }
+
+// Halt stops the machine.
+func (a *Asm) Halt() { a.I(RHalt, 0, 0, 0, 0) }
+
+// Alloc reserves data memory.
+func (a *Asm) Alloc(n int) Cell {
+	addr := Cell(a.mem)
+	a.mem += n
+	return addr
+}
+
+// Build finalizes the program, entry at the given label.
+func (a *Asm) Build(entry string) (*Program, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for name := range a.fixups {
+		return nil, fmt.Errorf("regvm asm: unresolved label %q", name)
+	}
+	at, ok := a.labels[entry]
+	if !ok {
+		return nil, fmt.Errorf("regvm asm: entry label %q not defined", entry)
+	}
+	return &Program{Code: a.code, Entry: at, MemSize: a.mem}, nil
+}

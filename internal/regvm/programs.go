@@ -1,0 +1,139 @@
+package regvm
+
+// Comparison programs, hand-compiled the way a simple Forth-to-
+// register-code compiler without global register allocation would:
+// values that live across calls are spilled with push/pop, exactly the
+// §2.3 overhead the paper highlights.
+
+// FibProgram computes fib(n) recursively and prints it.
+func FibProgram(n Cell) *Program {
+	a := NewAsm()
+	a.Label("fib") // n in r1, result in r1
+	a.Li(2, 2)
+	a.Op3(RLt, 3, 1, 2) // r3 = n < 2
+	a.Brz(3, "rec")
+	a.Ret()
+	a.Label("rec")
+	a.Push(1) // save n
+	a.AddI(1, 1, -1)
+	a.Call("fib") // r1 = fib(n-1)
+	a.Pop(2)      // n
+	a.Push(1)     // save fib(n-1)
+	a.AddI(1, 2, -2)
+	a.Call("fib") // r1 = fib(n-2)
+	a.Pop(2)
+	a.Op3(RAdd, 1, 2, 1)
+	a.Ret()
+	a.Label("main")
+	a.Li(1, n)
+	a.Call("fib")
+	a.Dot(1)
+	a.Halt()
+	p, err := a.Build("main")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SumProgram sums 0..n-1 in a loop and prints the sum.
+func SumProgram(n Cell) *Program {
+	a := NewAsm()
+	a.Label("main")
+	a.Li(1, 0) // acc
+	a.Li(2, 0) // i
+	a.Li(3, n) // limit
+	a.Label("top")
+	a.Op3(RLt, 4, 2, 3)
+	a.Brz(4, "done")
+	a.Op3(RAdd, 1, 1, 2)
+	a.AddI(2, 2, 1)
+	a.Br("top")
+	a.Label("done")
+	a.Dot(1)
+	a.Halt()
+	p, err := a.Build("main")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// SieveProgram counts primes below size with the sieve of
+// Eratosthenes, repeated passes times, and prints the count — the same
+// computation as the stack VM sieve micro-workload.
+func SieveProgram(size, passes Cell) *Program {
+	a := NewAsm()
+	flags := a.Alloc(int(size))
+	a.Label("pass")
+	// for i in 0..size: flags[i] = 1
+	a.Li(1, flags)
+	a.Li(2, 0)
+	a.Li(3, size)
+	a.Li(4, 1)
+	a.Label("init")
+	a.Op3(RLt, 5, 2, 3)
+	a.Brz(5, "init-done")
+	a.Op3(RAdd, 6, 1, 2)
+	a.I(RStoreB, 0, 6, 4, 0)
+	a.AddI(2, 2, 1)
+	a.Br("init")
+	a.Label("init-done")
+	// for i in 2..91: if flags[i]: for j = i*i; j < size; j += i: flags[j]=0
+	a.Li(2, 2)
+	a.Label("outer")
+	a.Li(3, 91)
+	a.Op3(RLt, 5, 2, 3)
+	a.Brz(5, "outer-done")
+	a.Op3(RAdd, 6, 1, 2)
+	a.I(RLoadB, 7, 6, 0, 0)
+	a.Brz(7, "next")
+	a.Op3(RMul, 8, 2, 2) // j = i*i
+	a.Li(9, 0)
+	a.Label("inner")
+	a.Li(3, size)
+	a.Op3(RLt, 5, 8, 3)
+	a.Brz(5, "next")
+	a.Op3(RAdd, 6, 1, 8)
+	a.I(RStoreB, 0, 6, 9, 0)
+	a.Op3(RAdd, 8, 8, 2)
+	a.Br("inner")
+	a.Label("next")
+	a.AddI(2, 2, 1)
+	a.Br("outer")
+	a.Label("outer-done")
+	a.Ret()
+	a.Label("count")
+	// r10 = number of set flags in 2..size
+	a.Li(10, 0)
+	a.Li(2, 2)
+	a.Label("cloop")
+	a.Li(3, size)
+	a.Op3(RLt, 5, 2, 3)
+	a.Brz(5, "count-done")
+	a.Op3(RAdd, 6, 1, 2)
+	a.I(RLoadB, 7, 6, 0, 0)
+	a.Brz(7, "cnext")
+	a.AddI(10, 10, 1)
+	a.Label("cnext")
+	a.AddI(2, 2, 1)
+	a.Br("cloop")
+	a.Label("count-done")
+	a.Ret()
+	a.Label("main")
+	a.Li(11, passes)
+	a.Label("mloop")
+	a.Brz(11, "mdone")
+	a.Call("pass")
+	a.AddI(11, 11, -1)
+	a.Br("mloop")
+	a.Label("mdone")
+	a.Call("count")
+	a.Dot(10)
+	a.Halt()
+	p, err := a.Build("main")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

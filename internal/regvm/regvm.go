@@ -1,0 +1,325 @@
+// Package regvm implements the virtual *register* machine of the
+// paper's §2.3 comparison (Figs. 9–10): a three-address architecture
+// whose registers live in an array, interpreted with the same dispatch
+// techniques as the stack machine. It exists to reproduce the paper's
+// argument that for interpreters — unlike hardware — the register
+// architecture's per-instruction operand decoding and in-memory
+// register file make the simple stack machine competitive, and stack
+// caching clearly better.
+//
+// The cost model mirrors Fig. 9: every executed instruction pays one
+// dispatch; every operand costs one fetch/decode (loading the register
+// number from the instruction) plus one register-array access (the
+// virtual registers "have to be kept and accessed in memory"). The
+// paper's hand-scheduled MIPS add comes to 10 cycles plus dispatch;
+// with the default weights ours is 3 fetches + 3 accesses = 6 plus
+// dispatch 4 = 10.
+package regvm
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Cell matches the stack VM's machine word.
+type Cell = int64
+
+// Opcode is a register VM instruction code.
+type Opcode uint8
+
+// The register VM instruction set: three-address ALU operations,
+// loads/stores, control flow, and the push/pop spill instructions that
+// register architectures need around calls (§2.3: "the spill and move
+// instructions necessary in register architectures are much more time
+// consuming [in an interpreter], since each instruction also has to
+// execute an instruction dispatch").
+const (
+	RNop    Opcode = iota
+	RLi            // dst = imm
+	RMov           // dst = s1
+	RAdd           // dst = s1 + s2
+	RSub           // dst = s1 - s2
+	RMul           // dst = s1 * s2
+	RDiv           // dst = s1 / s2 (floored; s2 must be nonzero)
+	RMod           // dst = s1 mod s2
+	RAnd           // dst = s1 & s2
+	ROr            // dst = s1 | s2
+	RXor           // dst = s1 ^ s2
+	RLt            // dst = s1 < s2 (flag)
+	REq            // dst = s1 == s2 (flag)
+	RGt            // dst = s1 > s2 (flag)
+	RAddI          // dst = s1 + imm
+	RLoad          // dst = mem[s1] (cell)
+	RStore         // mem[s1] = s2 (cell)
+	RLoadB         // dst = mem[s1] (byte)
+	RStoreB        // mem[s1] = s2 (byte)
+	RBr            // pc = imm
+	RBrz           // if s1 == 0: pc = imm
+	RCall          // call imm
+	RRet           // return
+	RPush          // spill s1 to the memory stack
+	RPop           // reload dst from the memory stack
+	REmit          // write byte s1 to output
+	RDot           // write s1 as decimal + space
+	RHalt
+
+	// NumOpcodes is the number of register VM opcodes; not itself a
+	// valid opcode.
+	NumOpcodes
+)
+
+var rNames = [NumOpcodes]string{
+	"nop", "li", "mov", "add", "sub", "mul", "div", "mod", "and", "or",
+	"xor", "lt", "eq", "gt", "addi", "load", "store", "loadb", "storeb",
+	"br", "brz", "call", "ret", "push", "pop", "emit", "dot", "halt",
+}
+
+// String names the opcode.
+func (op Opcode) String() string {
+	if op < NumOpcodes {
+		return rNames[op]
+	}
+	return fmt.Sprintf("rop(%d)", uint8(op))
+}
+
+// operands counts the register operands each opcode decodes, the basis
+// of the Fig. 9 cost model.
+var operands = [NumOpcodes]int{
+	RNop: 0, RLi: 1, RMov: 2,
+	RAdd: 3, RSub: 3, RMul: 3, RDiv: 3, RMod: 3, RAnd: 3, ROr: 3,
+	RXor: 3, RLt: 3, REq: 3, RGt: 3, RAddI: 2,
+	RLoad: 2, RStore: 2, RLoadB: 2, RStoreB: 2,
+	RBr: 0, RBrz: 1, RCall: 0, RRet: 0,
+	RPush: 1, RPop: 1, REmit: 1, RDot: 1, RHalt: 0,
+}
+
+// Operands exposes the operand count of an opcode.
+func Operands(op Opcode) int { return operands[op] }
+
+// Instr is one three-address instruction.
+type Instr struct {
+	Op          Opcode
+	Dst, S1, S2 uint8
+	Imm         Cell
+}
+
+// NumRegs is the size of the virtual register file.
+const NumRegs = 16
+
+// Program is a register VM program.
+type Program struct {
+	Code    []Instr
+	Entry   int
+	MemSize int
+}
+
+// Counters is the cost ledger of a register VM run. Cycles =
+// Dispatches*dispatchWeight + OperandFetches + RegAccesses (both 1
+// cycle each, as loads in the paper's model).
+type Counters struct {
+	Instructions   int64
+	Dispatches     int64
+	OperandFetches int64 // decoding register numbers from instructions
+	RegAccesses    int64 // reads/writes of the in-memory register array
+	Spills         int64 // push/pop instructions executed
+}
+
+// Cycles computes total model cycles with the given dispatch weight.
+func (c Counters) Cycles(dispatch float64) float64 {
+	return dispatch*float64(c.Dispatches) +
+		float64(c.OperandFetches) + float64(c.RegAccesses)
+}
+
+// PerInstruction divides by executed instructions.
+func (c Counters) PerInstruction(v float64) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return v / float64(c.Instructions)
+}
+
+// Machine is the mutable state of a register VM execution.
+type Machine struct {
+	Regs  [NumRegs]Cell
+	Mem   []byte
+	Spill []Cell
+	Calls []int
+	PC    int
+	Out   bytes.Buffer
+	Steps int64
+}
+
+// Run interprets p and returns the machine and cost counters.
+func Run(p *Program, maxSteps int64) (*Machine, Counters, error) {
+	m := &Machine{Mem: make([]byte, p.MemSize), PC: p.Entry}
+	var c Counters
+	if maxSteps <= 0 {
+		maxSteps = 1 << 32
+	}
+	for {
+		if m.Steps >= maxSteps {
+			return m, c, fmt.Errorf("regvm: step limit exceeded at pc %d", m.PC)
+		}
+		if m.PC < 0 || m.PC >= len(p.Code) {
+			return m, c, fmt.Errorf("regvm: pc %d out of range", m.PC)
+		}
+		ins := p.Code[m.PC]
+		m.Steps++
+		c.Instructions++
+		c.Dispatches++
+		nops := int64(operands[ins.Op])
+		c.OperandFetches += nops
+		c.RegAccesses += nops
+		switch ins.Op {
+		case RNop:
+			m.PC++
+		case RLi:
+			m.Regs[ins.Dst] = ins.Imm
+			m.PC++
+		case RMov:
+			m.Regs[ins.Dst] = m.Regs[ins.S1]
+			m.PC++
+		case RAdd:
+			m.Regs[ins.Dst] = m.Regs[ins.S1] + m.Regs[ins.S2]
+			m.PC++
+		case RSub:
+			m.Regs[ins.Dst] = m.Regs[ins.S1] - m.Regs[ins.S2]
+			m.PC++
+		case RMul:
+			m.Regs[ins.Dst] = m.Regs[ins.S1] * m.Regs[ins.S2]
+			m.PC++
+		case RDiv:
+			if m.Regs[ins.S2] == 0 {
+				return m, c, fmt.Errorf("regvm: division by zero at pc %d", m.PC)
+			}
+			m.Regs[ins.Dst] = floorDiv(m.Regs[ins.S1], m.Regs[ins.S2])
+			m.PC++
+		case RMod:
+			if m.Regs[ins.S2] == 0 {
+				return m, c, fmt.Errorf("regvm: division by zero at pc %d", m.PC)
+			}
+			m.Regs[ins.Dst] = floorMod(m.Regs[ins.S1], m.Regs[ins.S2])
+			m.PC++
+		case RAnd:
+			m.Regs[ins.Dst] = m.Regs[ins.S1] & m.Regs[ins.S2]
+			m.PC++
+		case ROr:
+			m.Regs[ins.Dst] = m.Regs[ins.S1] | m.Regs[ins.S2]
+			m.PC++
+		case RXor:
+			m.Regs[ins.Dst] = m.Regs[ins.S1] ^ m.Regs[ins.S2]
+			m.PC++
+		case RLt:
+			m.Regs[ins.Dst] = flag(m.Regs[ins.S1] < m.Regs[ins.S2])
+			m.PC++
+		case REq:
+			m.Regs[ins.Dst] = flag(m.Regs[ins.S1] == m.Regs[ins.S2])
+			m.PC++
+		case RGt:
+			m.Regs[ins.Dst] = flag(m.Regs[ins.S1] > m.Regs[ins.S2])
+			m.PC++
+		case RAddI:
+			m.Regs[ins.Dst] = m.Regs[ins.S1] + ins.Imm
+			m.PC++
+		case RLoad:
+			addr := m.Regs[ins.S1]
+			if addr < 0 || addr+8 > Cell(len(m.Mem)) {
+				return m, c, fmt.Errorf("regvm: load out of range at pc %d", m.PC)
+			}
+			var v uint64
+			for i := 0; i < 8; i++ {
+				v |= uint64(m.Mem[addr+Cell(i)]) << (8 * i)
+			}
+			m.Regs[ins.Dst] = Cell(v)
+			m.PC++
+		case RStore:
+			addr := m.Regs[ins.S1]
+			if addr < 0 || addr+8 > Cell(len(m.Mem)) {
+				return m, c, fmt.Errorf("regvm: store out of range at pc %d", m.PC)
+			}
+			v := uint64(m.Regs[ins.S2])
+			for i := 0; i < 8; i++ {
+				m.Mem[addr+Cell(i)] = byte(v >> (8 * i))
+			}
+			m.PC++
+		case RLoadB:
+			addr := m.Regs[ins.S1]
+			if addr < 0 || addr >= Cell(len(m.Mem)) {
+				return m, c, fmt.Errorf("regvm: loadb out of range at pc %d", m.PC)
+			}
+			m.Regs[ins.Dst] = Cell(m.Mem[addr])
+			m.PC++
+		case RStoreB:
+			addr := m.Regs[ins.S1]
+			if addr < 0 || addr >= Cell(len(m.Mem)) {
+				return m, c, fmt.Errorf("regvm: storeb out of range at pc %d", m.PC)
+			}
+			m.Mem[addr] = byte(m.Regs[ins.S2])
+			m.PC++
+		case RBr:
+			m.PC = int(ins.Imm)
+		case RBrz:
+			if m.Regs[ins.S1] == 0 {
+				m.PC = int(ins.Imm)
+			} else {
+				m.PC++
+			}
+		case RCall:
+			m.Calls = append(m.Calls, m.PC+1)
+			m.PC = int(ins.Imm)
+		case RRet:
+			if len(m.Calls) == 0 {
+				return m, c, fmt.Errorf("regvm: return with empty call stack at pc %d", m.PC)
+			}
+			m.PC = m.Calls[len(m.Calls)-1]
+			m.Calls = m.Calls[:len(m.Calls)-1]
+		case RPush:
+			m.Spill = append(m.Spill, m.Regs[ins.S1])
+			c.Spills++
+			m.PC++
+		case RPop:
+			if len(m.Spill) == 0 {
+				return m, c, fmt.Errorf("regvm: pop from empty spill stack at pc %d", m.PC)
+			}
+			m.Regs[ins.Dst] = m.Spill[len(m.Spill)-1]
+			m.Spill = m.Spill[:len(m.Spill)-1]
+			c.Spills++
+			m.PC++
+		case REmit:
+			m.Out.WriteByte(byte(m.Regs[ins.S1]))
+			m.PC++
+		case RDot:
+			m.Out.WriteString(strconv.FormatInt(m.Regs[ins.S1], 10))
+			m.Out.WriteByte(' ')
+			m.PC++
+		case RHalt:
+			return m, c, nil
+		default:
+			return m, c, fmt.Errorf("regvm: invalid opcode %d at pc %d", ins.Op, m.PC)
+		}
+	}
+}
+
+func flag(b bool) Cell {
+	if b {
+		return -1
+	}
+	return 0
+}
+
+func floorDiv(a, b Cell) Cell {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func floorMod(a, b Cell) Cell {
+	r := a % b
+	if r != 0 && ((a < 0) != (b < 0)) {
+		r += b
+	}
+	return r
+}

@@ -1,0 +1,159 @@
+package regvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFibProgram(t *testing.T) {
+	m, c, err := Run(FibProgram(21), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Out.String() != "10946 " {
+		t.Errorf("output = %q", m.Out.String())
+	}
+	if c.Instructions == 0 || c.Dispatches != c.Instructions {
+		t.Errorf("bad counters: %+v", c)
+	}
+	if c.Spills == 0 {
+		t.Error("recursive fib must spill across calls")
+	}
+}
+
+func TestSumProgram(t *testing.T) {
+	m, _, err := Run(SumProgram(100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Out.String() != "4950 " {
+		t.Errorf("output = %q", m.Out.String())
+	}
+}
+
+func TestSieveProgramMatchesStackVM(t *testing.T) {
+	// The stack VM sieve micro-workload prints 1028 primes below 8192;
+	// the register VM version must agree.
+	m, c, err := Run(SieveProgram(8192, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Out.String() != "1028 " {
+		t.Errorf("output = %q, want \"1028 \"", m.Out.String())
+	}
+	if c.OperandFetches < c.Instructions {
+		t.Errorf("operand fetches (%d) implausibly low vs instructions (%d)",
+			c.OperandFetches, c.Instructions)
+	}
+}
+
+func TestCountersCycleModel(t *testing.T) {
+	c := Counters{Instructions: 10, Dispatches: 10, OperandFetches: 30, RegAccesses: 30}
+	// Fig. 9 regime: a three-operand instruction costs ~6 cycles of
+	// operand handling plus dispatch.
+	if got := c.Cycles(4); got != 4*10+30+30 {
+		t.Errorf("Cycles = %v", got)
+	}
+	if got := c.PerInstruction(c.Cycles(4)); got != 10 {
+		t.Errorf("per-instruction = %v, want 10 (the paper's register add)", got)
+	}
+	var zero Counters
+	if zero.PerInstruction(1) != 0 {
+		t.Error("zero counters")
+	}
+}
+
+func TestAsmErrors(t *testing.T) {
+	a := NewAsm()
+	a.Br("nowhere")
+	if _, err := a.Build("main"); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Errorf("err = %v", err)
+	}
+	a2 := NewAsm()
+	a2.Halt()
+	if _, err := a2.Build("missing"); err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Errorf("err = %v", err)
+	}
+	a3 := NewAsm()
+	a3.Label("x")
+	a3.Label("x")
+	a3.Halt()
+	if _, err := a3.Build("x"); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(a *Asm)
+		want  string
+	}{
+		{"div-zero", func(a *Asm) {
+			a.Li(1, 1)
+			a.Li(2, 0)
+			a.Op3(RDiv, 3, 1, 2)
+			a.Halt()
+		}, "division by zero"},
+		{"ret-empty", func(a *Asm) { a.Ret() }, "empty call stack"},
+		{"pop-empty", func(a *Asm) { a.Pop(1) }, "empty spill stack"},
+		{"bad-load", func(a *Asm) {
+			a.Li(1, 1<<40)
+			a.I(RLoad, 2, 1, 0, 0)
+			a.Halt()
+		}, "out of range"},
+		{"bad-storeb", func(a *Asm) {
+			a.Li(1, -1)
+			a.I(RStoreB, 0, 1, 2, 0)
+			a.Halt()
+		}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAsm()
+			a.Label("main")
+			tc.build(a)
+			p, err := a.Build("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = Run(p, 0)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	a := NewAsm()
+	a.Label("main")
+	a.Br("main")
+	p, err := a.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(p, 100); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOpcodeNames(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d unnamed", op)
+		}
+	}
+	if !strings.Contains(Opcode(200).String(), "200") {
+		t.Error("invalid opcode name")
+	}
+}
+
+func TestFloorDivMod(t *testing.T) {
+	if floorDiv(-7, 2) != -4 || floorMod(-7, 2) != 1 {
+		t.Error("floored division wrong")
+	}
+	if floorDiv(7, -2) != -4 || floorMod(7, -2) != -1 {
+		t.Error("floored division wrong for negative divisor")
+	}
+}

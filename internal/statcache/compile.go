@@ -1,0 +1,470 @@
+// Package statcache implements static stack caching (paper §5): the
+// compiler keeps track of the cache state and generates
+// state-specialized code. Stack manipulation instructions are
+// optimized away completely — the compiler just notes the state
+// transition — and the cache state is reconciled to a canonical state
+// at every basic-block boundary ("control flow convention") and around
+// calls and returns ("calling convention").
+//
+// Compile produces a Plan: for every original instruction, the exact
+// register-level actions (argument fetches, spills, reconciliation
+// moves) the specialized code performs, together with their cost under
+// the paper's model. Execute runs the plan on an explicit register
+// file and produces results identical to the baseline interpreters,
+// which the tests verify on every workload.
+//
+// Like real statically cached Forth systems, the executor keeps a
+// guard zone below the logical stack bottom: at canonical depth k the
+// cache registers may hold garbage when the true stack is shallower
+// than k. Programs that are stack-balanced (all of ours are) never
+// observe the difference; a program that underflows its stack reads
+// guard zeros instead of trapping, which is the one documented
+// semantic deviation from the baseline.
+package statcache
+
+import (
+	"fmt"
+
+	"stackcache/internal/core"
+	"stackcache/internal/vm"
+)
+
+// Policy configures the static caching compiler.
+type Policy struct {
+	// NRegs is the size of the cache register file.
+	NRegs int
+
+	// Canonical is the depth of the canonical state (top Canonical
+	// items cached in registers 0..Canonical-1) that holds at every
+	// basic-block boundary, call and return. It also serves as the
+	// overflow followup depth, as in the paper's §6 evaluation. The
+	// Fig. 24/25 sweeps vary it from 0 to NRegs.
+	Canonical int
+
+	// KeepManips disables the elimination of stack-manipulation
+	// instructions, for the ablation benchmark; they are then executed
+	// like ordinary instructions.
+	KeepManips bool
+
+	// PerTargetStates enables the paper's "slightly more complex, but
+	// faster solution" (§5): instead of resetting to the canonical
+	// state at every basic-block boundary, each branch target gets its
+	// own entry state — chosen as the state its fall-through
+	// predecessor naturally produces — and branches reconcile directly
+	// to the target's state. Call targets and return points keep the
+	// canonical state (the calling convention).
+	PerTargetStates bool
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.NRegs < 1 || p.NRegs > 64 {
+		return fmt.Errorf("statcache: NRegs %d out of range [1,64]", p.NRegs)
+	}
+	if p.Canonical < 0 || p.Canonical > p.NRegs {
+		return fmt.Errorf("statcache: Canonical %d out of range [0,%d]", p.Canonical, p.NRegs)
+	}
+	return nil
+}
+
+// Recon is a compiled reconciliation: transform the current cached
+// state into the canonical state. At run time the values of SrcRegs
+// are captured first, then the bottom Spill of them are pushed to the
+// memory stack, Loads deeper items are popped from it, and the
+// resulting items are written to DstRegs (deepest first). Capturing
+// before writing makes the move set trivially parallel-safe.
+type Recon struct {
+	SrcRegs []core.RegID // current state, deepest first
+	Spill   int          // bottom SrcRegs pushed to memory
+	Loads   int          // deeper items popped from memory
+	DstRegs []core.RegID // canonical destination, deepest first
+}
+
+// moves counts the survivor writes whose destination differs from
+// their source register (loaded items are loads, not moves).
+func (r *Recon) moves() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	surv := r.SrcRegs[r.Spill:]
+	dst := r.DstRegs[r.Loads:]
+	for i := range surv {
+		if surv[i] != dst[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Recon) traffic() int {
+	if r == nil {
+		return 0
+	}
+	return r.Spill + r.Loads
+}
+
+// Step is the specialized form of one original instruction.
+type Step struct {
+	// PreloadRegs receive items popped from the memory stack before
+	// anything else, extending the cached state downward (used to make
+	// a stack-manipulation instruction eliminable when its arguments
+	// are not all cached).
+	PreloadRegs []core.RegID
+
+	// MemArgs is how many of the instruction's deepest arguments are
+	// popped directly from the memory stack at execution time
+	// (underflow of a non-manipulation instruction).
+	MemArgs int
+
+	// ArgRegs hold the remaining arguments, deepest first.
+	ArgRegs []core.RegID
+
+	// Recon, when non-nil, reconciles the state (after argument
+	// consumption) to canonical before a control transfer.
+	Recon *Recon
+
+	// SpillRegs are survivor registers whose values are pushed to the
+	// memory stack before results are placed (overflow spill, deepest
+	// first).
+	SpillRegs []core.RegID
+
+	// Exec says whether the instruction's semantics are dispatched at
+	// run time. False exactly for eliminated stack manipulations.
+	Exec bool
+
+	// MemOuts is how many of the deepest results are stored straight
+	// to the memory stack because the register file cannot hold them
+	// all (only with very small files, NRegs < 4).
+	MemOuts int
+
+	// OutRegs receive the remaining results, deepest first.
+	OutRegs []core.RegID
+
+	// PostRecon, when non-nil, reconciles to the next instruction's
+	// entry state after execution, because the next instruction is a
+	// branch target.
+	PostRecon *Recon
+
+	// PostReconOnFallThrough marks a PostRecon on a conditional
+	// control instruction that must run only when the branch is NOT
+	// taken (the fall-through path enters a join with a different
+	// state, e.g. a loop exit that is also a `leave` target). Its cost
+	// is in CostFall, not Cost.
+	PostReconOnFallThrough bool
+
+	// CostFall is the additional cost paid only on fall-through
+	// executions (see PostReconOnFallThrough).
+	CostFall core.Counters
+
+	// CachedAfterArgs is the number of cached items after argument
+	// consumption (the OpDepth denominator).
+	CachedAfterArgs int
+
+	// Cost is this step's contribution per execution.
+	Cost core.Counters
+
+	// StateBefore and StateAfter document the compile-time cache
+	// states around the instruction.
+	StateBefore, StateAfter core.State
+
+	// isManip marks an executed (non-eliminated) stack-manipulation
+	// instruction, whose output writes are priced as moves.
+	isManip bool
+}
+
+// Plan is a statically cached program: the original program plus one
+// Step per instruction.
+type Plan struct {
+	Prog   *vm.Program
+	Policy Policy
+	Steps  []Step
+}
+
+// Compile specializes p for static stack caching under pol.
+func Compile(p *vm.Program, pol Policy) (*Plan, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Prog: p, Policy: pol, Steps: make([]Step, len(p.Code))}
+	targets := p.BranchTargets()
+	canon := core.Canonical(pol.Canonical)
+	asg := newAssigner(p, canon, pol.PerTargetStates)
+
+	state := canon.Clone()
+	fellThrough := true
+	for pc, ins := range p.Code {
+		if targets[pc] {
+			// Control-flow convention: every join has one agreed entry
+			// state — the canonical state, or with PerTargetStates the
+			// state its first fall-through predecessor produced.
+			state = asg.resolve(pc, state, fellThrough)
+		}
+		step, next, err := compileStep(ins, state, pol, canon)
+		if err != nil {
+			return nil, fmt.Errorf("statcache: pc %d (%s): %w", pc, ins.Op, err)
+		}
+		eff := vm.EffectOf(ins.Op)
+		if eff.Control {
+			// Reconcile to the transfer target's entry state before
+			// the control transfer; next is the survivors state here.
+			var tgt core.State
+			switch ins.Op {
+			case vm.OpExit, vm.OpHalt, vm.OpCall:
+				// Calling convention: callees start and return in the
+				// canonical state.
+				tgt = canon.Clone()
+			default:
+				tgt = asg.resolve(int(ins.Arg), next, false)
+			}
+			step.Recon = buildRecon(next, tgt)
+			next = tgt
+			fallsThrough := ins.Op == vm.OpBranchZero || ins.Op == vm.OpCall ||
+				ins.Op == vm.OpLoop || ins.Op == vm.OpPlusLoop
+			if fallsThrough && pc+1 < len(p.Code) && targets[pc+1] {
+				after := asg.resolve(pc+1, next, true)
+				if !after.Equal(next) {
+					step.PostRecon = buildRecon(next, after)
+					step.PostReconOnFallThrough = true
+				}
+				next = after
+			}
+			fellThrough = fallsThrough
+		} else {
+			if pc+1 < len(p.Code) && targets[pc+1] {
+				// Fall-through into a join: reconcile after execution.
+				after := asg.resolve(pc+1, next, true)
+				if !after.Equal(next) {
+					step.PostRecon = buildRecon(next, after)
+				}
+				next = after
+			}
+			fellThrough = true
+		}
+		step.StateAfter = next.Clone()
+		finalizeCost(&step)
+		plan.Steps[pc] = step
+		state = next
+	}
+	return plan, nil
+}
+
+// assigner decides the entry state of every branch target.
+type assigner struct {
+	canon     core.State
+	perTarget bool
+	forced    map[int]bool // targets that must be canonical
+	assigned  map[int]core.State
+}
+
+func newAssigner(p *vm.Program, canon core.State, perTarget bool) *assigner {
+	a := &assigner{
+		canon:     canon,
+		perTarget: perTarget,
+		forced:    map[int]bool{p.Entry: true},
+		assigned:  make(map[int]core.State),
+	}
+	for pc, ins := range p.Code {
+		if ins.Op == vm.OpCall {
+			// Calling convention: word entries and return points are
+			// canonical.
+			a.forced[int(ins.Arg)] = true
+			if pc+1 < len(p.Code) {
+				a.forced[pc+1] = true
+			}
+		}
+	}
+	return a
+}
+
+// resolve returns (and on first use decides) the entry state of the
+// target at pc. The first edge to reach the target — fall-through or
+// jump — donates its natural state, making that edge's reconciliation
+// free; later edges reconcile to it. This is the greedy version of the
+// paper's "if the future is known, the actual future cost can be used
+// to select the transition".
+func (a *assigner) resolve(pc int, incoming core.State, _ bool) core.State {
+	if !a.perTarget || a.forced[pc] {
+		return a.canon.Clone()
+	}
+	if s, ok := a.assigned[pc]; ok {
+		return s.Clone()
+	}
+	a.assigned[pc] = incoming.Clone()
+	return incoming.Clone()
+}
+
+// compileStep specializes one instruction for the given entry state.
+func compileStep(ins vm.Instr, state core.State, pol Policy, canon core.State) (Step, core.State, error) {
+	eff := vm.EffectOf(ins.Op)
+	step := Step{StateBefore: state.Clone(), Exec: true}
+
+	// Eliminated stack manipulation: pure state change (§5). The
+	// arguments must fit in registers to make elimination possible,
+	// and so must the outputs (2dup with a tiny register file falls
+	// back to execution).
+	if eff.IsManip() && !pol.KeepManips && eff.In <= pol.NRegs && eff.Out <= pol.NRegs {
+		s := state.Clone()
+		// Make the arguments cached if they are not.
+		if missing := eff.In - s.Depth(); missing > 0 {
+			regs, ok := allocRegs(s, pol.NRegs, missing)
+			if !ok {
+				return Step{}, core.State{}, fmt.Errorf("no free registers for preload")
+			}
+			step.PreloadRegs = regs
+			s = core.State{Regs: append(append([]core.RegID{}, regs...), s.Regs...)}
+		}
+		// Spill if the mapping would exceed the register file.
+		newDepth := s.Depth() - eff.In + eff.Out
+		if spill := newDepth - pol.NRegs; spill > 0 {
+			step.SpillRegs = append([]core.RegID(nil), s.Regs[:spill]...)
+			s = core.State{Regs: append([]core.RegID(nil), s.Regs[spill:]...)}
+		}
+		s = s.ApplyMap(eff.In, eff.Map)
+		step.Exec = false
+		step.CachedAfterArgs = s.Depth()
+		return step, s, nil
+	}
+
+	// Ordinary instruction: gather arguments.
+	step.isManip = eff.IsManip()
+	cached := state.Depth()
+	argFromRegs := eff.In
+	if argFromRegs > cached {
+		step.MemArgs = argFromRegs - cached
+		argFromRegs = cached
+	}
+	step.ArgRegs = append([]core.RegID(nil), state.Regs[cached-argFromRegs:]...)
+	survivors := core.State{Regs: append([]core.RegID(nil), state.Regs[:cached-argFromRegs]...)}
+	step.CachedAfterArgs = survivors.Depth()
+
+	if eff.Control {
+		// The caller (Compile) attaches the reconciliation to the
+		// transfer target's entry state; return the survivors.
+		return step, survivors, nil
+	}
+
+	// Spill on overflow, down to the canonical depth (the paper's §6
+	// static configurations use the canonical state as overflow
+	// followup), but never below what the results require.
+	regOuts := eff.Out
+	if regOuts > pol.NRegs {
+		// More results than registers (2dup, NRegs < 4): everything
+		// below the top NRegs results goes to memory.
+		step.MemOuts = regOuts - pol.NRegs
+		regOuts = pol.NRegs
+	}
+	keep := survivors.Depth()
+	if step.MemOuts > 0 || keep+regOuts > pol.NRegs {
+		target := pol.Canonical - regOuts
+		if target < 0 || step.MemOuts > 0 {
+			target = 0
+		}
+		if target > pol.NRegs-regOuts {
+			target = pol.NRegs - regOuts
+		}
+		if spill := keep - target; spill > 0 {
+			step.SpillRegs = append([]core.RegID(nil), survivors.Regs[:spill]...)
+			survivors = core.State{Regs: append([]core.RegID(nil), survivors.Regs[spill:]...)}
+		}
+	}
+
+	// The executor applies spills before dispatching the instruction,
+	// so the depth OpDepth sees counts post-spill cached items.
+	step.CachedAfterArgs = survivors.Depth()
+
+	// Allocate result registers.
+	outRegs, ok := allocRegs(survivors, pol.NRegs, regOuts)
+	if !ok {
+		return Step{}, core.State{}, fmt.Errorf("no free registers for results")
+	}
+	step.OutRegs = outRegs
+	next := core.State{Regs: append(append([]core.RegID(nil), survivors.Regs...), outRegs...)}
+	return step, next, nil
+}
+
+// allocRegs picks n free registers (not referenced by state), lowest
+// numbered first.
+func allocRegs(state core.State, nregs, n int) ([]core.RegID, bool) {
+	var used [64]bool
+	for _, r := range state.Regs {
+		used[r] = true
+	}
+	regs := make([]core.RegID, 0, n)
+	for r := 0; r < nregs && len(regs) < n; r++ {
+		if !used[r] {
+			regs = append(regs, core.RegID(r))
+		}
+	}
+	if len(regs) < n {
+		return nil, false
+	}
+	return regs, true
+}
+
+// buildRecon compiles the transition from state to the canonical
+// state. Returns nil when the state is already canonical.
+func buildRecon(state, canon core.State) *Recon {
+	if state.Equal(canon) {
+		return nil
+	}
+	d, k := state.Depth(), canon.Depth()
+	r := &Recon{
+		SrcRegs: append([]core.RegID(nil), state.Regs...),
+		DstRegs: append([]core.RegID(nil), canon.Regs...),
+	}
+	if d > k {
+		r.Spill = d - k
+	} else {
+		r.Loads = k - d
+	}
+	return r
+}
+
+// finalizeCost fills in the step's per-execution counters. A
+// fall-through-only PostRecon is priced separately in CostFall.
+func finalizeCost(s *Step) {
+	var c core.Counters
+	c.Instructions = 1
+	if s.Exec {
+		c.Dispatches = 1
+	}
+	post := s.PostRecon
+	if s.PostReconOnFallThrough {
+		post = nil
+		var f core.Counters
+		f.Loads = int64(s.PostRecon.traffic0(true))
+		f.Stores = int64(s.PostRecon.traffic0(false))
+		f.Moves = int64(s.PostRecon.moves())
+		if f.Loads+f.Stores > 0 {
+			f.Updates = 1
+		}
+		s.CostFall = f
+	}
+	c.Loads = int64(len(s.PreloadRegs) + s.MemArgs + s.Recon.traffic0(true) + post.traffic0(true))
+	c.Stores = int64(len(s.SpillRegs) + s.MemOuts + s.Recon.traffic0(false) + post.traffic0(false))
+	c.Moves = int64(s.Recon.moves() + post.moves())
+	if s.Exec && s.isManip {
+		// Executed (non-eliminated) manipulations write their outputs
+		// as register-to-register copies.
+		c.Moves += int64(len(s.OutRegs))
+	}
+	if c.Loads+c.Stores > 0 {
+		c.Updates = 1
+	}
+	s.Cost = c
+}
+
+// traffic0 returns the recon's loads (wantLoads) or spills.
+func (r *Recon) traffic0(wantLoads bool) int {
+	if r == nil {
+		return 0
+	}
+	if wantLoads {
+		return r.Loads
+	}
+	return r.Spill
+}

@@ -1,0 +1,75 @@
+package statcache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a compiled plan: every original instruction with
+// its cache states, register assignments and the specialized actions
+// (preloads, spills, reconciliations, eliminations) the executor will
+// perform — the statically cached analog of vm.Disassemble.
+func Disassemble(plan *Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; static stack caching plan: %d registers, canonical depth %d\n",
+		plan.Policy.NRegs, plan.Policy.Canonical)
+	targets := plan.Prog.BranchTargets()
+	for pc, ins := range plan.Prog.Code {
+		step := &plan.Steps[pc]
+		if name := plan.Prog.WordAt(pc); name != "" {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		} else if targets[pc] {
+			fmt.Fprintf(&sb, "L%d:\n", pc)
+		}
+		fmt.Fprintf(&sb, "%5d  %-14s %v -> %v", pc, ins.String(),
+			step.StateBefore, step.StateAfter)
+		var notes []string
+		if !step.Exec {
+			notes = append(notes, "eliminated")
+		}
+		if n := len(step.PreloadRegs); n > 0 {
+			notes = append(notes, fmt.Sprintf("preload %d", n))
+		}
+		if step.MemArgs > 0 {
+			notes = append(notes, fmt.Sprintf("mem-args %d", step.MemArgs))
+		}
+		if n := len(step.SpillRegs); n > 0 {
+			notes = append(notes, fmt.Sprintf("spill %d", n))
+		}
+		if step.MemOuts > 0 {
+			notes = append(notes, fmt.Sprintf("mem-outs %d", step.MemOuts))
+		}
+		if step.Recon != nil {
+			notes = append(notes, "recon "+reconNote(step.Recon))
+		}
+		if step.PostRecon != nil {
+			kind := "post-recon "
+			if step.PostReconOnFallThrough {
+				kind = "fall-recon "
+			}
+			notes = append(notes, kind+reconNote(step.PostRecon))
+		}
+		if len(notes) > 0 {
+			fmt.Fprintf(&sb, "   [%s]", strings.Join(notes, ", "))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func reconNote(r *Recon) string {
+	var parts []string
+	if r.Spill > 0 {
+		parts = append(parts, fmt.Sprintf("store %d", r.Spill))
+	}
+	if r.Loads > 0 {
+		parts = append(parts, fmt.Sprintf("load %d", r.Loads))
+	}
+	if m := r.moves(); m > 0 {
+		parts = append(parts, fmt.Sprintf("move %d", m))
+	}
+	if len(parts) == 0 {
+		return "free"
+	}
+	return strings.Join(parts, "+")
+}

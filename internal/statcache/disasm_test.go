@@ -1,0 +1,75 @@
+package statcache
+
+import (
+	"strings"
+	"testing"
+
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+func TestDisassemble(t *testing.T) {
+	src := `: square dup * ; : main 1 if 2 square . else 3 . then ;`
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(p, Policy{NRegs: 4, Canonical: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(plan)
+	for _, want := range []string{
+		"static stack caching plan: 4 registers, canonical depth 2",
+		"sq:", "main:", // word labels
+		"eliminated", // dup optimized away
+		"recon",      // reconciliation somewhere
+		"[r0 r1]",    // canonical state rendering
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassemblePerTargetShowsFallRecon(t *testing.T) {
+	// A conditional branch whose fall-through lands on a join that an
+	// earlier forward branch already pinned to a different state: the
+	// classic fall-recon situation.
+	b := vm.NewBuilder()
+	b.Lit(1)
+	b.BranchZeroTo("after") // pins "after" to the shallow state
+	b.Lit(1)
+	b.Lit(2)
+	b.Lit(3)
+	b.Lit(1)
+	b.BranchZeroTo("other") // pins "other" to the deep state
+	b.Label("after")        // fall-through: deep -> shallow fixup needed
+	b.Emit(vm.OpDrop)
+	b.Label("other")
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+
+	plan, err := Compile(p, Policy{NRegs: 6, Canonical: 2, PerTargetStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(plan)
+	if !strings.Contains(out, "fall-recon") {
+		t.Errorf("expected a conditional fall-through reconciliation in:\n%s", out)
+	}
+	// And the fixup must execute correctly.
+	ref, err := interp.Run(p, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Snapshot().Equal(res.Machine.Snapshot()) {
+		t.Errorf("fall-recon execution mismatch: want %v got %v",
+			ref.Snapshot().Stack, res.Machine.Snapshot().Stack)
+	}
+}

@@ -1,0 +1,194 @@
+package statcache
+
+import (
+	"stackcache/internal/core"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+// GuardCells is the size of the guard zone kept below the logical
+// stack bottom (see the package comment). Reconciliation to a
+// canonical state deeper than the true stack reads zeros from it.
+const GuardCells = 1024
+
+// Result is the outcome of a statically cached execution.
+type Result struct {
+	// Machine holds the final state; its Stack contains the logical
+	// data stack, so its Snapshot is comparable with a baseline run.
+	Machine *interp.Machine
+
+	// Counters is the run's cost under the paper's model. Its
+	// DispatchesSaved() is the number of executed instructions that
+	// were optimized away.
+	Counters core.Counters
+}
+
+// Execute runs a compiled plan with an explicit register file.
+func Execute(plan *Plan) (*Result, error) {
+	m := interp.NewMachine(plan.Prog)
+	res := &Result{Machine: m}
+	regs := make([]vm.Cell, plan.Policy.NRegs)
+	mem := make([]vm.Cell, GuardCells+interp.DefaultStackCap)
+	// Execution starts in the canonical state; the cached items stand
+	// for the top of the (empty) stack, i.e. guard-zone items, so the
+	// memory stack pointer starts Canonical cells below the logical
+	// bottom. The flush at halt then reports exactly the logical
+	// stack.
+	msp := GuardCells - plan.Policy.Canonical
+
+	var args, outs [8]vm.Cell
+	var reconBuf [80]vm.Cell
+
+	limit := int64(interp.DefaultMaxSteps)
+	if m.MaxSteps > 0 {
+		limit = m.MaxSteps
+	}
+
+	applyRecon := func(r *Recon) error {
+		if r == nil {
+			return nil
+		}
+		vals := reconBuf[:len(r.SrcRegs)]
+		for i, src := range r.SrcRegs {
+			vals[i] = regs[src]
+		}
+		for i := 0; i < r.Spill; i++ {
+			if msp == len(mem) {
+				return failAt(m, "stack overflow")
+			}
+			mem[msp] = vals[i]
+			msp++
+		}
+		surv := vals[r.Spill:]
+		if r.Loads > 0 {
+			if msp-r.Loads < 0 {
+				return failAt(m, "stack underflow beyond guard zone")
+			}
+			for i := 0; i < r.Loads; i++ {
+				regs[r.DstRegs[i]] = mem[msp-r.Loads+i]
+			}
+			msp -= r.Loads
+		}
+		for i, v := range surv {
+			regs[r.DstRegs[r.Loads+i]] = v
+		}
+		return nil
+	}
+
+	for {
+		if m.Steps >= limit {
+			return res, failAt(m, "step limit exceeded")
+		}
+		pc := m.PC
+		step := &plan.Steps[pc]
+		ins := plan.Prog.Code[pc]
+		m.Steps++
+		res.Counters.Add(step.Cost)
+
+		// Preloads (eliminated manipulations with uncached arguments).
+		if n := len(step.PreloadRegs); n > 0 {
+			if msp-n < 0 {
+				return res, failAt(m, "stack underflow beyond guard zone")
+			}
+			for i, r := range step.PreloadRegs {
+				regs[r] = mem[msp-n+i]
+			}
+			msp -= n
+		}
+
+		if !step.Exec {
+			// Eliminated stack manipulation: spill if the plan says
+			// so; otherwise the instruction has vanished entirely.
+			for _, r := range step.SpillRegs {
+				if msp == len(mem) {
+					return res, failAt(m, "stack overflow")
+				}
+				mem[msp] = regs[r]
+				msp++
+			}
+			m.PC++
+			if err := applyRecon(step.PostRecon); err != nil {
+				return res, err
+			}
+			continue
+		}
+
+		// Gather arguments: deepest from memory, rest from registers.
+		if n := step.MemArgs; n > 0 {
+			if msp-n < 0 {
+				return res, failAt(m, "stack underflow beyond guard zone")
+			}
+			copy(args[:n], mem[msp-n:msp])
+			msp -= n
+		}
+		for i, r := range step.ArgRegs {
+			args[step.MemArgs+i] = regs[r]
+		}
+		nargs := step.MemArgs + len(step.ArgRegs)
+
+		// Control transfers reconcile before the jump.
+		if err := applyRecon(step.Recon); err != nil {
+			return res, err
+		}
+
+		// Overflow spills before results are placed.
+		for _, r := range step.SpillRegs {
+			if msp == len(mem) {
+				return res, failAt(m, "stack overflow")
+			}
+			mem[msp] = regs[r]
+			msp++
+		}
+
+		depth := msp - GuardCells + step.CachedAfterArgs
+		nout, err := interp.Apply(m, ins, args[:nargs], outs[:], depth)
+		if err != nil {
+			if err == interp.ErrHalt {
+				// Halt reconciled to canonical; flush the logical
+				// stack into the machine.
+				k := plan.Policy.Canonical
+				total := msp - GuardCells + k
+				m.SP = 0
+				for i := 0; i < total; i++ {
+					ext := msp + k - total + i
+					if ext < msp {
+						m.Stack[m.SP] = mem[ext]
+					} else {
+						m.Stack[m.SP] = regs[ext-msp]
+					}
+					m.SP++
+				}
+				return res, nil
+			}
+			return res, err
+		}
+		for i := 0; i < step.MemOuts && i < nout; i++ {
+			if msp == len(mem) {
+				return res, failAt(m, "stack overflow")
+			}
+			mem[msp] = outs[i]
+			msp++
+		}
+		for i := step.MemOuts; i < nout; i++ {
+			regs[step.OutRegs[i-step.MemOuts]] = outs[i]
+		}
+
+		if step.PostReconOnFallThrough {
+			// Conditional control transfer: the fall-through join has
+			// a different entry state than the taken target; fix up
+			// only when the branch was not taken.
+			if m.PC == pc+1 {
+				res.Counters.Add(step.CostFall)
+				if err := applyRecon(step.PostRecon); err != nil {
+					return res, err
+				}
+			}
+		} else if err := applyRecon(step.PostRecon); err != nil {
+			return res, err
+		}
+	}
+}
+
+func failAt(m *interp.Machine, msg string) error {
+	return &interp.RuntimeError{PC: m.PC, Op: m.Prog.Code[m.PC].Op, Msg: msg}
+}

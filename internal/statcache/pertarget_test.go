@@ -1,0 +1,127 @@
+package statcache
+
+import (
+	"testing"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+)
+
+func TestPerTargetMatchesBaselineOnAllPrograms(t *testing.T) {
+	policies := []Policy{
+		{NRegs: 4, Canonical: 2, PerTargetStates: true},
+		{NRegs: 6, Canonical: 0, PerTargetStates: true},
+		{NRegs: 6, Canonical: 2, PerTargetStates: true},
+		{NRegs: 8, Canonical: 3, PerTargetStates: true},
+		{NRegs: 3, Canonical: 1, PerTargetStates: true},
+	}
+	for name, src := range forthPrograms {
+		p, err := forth.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		want := ref.Snapshot()
+		for _, pol := range policies {
+			plan, err := Compile(p, pol)
+			if err != nil {
+				t.Fatalf("%s %+v: compile: %v", name, pol, err)
+			}
+			res, err := Execute(plan)
+			if err != nil {
+				t.Fatalf("%s %+v: execute: %v", name, pol, err)
+			}
+			if got := res.Machine.Snapshot(); !want.Equal(got) {
+				t.Errorf("%s %+v: snapshot mismatch\nwant stack %v out %q\ngot  stack %v out %q",
+					name, pol, want.Stack, want.Output, got.Stack, got.Output)
+			}
+		}
+	}
+}
+
+// TestPerTargetReducesReconciliation: on loop-heavy code, per-target
+// states avoid the canonical reset at every loop head, cutting
+// reconciliation traffic.
+func TestPerTargetReducesReconciliation(t *testing.T) {
+	src := `
+: main 0
+  1000 0 do
+    i 1 and if i + else i - then
+  loop . ;`
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(perTarget bool) core.Counters {
+		plan, err := Compile(p, Policy{NRegs: 6, Canonical: 2, PerTargetStates: perTarget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters
+	}
+	plain := run(false)
+	per := run(true)
+	plainCost := plain.AccessCycles(core.DefaultCost)
+	perCost := per.AccessCycles(core.DefaultCost)
+	if perCost > plainCost {
+		t.Errorf("per-target states should not cost more: %.0f vs %.0f", perCost, plainCost)
+	}
+	t.Logf("canonical-reset: %.3f cycles/inst, per-target: %.3f cycles/inst",
+		plain.AccessPerInstruction(core.DefaultCost),
+		per.AccessPerInstruction(core.DefaultCost))
+}
+
+// TestPerTargetLeaveConflict exercises the fall-through fixup: `leave`
+// makes the loop exit a jump target whose state differs from the
+// natural fall-through state of the `loop` instruction.
+func TestPerTargetLeaveConflict(t *testing.T) {
+	src := `
+: find ( n -- i ) 100 0 do dup i = if drop i unloop exit then loop drop -1 ;
+: main 7 find . 200 find . 0 find . ;`
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.Run(p, interp.EngineSwitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(p, Policy{NRegs: 6, Canonical: 2, PerTargetStates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Snapshot().Equal(res.Machine.Snapshot()) {
+		t.Errorf("mismatch: want %q got %q", ref.Out.String(), res.Machine.Out.String())
+	}
+}
+
+func TestPerTargetWordEntriesStayCanonical(t *testing.T) {
+	p, err := forth.Compile(forthPrograms["calls"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{NRegs: 6, Canonical: 2, PerTargetStates: true}
+	plan, err := Compile(p, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := core.Canonical(pol.Canonical)
+	for _, name := range p.WordNames() {
+		pc := p.Words[name]
+		if !plan.Steps[pc].StateBefore.Equal(canon) {
+			t.Errorf("word %s entry state %v, want canonical", name, plan.Steps[pc].StateBefore)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package statcache
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+var forthPrograms = map[string]string{
+	"arith": `: main 1 2 3 4 5 + - * swap / . 10 3 mod . ;`,
+	"fib":   `: fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 15 fib . ;`,
+	"sieve": `
+create flags 100 allot
+: main 100 0 do 1 flags i + c! loop
+  10 2 do flags i + c@ if 100 i dup * do 0 flags i + c! j +loop then loop
+  0 100 2 do flags i + c@ if 1+ then loop . ;`,
+	"deepstack": `: main 1 2 3 4 5 6 7 8 9 10 + + + + + + + + + . ;`,
+	"strings":   `: main s" abc" type ." xyz" cr 65 emit ;`,
+	"loops":     `: main 0 100 0 do i + loop . 0 begin 1+ dup 10 >= until . ;`,
+	"memory": `
+variable a variable b
+: main 7 a ! 35 b ! a @ b @ + . a @ b +! b @ . ;`,
+	"manips":   `: main 1 2 swap over rot dup 2dup + + + + + . 5 6 nip 7 tuck + + . ;`,
+	"rstack":   `: main 42 >r 1 2 + r> + . 9 >r r@ r> + . ;`,
+	"depth":    `: main 1 2 3 depth . . . . ;`,
+	"calls":    `: a 1+ ; : b a a ; : c b b ; : main 0 c c . ;`,
+	"whileite": `: main 17 begin dup 1 > while dup 2 mod if 3 * 1+ else 2 / then repeat . ;`,
+}
+
+var testPolicies = []Policy{
+	{NRegs: 4, Canonical: 0},
+	{NRegs: 4, Canonical: 1},
+	{NRegs: 4, Canonical: 2},
+	{NRegs: 4, Canonical: 4},
+	{NRegs: 6, Canonical: 2},
+	{NRegs: 6, Canonical: 6},
+	{NRegs: 8, Canonical: 3},
+	{NRegs: 4, Canonical: 2, KeepManips: true},
+	{NRegs: 3, Canonical: 1},
+}
+
+func run(t *testing.T, src string, pol Policy) *Result {
+	t.Helper()
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(p, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMatchesBaselineOnAllPrograms(t *testing.T) {
+	for name, src := range forthPrograms {
+		p, err := forth.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		want := ref.Snapshot()
+		for _, pol := range testPolicies {
+			plan, err := Compile(p, pol)
+			if err != nil {
+				t.Fatalf("%s %+v: compile: %v", name, pol, err)
+			}
+			res, err := Execute(plan)
+			if err != nil {
+				t.Fatalf("%s %+v: execute: %v", name, pol, err)
+			}
+			if got := res.Machine.Snapshot(); !want.Equal(got) {
+				t.Errorf("%s %+v: snapshot mismatch\nwant stack %v out %q\ngot  stack %v out %q",
+					name, pol, want.Stack, want.Output, got.Stack, got.Output)
+			}
+		}
+	}
+}
+
+func TestManipulationsEliminated(t *testing.T) {
+	res := run(t, forthPrograms["manips"], Policy{NRegs: 6, Canonical: 2})
+	saved := res.Counters.DispatchesSaved()
+	if saved == 0 {
+		t.Error("no dispatches eliminated in a manipulation-heavy program")
+	}
+	kept := run(t, forthPrograms["manips"], Policy{NRegs: 6, Canonical: 2, KeepManips: true})
+	if kept.Counters.DispatchesSaved() != 0 {
+		t.Error("KeepManips still eliminated dispatches")
+	}
+	if kept.Counters.Dispatches <= res.Counters.Dispatches {
+		t.Error("KeepManips should dispatch more instructions")
+	}
+}
+
+func TestStraightLineCodeIsFree(t *testing.T) {
+	// Within one basic block with enough registers, ordinary
+	// instructions cost nothing: all operands stay in registers (the
+	// paper's Fig. 14).
+	b := vm.NewBuilder()
+	b.Lit(1)
+	b.Lit(2)
+	b.Emit(vm.OpAdd)
+	b.Lit(3)
+	b.Emit(vm.OpMul)
+	b.Emit(vm.OpDrop)
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+	plan, err := Compile(p, Policy{NRegs: 4, Canonical: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Loads != 0 || c.Stores != 0 || c.Moves != 0 || c.Updates != 0 {
+		t.Errorf("straight-line code should be free: %+v", c)
+	}
+	// drop is eliminated: 7 instructions, 6 dispatches.
+	if c.Instructions != 7 || c.Dispatches != 6 {
+		t.Errorf("instructions=%d dispatches=%d", c.Instructions, c.Dispatches)
+	}
+}
+
+func TestReconciliationAtJoin(t *testing.T) {
+	// A conditional join forces reconciliation to the canonical state.
+	src := `: main 1 if 2 else 3 then . ;`
+	res := run(t, src, Policy{NRegs: 4, Canonical: 2})
+	if res.Counters.Loads == 0 && res.Counters.Stores == 0 && res.Counters.Moves == 0 {
+		t.Errorf("expected reconciliation traffic: %+v", res.Counters)
+	}
+	if res.Machine.Out.String() != "2 " {
+		t.Errorf("output = %q", res.Machine.Out.String())
+	}
+}
+
+func TestCanonicalZeroFlushesEverything(t *testing.T) {
+	// With canonical depth 0 every block boundary empties the cache:
+	// a call-heavy program pays stores and loads around each call.
+	res0 := run(t, forthPrograms["calls"], Policy{NRegs: 4, Canonical: 0})
+	res2 := run(t, forthPrograms["calls"], Policy{NRegs: 4, Canonical: 2})
+	if res0.Counters.AccessPerInstruction(core.DefaultCost) <=
+		res2.Counters.AccessPerInstruction(core.DefaultCost) {
+		t.Errorf("canonical 0 should cost more than canonical 2 on call-heavy code: %.4f vs %.4f",
+			res0.Counters.AccessPerInstruction(core.DefaultCost),
+			res2.Counters.AccessPerInstruction(core.DefaultCost))
+	}
+}
+
+func TestPlanStateTrackingConsistent(t *testing.T) {
+	p, err := forth.Compile(forthPrograms["sieve"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := Policy{NRegs: 6, Canonical: 2}
+	plan, err := Compile(p, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := p.BranchTargets()
+	canon := core.Canonical(pol.Canonical)
+	for pc, step := range plan.Steps {
+		if targets[pc] && !step.StateBefore.Equal(canon) {
+			t.Errorf("pc %d: branch target not in canonical state: %v", pc, step.StateBefore)
+		}
+		if step.StateAfter.Depth() > pol.NRegs {
+			t.Errorf("pc %d: state deeper than register file: %v", pc, step.StateAfter)
+		}
+		eff := vm.EffectOf(p.Code[pc].Op)
+		if eff.Control && !step.StateAfter.Equal(canon) {
+			t.Errorf("pc %d: control instruction must leave canonical state", pc)
+		}
+		// Cost counters are internally consistent.
+		if step.Cost.Instructions != 1 {
+			t.Errorf("pc %d: cost instructions = %d", pc, step.Cost.Instructions)
+		}
+		if (step.Cost.Loads+step.Cost.Stores > 0) != (step.Cost.Updates == 1) {
+			t.Errorf("pc %d: update accounting wrong: %+v", pc, step.Cost)
+		}
+	}
+}
+
+func TestOutRegsNeverAliasSurvivors(t *testing.T) {
+	p, err := forth.Compile(forthPrograms["manips"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(p, Policy{NRegs: 4, Canonical: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pc, step := range plan.Steps {
+		if !step.Exec || len(step.OutRegs) == 0 {
+			continue
+		}
+		surv := step.StateAfter.Regs[:step.StateAfter.Depth()-len(step.OutRegs)]
+		for _, o := range step.OutRegs {
+			for _, s := range surv {
+				if o == s {
+					t.Errorf("pc %d: output register r%d aliases survivor", pc, o)
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	p, err := forth.Compile(`: main ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{NRegs: 0, Canonical: 0},
+		{NRegs: 4, Canonical: 5},
+		{NRegs: 4, Canonical: -1},
+		{NRegs: 100, Canonical: 0},
+	}
+	for _, pol := range bad {
+		if _, err := Compile(p, pol); err == nil {
+			t.Errorf("policy %+v should be rejected", pol)
+		}
+	}
+}
+
+func TestRuntimeErrorsPropagate(t *testing.T) {
+	b := vm.NewBuilder()
+	b.Lit(1)
+	b.Lit(0)
+	b.Emit(vm.OpDiv)
+	b.Emit(vm.OpHalt)
+	p := b.MustBuild()
+	plan, err := Compile(p, Policy{NRegs: 4, Canonical: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Execute(plan)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDispatchSavingsImproveNetOverhead(t *testing.T) {
+	// Fig. 24's point: with the 4-cycle dispatch weight, eliminating
+	// stack manipulations can push net overhead below zero.
+	res := run(t, forthPrograms["manips"], Policy{NRegs: 6, Canonical: 2})
+	net := res.Counters.NetPerInstruction(core.DefaultCost)
+	access := res.Counters.AccessPerInstruction(core.DefaultCost)
+	if net >= access {
+		t.Errorf("net %.4f should be below access %.4f when dispatches are saved", net, access)
+	}
+}
+
+// TestPropertyMatchesBaseline: random programs with branches, under
+// random policies, behave like the baseline.
+func TestPropertyMatchesBaseline(t *testing.T) {
+	safeOps := []vm.Opcode{
+		vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpMin, vm.OpMax, vm.OpXor,
+		vm.OpDup, vm.OpDrop, vm.OpSwap, vm.OpOver, vm.OpRot, vm.OpTuck,
+		vm.OpTwoDup, vm.OpTwoDrop, vm.OpNip, vm.OpMinusRot,
+		vm.OpOnePlus, vm.OpNegate, vm.OpZeroEq, vm.OpToR, vm.OpRFrom,
+	}
+	f := func(lits []int64, choices []uint8, nregs, canon uint8) bool {
+		n := int(nregs)%6 + 3 // 3..8 registers
+		pol := Policy{NRegs: n, Canonical: int(canon) % (n + 1)}
+		b := vm.NewBuilder()
+		depth, rdepth := 0, 0
+		for i, v := range lits {
+			if i >= 8 {
+				break
+			}
+			b.Lit(vm.Cell(v))
+			depth++
+		}
+		for depth < 4 {
+			b.Lit(1)
+			depth++
+		}
+		for _, ch := range choices {
+			op := safeOps[int(ch)%len(safeOps)]
+			eff := vm.EffectOf(op)
+			if depth < eff.In || eff.RIn > rdepth || depth+eff.NetEffect() > 30 {
+				continue
+			}
+			b.Emit(op)
+			depth += eff.NetEffect()
+			rdepth += eff.ROut - eff.RIn
+		}
+		for ; rdepth > 0; rdepth-- {
+			b.Emit(vm.OpRFrom)
+			depth++
+		}
+		// A conditional diamond to exercise reconciliation, keeping
+		// the stack depth equal on both arms. The final add needs one
+		// item below the diamond's result.
+		if depth == 0 {
+			b.Lit(5)
+		}
+		b.Lit(1)
+		b.BranchZeroTo("else")
+		b.Lit(10)
+		b.BranchTo("end")
+		b.Label("else")
+		b.Lit(20)
+		b.Label("end")
+		b.Emit(vm.OpAdd)
+		b.Emit(vm.OpHalt)
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			return false
+		}
+		plan, err := Compile(p, pol)
+		if err != nil {
+			return false
+		}
+		res, err := Execute(plan)
+		if err != nil {
+			return false
+		}
+		return ref.Snapshot().Equal(res.Machine.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

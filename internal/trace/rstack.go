@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"stackcache/internal/core"
+	"stackcache/internal/vm"
+)
+
+// This file covers two side analyses of the paper:
+//
+//   - return-stack caching (§3.4 "two stacks", §6: "Most return stack
+//     accesses are simple pushes (on calls) or pops (on returns);
+//     therefore, always keeping one return stack item in a register
+//     has virtually no effect");
+//   - stack-item prefetching (§3.6: forbid states with too few cached
+//     items; "this will cause slightly higher memory traffic" but
+//     removes underflow latency).
+
+// RStackEffects reduces a trace to its *return*-stack effects.
+func RStackEffects(tr []vm.Opcode) []EffectPair {
+	out := make([]EffectPair, len(tr))
+	for i, op := range tr {
+		eff := vm.EffectOf(op)
+		out[i] = EffectPair{In: eff.RIn, Out: eff.ROut}
+	}
+	return out
+}
+
+// ConstantKCost prices an effect sequence under the constant-k
+// discipline (k items always in registers), with the positional model
+// of internal/constcache restricted to computed effects — adequate for
+// the return stack, which has no shuffle instructions.
+func ConstantKCost(effects []EffectPair, k int) core.Counters {
+	var c core.Counters
+	for _, e := range effects {
+		x, y := e.In, e.Out
+		if x > k {
+			c.Loads += int64(x - k)
+		}
+		if y > k {
+			c.Stores += int64(y - k)
+		}
+		if x != y {
+			hi := k - x
+			if k-y > hi {
+				hi = k - y
+			}
+			for i := 1; i <= hi; i++ {
+				oldIn := x+i <= k
+				newIn := y+i <= k
+				switch {
+				case oldIn && newIn:
+					c.Moves++
+				case oldIn && !newIn:
+					c.Stores++
+				case !oldIn && newIn:
+					c.Loads++
+				}
+			}
+			c.Updates++
+		}
+		c.Instructions++
+		c.Dispatches++
+	}
+	return c
+}
+
+// SimulatePrefetch is Simulate with the §3.6 prefetching rule: states
+// with fewer than minDepth cached items are forbidden; whenever a
+// transition would drop below, the missing items are prefetched (one
+// load each, one sp update per prefetch event). With minDepth at least
+// the maximum instruction arity, underflows disappear entirely.
+//
+// The simulator does not track the true stack depth, so near the very
+// bottom of the stack it slightly overestimates prefetch loads — the
+// same approximation the paper's own counting makes.
+func SimulatePrefetch(effects []EffectPair, pol core.MinimalPolicy, minDepth int) (WalkResult, error) {
+	if err := pol.Validate(); err != nil {
+		return WalkResult{}, err
+	}
+	res := WalkResult{RiseAfterOverflow: make(map[int]int64)}
+	c := minDepth
+	for _, e := range effects {
+		tr := pol.Step(c, e.In, e.Out)
+		res.Counters.Instructions++
+		res.Counters.Dispatches++
+		res.Counters.Loads += int64(tr.Loads)
+		res.Counters.Stores += int64(tr.Stores)
+		res.Counters.Moves += int64(tr.Moves)
+		res.Counters.Updates += int64(tr.Updates)
+		if tr.Overflow {
+			res.Counters.Overflows++
+		}
+		if tr.Underflow {
+			res.Counters.Underflows++
+		}
+		c = tr.NewDepth
+		if c < minDepth {
+			res.Counters.Loads += int64(minDepth - c)
+			if !tr.Underflow && !tr.Overflow {
+				// The prefetch is a separate memory-stack access.
+				res.Counters.Updates++
+			}
+			c = minDepth
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"testing"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+func TestRStackEffects(t *testing.T) {
+	tr := []vm.Opcode{vm.OpCall, vm.OpToR, vm.OpRFrom, vm.OpExit, vm.OpAdd}
+	effs := RStackEffects(tr)
+	want := []EffectPair{{0, 1}, {0, 1}, {1, 0}, {1, 0}, {0, 0}}
+	for i := range want {
+		if effs[i] != want[i] {
+			t.Errorf("effects[%d] = %v, want %v", i, effs[i], want[i])
+		}
+	}
+}
+
+// TestRStackConstantOneHasNoEffect reproduces the paper's §6 remark:
+// "Most return stack accesses are simple pushes (on calls) or pops (on
+// returns); therefore, always keeping one return stack item in a
+// register has virtually no effect."
+func TestRStackConstantOneHasNoEffect(t *testing.T) {
+	// Call-dominated, as the paper's programs are ("every third or
+	// fourth instruction is a call or return"); counted do-loops are
+	// avoided because they keep their control values on the return
+	// stack, which k=1 does help with.
+	p, err := forth.Compile(`
+: leaf 1+ ;
+: mid leaf leaf ;
+: main 0 100 begin swap mid swap 1- dup 0= until drop . ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := interp.Capture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effs := RStackEffects(tr)
+	c0 := ConstantKCost(effs, 0)
+	c1 := ConstantKCost(effs, 1)
+	t0 := float64(c0.Loads + c0.Stores)
+	t1 := float64(c1.Loads + c1.Stores)
+	if t0 == 0 {
+		t.Fatal("no return stack traffic in a call-heavy program")
+	}
+	// "Virtually no effect": within 5%.
+	if diff := (t0 - t1) / t0; diff > 0.05 || diff < -0.05 {
+		t.Errorf("k=1 changed return-stack traffic by %.1f%%; paper says virtually none", diff*100)
+	}
+	// A real (varying) cache, by contrast, removes most of it:
+	// call/return pairs hit in the cache.
+	res, err := Simulate(effs, core.MinimalPolicy{NRegs: 4, OverflowTo: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := float64(res.Counters.Loads + res.Counters.Stores)
+	if cached > t0/2 {
+		t.Errorf("return-stack cache should remove most traffic: %0.f vs %0.f", cached, t0)
+	}
+}
+
+func TestConstantKCostDataStackAgreement(t *testing.T) {
+	// For computed (non-manip) opcodes, ConstantKCost must agree with
+	// internal/constcache's model. Spot-check add and lit at k=0..3
+	// against hand values.
+	add := []EffectPair{{2, 1}}
+	lit := []EffectPair{{0, 1}}
+	for _, tc := range []struct {
+		name    string
+		effs    []EffectPair
+		k       int
+		lds, st int64
+	}{
+		{"add-k0", add, 0, 2, 1},
+		{"add-k1", add, 1, 1, 0},
+		{"add-k2", add, 2, 1, 0},
+		{"lit-k0", lit, 0, 0, 1},
+		{"lit-k1", lit, 1, 0, 1},
+	} {
+		c := ConstantKCost(tc.effs, tc.k)
+		if c.Loads != tc.lds || c.Stores != tc.st {
+			t.Errorf("%s: loads=%d stores=%d, want %d/%d", tc.name, c.Loads, c.Stores, tc.lds, tc.st)
+		}
+	}
+}
+
+func TestSimulatePrefetch(t *testing.T) {
+	p, err := forth.Compile(`: main 0 1000 0 do i + loop . ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := interp.Capture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effs := Effects(tr)
+	pol := core.MinimalPolicy{NRegs: 6, OverflowTo: 5}
+	plain, err := Simulate(effs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := SimulatePrefetch(effs, pol, vm.MaxIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.6: prefetching keeps enough items cached that underflows
+	// vanish, at the price of slightly higher memory traffic.
+	if pre.Counters.Underflows != 0 {
+		t.Errorf("prefetch with minDepth=MaxIn should eliminate underflows, got %d",
+			pre.Counters.Underflows)
+	}
+	if pre.Counters.Loads < plain.Counters.Loads {
+		t.Errorf("prefetching cannot reduce loads: %d vs %d",
+			pre.Counters.Loads, plain.Counters.Loads)
+	}
+	if _, err := SimulatePrefetch(effs, core.MinimalPolicy{}, 1); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package trace analyzes executed-instruction traces: the per-program
+// characteristics of the paper's Fig. 20, and the random-walk model of
+// Hasegawa & Shigei [HS85] that §6 compares real program behaviour
+// against.
+package trace
+
+import (
+	"fmt"
+
+	"stackcache/internal/core"
+	"stackcache/internal/vm"
+)
+
+// Stats are the Fig. 20 per-program characteristics, computed from a
+// trace with the instruction set's static effects. The model matches
+// the paper's measurement conventions: stack loads equal the operand
+// fetches of an implementation without caching, stack pointer updates
+// happen for every depth-changing instruction, and return-stack
+// traffic covers calls, returns and the loop/>r words.
+type Stats struct {
+	Name         string
+	Instructions int64
+	// Loads is stack operand loads per instruction (equal to stores
+	// per instruction over a balanced run, as in the paper).
+	Loads float64
+	// Updates is stack pointer updates per instruction.
+	Updates float64
+	// RLoads is return-stack loads (= stores) per instruction.
+	RLoads float64
+	// RUpdates is return-stack pointer updates per instruction.
+	RUpdates float64
+	// Calls is calls per instruction.
+	Calls float64
+}
+
+// Analyze computes Fig. 20 statistics for a trace.
+func Analyze(name string, tr []vm.Opcode) Stats {
+	var loads, updates, rloads, rstores, rupdates, calls int64
+	for _, op := range tr {
+		eff := vm.EffectOf(op)
+		loads += int64(eff.In)
+		if eff.In != eff.Out {
+			updates++
+		}
+		rloads += int64(eff.RIn)
+		rstores += int64(eff.ROut)
+		if eff.RIn != eff.ROut {
+			rupdates++
+		}
+		if op == vm.OpCall {
+			calls++
+		}
+	}
+	n := float64(len(tr))
+	if n == 0 {
+		return Stats{Name: name}
+	}
+	return Stats{
+		Name:         name,
+		Instructions: int64(len(tr)),
+		Loads:        float64(loads) / n,
+		Updates:      float64(updates) / n,
+		RLoads:       float64(rloads+rstores) / 2 / n,
+		RUpdates:     float64(rupdates) / n,
+		Calls:        float64(calls) / n,
+	}
+}
+
+// String renders a Fig. 20 style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-8s %10d  %5.2f %5.2f %5.2f %5.2f %5.2f",
+		s.Name, s.Instructions, s.Loads, s.Updates, s.RLoads, s.RUpdates, s.Calls)
+}
+
+// EffectPair is the data-stack effect of one trace entry, the input of
+// the cache simulator.
+type EffectPair struct {
+	In, Out int
+}
+
+// Effects reduces a trace to its data-stack effects.
+func Effects(tr []vm.Opcode) []EffectPair {
+	out := make([]EffectPair, len(tr))
+	for i, op := range tr {
+		eff := vm.EffectOf(op)
+		out[i] = EffectPair{In: eff.In, Out: eff.Out}
+	}
+	return out
+}
+
+// RandomWalk generates n effects under the [HS85] random-walk model:
+// pushes and pops "occur equally likely irrespective of previous
+// events". Each step is a pure push (0→1) with probability pushProb
+// out of 256, otherwise a pure pop (1→0). The generator is a fixed
+// linear congruential sequence so experiments are reproducible. The
+// walk is clamped so the simulated stack never underflows.
+func RandomWalk(n int, pushProb int, seed uint64) []EffectPair {
+	s := seed
+	depth := 0
+	out := make([]EffectPair, n)
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		push := int((s>>33)%256) < pushProb
+		if depth == 0 {
+			push = true
+		}
+		if push {
+			out[i] = EffectPair{In: 0, Out: 1}
+			depth++
+		} else {
+			out[i] = EffectPair{In: 1, Out: 0}
+			depth--
+		}
+	}
+	return out
+}
+
+// WalkResult is the outcome of simulating a cache policy over an
+// effect sequence.
+type WalkResult struct {
+	Counters core.Counters
+	// RiseAfterOverflow[k]: overflows after which the depth rose at
+	// most k above the followup state before the next underflow or
+	// overflow (the §6 analysis).
+	RiseAfterOverflow map[int]int64
+}
+
+// Simulate runs the minimal-organization cache state machine over an
+// effect sequence, without executing anything — exactly the state
+// walk the paper uses to study overflow behaviour.
+func Simulate(effects []EffectPair, pol core.MinimalPolicy) (WalkResult, error) {
+	if err := pol.Validate(); err != nil {
+		return WalkResult{}, err
+	}
+	res := WalkResult{RiseAfterOverflow: make(map[int]int64)}
+	c := 0
+	riseActive := false
+	riseBase, riseMax := 0, 0
+	endRise := func() {
+		if riseActive {
+			res.RiseAfterOverflow[riseMax]++
+			riseActive = false
+		}
+	}
+	for _, e := range effects {
+		tr := pol.Step(c, e.In, e.Out)
+		res.Counters.Instructions++
+		res.Counters.Dispatches++
+		res.Counters.Loads += int64(tr.Loads)
+		res.Counters.Stores += int64(tr.Stores)
+		res.Counters.Moves += int64(tr.Moves)
+		res.Counters.Updates += int64(tr.Updates)
+		if tr.Overflow {
+			res.Counters.Overflows++
+			endRise()
+			riseActive = true
+			riseBase, riseMax = tr.NewDepth, 0
+		}
+		if tr.Underflow {
+			res.Counters.Underflows++
+			endRise()
+		}
+		c = tr.NewDepth
+		if riseActive && c-riseBase > riseMax {
+			riseMax = c - riseBase
+		}
+	}
+	endRise()
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"testing"
+
+	"stackcache/internal/core"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+func capture(t *testing.T, src string) []vm.Opcode {
+	t.Helper()
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := interp.Capture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAnalyzeSimple(t *testing.T) {
+	// Hand-checkable trace: lit lit add dot halt plus the entry call
+	// and main's exit.
+	tr := capture(t, `: main 1 2 + . ;`)
+	s := Analyze("t", tr)
+	if s.Instructions != int64(len(tr)) {
+		t.Errorf("instructions = %d", s.Instructions)
+	}
+	// Trace: call lit lit add dot exit halt = 7 instructions;
+	// loads: add 2 + dot 1 = 3; updates: lit,lit,add,dot = 4.
+	if len(tr) != 7 {
+		t.Fatalf("trace length = %d, want 7", len(tr))
+	}
+	if got := s.Loads * 7; got != 3 {
+		t.Errorf("total loads = %v, want 3", got)
+	}
+	if got := s.Updates * 7; got != 4 {
+		t.Errorf("total updates = %v, want 4", got)
+	}
+	if got := s.Calls * 7; got != 1 {
+		t.Errorf("total calls = %v, want 1", got)
+	}
+	// Return stack: call stores 1, exit loads 1 -> (1+1)/2 = 1 access.
+	if got := s.RLoads * 7; got != 1 {
+		t.Errorf("rloads = %v, want 1", got)
+	}
+	if got := s.RUpdates * 7; got != 2 {
+		t.Errorf("rupdates = %v, want 2", got)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze("empty", nil)
+	if s.Instructions != 0 || s.Loads != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestEffects(t *testing.T) {
+	tr := []vm.Opcode{vm.OpLit, vm.OpAdd, vm.OpDrop}
+	effs := Effects(tr)
+	want := []EffectPair{{0, 1}, {2, 1}, {1, 0}}
+	for i := range want {
+		if effs[i] != want[i] {
+			t.Errorf("effects[%d] = %v, want %v", i, effs[i], want[i])
+		}
+	}
+}
+
+func TestRandomWalkProperties(t *testing.T) {
+	w := RandomWalk(10000, 128, 42)
+	if len(w) != 10000 {
+		t.Fatalf("length %d", len(w))
+	}
+	depth := 0
+	pushes := 0
+	for _, e := range w {
+		if e.In == 0 && e.Out == 1 {
+			pushes++
+			depth++
+		} else if e.In == 1 && e.Out == 0 {
+			depth--
+		} else {
+			t.Fatalf("invalid effect %v", e)
+		}
+		if depth < 0 {
+			t.Fatal("walk underflowed")
+		}
+	}
+	// Roughly balanced at pushProb 128/256.
+	if pushes < 4500 || pushes > 6500 {
+		t.Errorf("pushes = %d, expected near half", pushes)
+	}
+	// Determinism.
+	w2 := RandomWalk(10000, 128, 42)
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("walk not deterministic")
+		}
+	}
+	if RandomWalk(10, 128, 43)[0] != (EffectPair{0, 1}) {
+		t.Error("first step from empty stack must push")
+	}
+}
+
+func TestSimulateWalk(t *testing.T) {
+	w := RandomWalk(100000, 140, 7)
+	pol := core.MinimalPolicy{NRegs: 4, OverflowTo: 3}
+	res, err := Simulate(w, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Instructions != 100000 || c.Dispatches != c.Instructions {
+		t.Errorf("counters: %+v", c)
+	}
+	if c.Overflows == 0 || c.Underflows == 0 {
+		t.Errorf("expected traffic on a random walk: %+v", c)
+	}
+	var rises int64
+	for _, n := range res.RiseAfterOverflow {
+		rises += n
+	}
+	if rises != c.Overflows {
+		t.Errorf("rise histogram total %d != overflows %d", rises, c.Overflows)
+	}
+	if _, err := Simulate(w, core.MinimalPolicy{}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+// TestRandomWalkDiffersFromRealPrograms reproduces the §6 finding: on
+// a random walk, making the overflow followup state emptier reduces
+// the number of overflows substantially; on real programs it barely
+// does ("the number of overflows is not reduced ... In other words,
+// there's a very strong tendency to go down after going up").
+func TestRandomWalkDiffersFromRealPrograms(t *testing.T) {
+	walk := RandomWalk(200000, 150, 99)
+	polFull := core.MinimalPolicy{NRegs: 10, OverflowTo: 10}
+	polLow := core.MinimalPolicy{NRegs: 10, OverflowTo: 5}
+	wFull, err := Simulate(walk, polFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLow, err := Simulate(walk, polLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wFull.Counters.Overflows == 0 {
+		t.Skip("walk produced no overflows; seed too tame")
+	}
+	walkRatio := float64(wLow.Counters.Overflows) / float64(wFull.Counters.Overflows)
+	if walkRatio > 0.8 {
+		t.Errorf("random walk: lowering followup state should cut overflows strongly; ratio %.2f", walkRatio)
+	}
+
+	p, err := forth.Compile(`
+: inner 1 2 3 + + ;
+: work 0 100 0 do inner + loop ;
+: main 0 20 0 do work + loop . ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := interp.Capture(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := Effects(tr)
+	rFull, err := Simulate(real, polFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLow, err := Simulate(real, polLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFull.Counters.Overflows > 0 {
+		realRatio := float64(rLow.Counters.Overflows) / float64(rFull.Counters.Overflows)
+		if realRatio < walkRatio {
+			t.Errorf("real program should respond less to followup lowering than the walk: real %.2f walk %.2f",
+				realRatio, walkRatio)
+		}
+	}
+}

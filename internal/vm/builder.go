@@ -1,0 +1,179 @@
+package vm
+
+import "fmt"
+
+// Builder constructs a Program instruction by instruction. It supports
+// named labels with forward references, word definitions, and data
+// memory allocation, which together are enough for both the Forth
+// front end (internal/forth) and hand-written test programs.
+//
+// The zero value is not ready to use; call NewBuilder.
+type Builder struct {
+	code    []Instr
+	words   map[string]int
+	labels  map[string]int
+	fixups  map[string][]int // label -> pcs with unresolved targets
+	memSize int
+	data    []byte
+	entry   int
+	err     error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		words:  make(map[string]int),
+		labels: make(map[string]int),
+		fixups: make(map[string][]int),
+	}
+}
+
+// Pos returns the index the next emitted instruction will have.
+func (b *Builder) Pos() int { return len(b.code) }
+
+// InstrAt returns the already-emitted instruction at pc.
+func (b *Builder) InstrAt(pc int) Instr { return b.code[pc] }
+
+// ReplaceAt overwrites the instruction at pc. Peephole rewrites (e.g.
+// superinstruction fusion in the Forth front end) use it; it must not
+// change instruction positions, so branch targets stay valid.
+func (b *Builder) ReplaceAt(pc int, ins Instr) { b.code[pc] = ins }
+
+// Emit appends an instruction without an immediate argument.
+func (b *Builder) Emit(op Opcode) int { return b.EmitArg(op, 0) }
+
+// EmitArg appends an instruction with an immediate argument and
+// returns its code index.
+func (b *Builder) EmitArg(op Opcode, arg Cell) int {
+	b.code = append(b.code, Instr{Op: op, Arg: arg})
+	return len(b.code) - 1
+}
+
+// Lit emits an OpLit pushing n.
+func (b *Builder) Lit(n Cell) int { return b.EmitArg(OpLit, n) }
+
+// Label defines name at the current position. Branches emitted earlier
+// with BranchTo/CallTo to this name are patched.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.code)
+	for _, pc := range b.fixups[name] {
+		b.code[pc].Arg = Cell(len(b.code))
+	}
+	delete(b.fixups, name)
+}
+
+// Word starts the definition of a named word at the current position.
+// Calls emitted with CallTo(name) resolve to it.
+func (b *Builder) Word(name string) {
+	if _, dup := b.words[name]; dup {
+		b.fail("duplicate word %q", name)
+		return
+	}
+	b.words[name] = len(b.code)
+	b.Label("word:" + name)
+}
+
+// target resolves name now or records a fixup.
+func (b *Builder) target(op Opcode, name string) int {
+	pc := b.EmitArg(op, 0)
+	if at, ok := b.labels[name]; ok {
+		b.code[pc].Arg = Cell(at)
+	} else {
+		b.fixups[name] = append(b.fixups[name], pc)
+	}
+	return pc
+}
+
+// BranchTo emits an unconditional branch to the (possibly not yet
+// defined) label.
+func (b *Builder) BranchTo(label string) int { return b.target(OpBranch, label) }
+
+// BranchZeroTo emits a conditional branch (taken when the top of stack
+// is zero) to the label.
+func (b *Builder) BranchZeroTo(label string) int { return b.target(OpBranchZero, label) }
+
+// LoopTo emits an OpLoop whose back edge goes to the label.
+func (b *Builder) LoopTo(label string) int { return b.target(OpLoop, label) }
+
+// PlusLoopTo emits an OpPlusLoop whose back edge goes to the label.
+func (b *Builder) PlusLoopTo(label string) int { return b.target(OpPlusLoop, label) }
+
+// CallTo emits a call to the named word.
+func (b *Builder) CallTo(word string) int { return b.target(OpCall, "word:"+word) }
+
+// SetEntry makes execution start at the label.
+func (b *Builder) SetEntry(label string) {
+	if at, ok := b.labels[label]; ok {
+		b.entry = at
+		return
+	}
+	b.fail("entry label %q not defined", label)
+}
+
+// SetEntryPos makes execution start at the given code index.
+func (b *Builder) SetEntryPos(pos int) { b.entry = pos }
+
+// Alloc reserves size bytes of zeroed data memory and returns the base
+// address.
+func (b *Builder) Alloc(size int) Cell {
+	addr := Cell(b.memSize)
+	b.memSize += size
+	return addr
+}
+
+// AllocData places bytes in data memory and returns the base address.
+// It may only be used before the first plain Alloc gap would make the
+// initialized region non-contiguous; the builder keeps initialized
+// data dense by padding with zeros.
+func (b *Builder) AllocData(bytes []byte) Cell {
+	addr := b.Alloc(len(bytes))
+	for Cell(len(b.data)) < addr {
+		b.data = append(b.data, 0)
+	}
+	b.data = append(b.data, bytes...)
+	return addr
+}
+
+// MemSize returns the bytes of data memory allocated so far.
+func (b *Builder) MemSize() int { return b.memSize }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("vm builder: "+format, args...)
+	}
+}
+
+// Build finalizes the program. It fails if any label is unresolved or
+// the resulting program does not validate.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for name, pcs := range b.fixups {
+		return nil, fmt.Errorf("vm builder: unresolved label %q at pc %v", name, pcs)
+	}
+	p := &Program{
+		Code:    b.code,
+		Entry:   b.entry,
+		MemSize: b.memSize,
+		Data:    b.data,
+		Words:   b.words,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for tests and examples with known-good input.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

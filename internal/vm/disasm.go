@@ -1,0 +1,32 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the whole program, annotating word starts and
+// branch targets.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	targets := p.BranchTargets()
+	for pc, ins := range p.Code {
+		if name := p.WordAt(pc); name != "" {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		} else if targets[pc] {
+			fmt.Fprintf(&sb, "L%d:\n", pc)
+		}
+		fmt.Fprintf(&sb, "%5d  %s\n", pc, disasmInstr(p, ins))
+	}
+	return sb.String()
+}
+
+func disasmInstr(p *Program, ins Instr) string {
+	if EffectOf(ins.Op).Arg == ArgTarget {
+		if name := p.WordAt(int(ins.Arg)); name != "" && ins.Op == OpCall {
+			return fmt.Sprintf("%s %s", ins.Op, name)
+		}
+		return fmt.Sprintf("%s ->%d", ins.Op, ins.Arg)
+	}
+	return ins.String()
+}

@@ -1,0 +1,166 @@
+package vm
+
+// ArgKind says how an instruction's immediate argument is interpreted.
+type ArgKind uint8
+
+const (
+	// ArgNone means the instruction carries no immediate argument.
+	ArgNone ArgKind = iota
+	// ArgValue means the argument is a literal cell value.
+	ArgValue
+	// ArgTarget means the argument is an absolute code index (a branch
+	// or call target).
+	ArgTarget
+)
+
+// Effect is the static stack effect of an opcode: everything the
+// stack-caching machinery needs to know about an instruction without
+// executing it. This is the interface between the virtual machine and
+// the cache-state machines of internal/core — the paper's transition
+// diagrams (Figs. 13, 15, 16, 17) are all keyed on (In, Out) pairs, and
+// the static elimination of stack-manipulation words (§5) is keyed on
+// Map.
+type Effect struct {
+	// In and Out are the number of data-stack cells the instruction
+	// consumes and produces.
+	In, Out int
+
+	// RIn and ROut are the same for the return stack.
+	RIn, ROut int
+
+	// Map is non-nil exactly for pure stack-manipulation instructions
+	// (dup, drop, swap, …): instructions whose outputs are copies of
+	// their inputs. Map[k] gives, for output k (0 = new top of stack),
+	// the input (0 = old top of stack) it is a copy of. Static stack
+	// caching eliminates these instructions entirely by applying Map to
+	// the cache state (paper §5: "Stack manipulations can be optimized
+	// away completely").
+	Map []int
+
+	// Control marks instructions that end a basic block: branches,
+	// calls, returns, loop back-edges and halt.
+	Control bool
+
+	// MemStack marks instructions whose implementation must know the
+	// true stack depth or address stack memory beyond the cached items
+	// (only OpDepth here). Caching engines materialize the stack
+	// pointer for them.
+	MemStack bool
+
+	// Arg says how the immediate argument is used.
+	Arg ArgKind
+}
+
+// IsManip reports whether the opcode is a pure stack-manipulation
+// instruction, i.e. one static stack caching can optimize away.
+func (e Effect) IsManip() bool { return e.Map != nil }
+
+// NetEffect returns Out-In, the change in data-stack depth.
+func (e Effect) NetEffect() int { return e.Out - e.In }
+
+// effects is the authoritative per-opcode stack-effect table.
+var effects = [NumOpcodes]Effect{
+	OpNop: {},
+	OpLit: {Out: 1, Arg: ArgValue},
+
+	OpAdd:      {In: 2, Out: 1},
+	OpSub:      {In: 2, Out: 1},
+	OpMul:      {In: 2, Out: 1},
+	OpDiv:      {In: 2, Out: 1},
+	OpMod:      {In: 2, Out: 1},
+	OpNegate:   {In: 1, Out: 1},
+	OpAbs:      {In: 1, Out: 1},
+	OpMin:      {In: 2, Out: 1},
+	OpMax:      {In: 2, Out: 1},
+	OpAnd:      {In: 2, Out: 1},
+	OpOr:       {In: 2, Out: 1},
+	OpXor:      {In: 2, Out: 1},
+	OpInvert:   {In: 1, Out: 1},
+	OpLshift:   {In: 2, Out: 1},
+	OpRshift:   {In: 2, Out: 1},
+	OpOnePlus:  {In: 1, Out: 1},
+	OpOneMinus: {In: 1, Out: 1},
+	OpTwoStar:  {In: 1, Out: 1},
+	OpTwoSlash: {In: 1, Out: 1},
+	OpCells:    {In: 1, Out: 1},
+	OpLitAdd:   {In: 1, Out: 1, Arg: ArgValue},
+
+	OpEq:     {In: 2, Out: 1},
+	OpNe:     {In: 2, Out: 1},
+	OpLt:     {In: 2, Out: 1},
+	OpGt:     {In: 2, Out: 1},
+	OpLe:     {In: 2, Out: 1},
+	OpGe:     {In: 2, Out: 1},
+	OpULt:    {In: 2, Out: 1},
+	OpZeroEq: {In: 1, Out: 1},
+	OpZeroNe: {In: 1, Out: 1},
+	OpZeroLt: {In: 1, Out: 1},
+	OpZeroGt: {In: 1, Out: 1},
+
+	// Stack manipulations: output k (0 = new top) copies input Map[k]
+	// (0 = old top).
+	OpDup:      {In: 1, Out: 2, Map: []int{0, 0}},
+	OpDrop:     {In: 1, Out: 0, Map: []int{}},
+	OpSwap:     {In: 2, Out: 2, Map: []int{1, 0}},
+	OpOver:     {In: 2, Out: 3, Map: []int{1, 0, 1}},
+	OpRot:      {In: 3, Out: 3, Map: []int{2, 0, 1}},
+	OpMinusRot: {In: 3, Out: 3, Map: []int{1, 2, 0}},
+	OpNip:      {In: 2, Out: 1, Map: []int{0}},
+	OpTuck:     {In: 2, Out: 3, Map: []int{0, 1, 0}},
+	OpTwoDup:   {In: 2, Out: 4, Map: []int{0, 1, 0, 1}},
+	OpTwoDrop:  {In: 2, Out: 0, Map: []int{}},
+
+	OpToR:    {In: 1, ROut: 1},
+	OpRFrom:  {Out: 1, RIn: 1},
+	OpRFetch: {Out: 1, RIn: 1, ROut: 1},
+
+	OpFetch:     {In: 1, Out: 1},
+	OpStore:     {In: 2},
+	OpCFetch:    {In: 1, Out: 1},
+	OpCStore:    {In: 2},
+	OpPlusStore: {In: 2},
+
+	OpBranch:     {Control: true, Arg: ArgTarget},
+	OpBranchZero: {In: 1, Control: true, Arg: ArgTarget},
+	OpCall:       {ROut: 1, Control: true, Arg: ArgTarget},
+	OpExit:       {RIn: 1, Control: true},
+	OpHalt:       {Control: true},
+
+	OpDo:       {In: 2, ROut: 2},
+	OpLoop:     {RIn: 2, ROut: 2, Control: true, Arg: ArgTarget},
+	OpPlusLoop: {In: 1, RIn: 2, ROut: 2, Control: true, Arg: ArgTarget},
+	OpI:        {Out: 1, RIn: 1, ROut: 1},
+	OpJ:        {Out: 1, RIn: 3, ROut: 3},
+	OpUnloop:   {RIn: 2},
+
+	OpEmit:  {In: 1},
+	OpDot:   {In: 1},
+	OpType:  {In: 2},
+	OpDepth: {Out: 1, MemStack: true},
+}
+
+// EffectOf returns the static stack effect of op. It panics on an
+// invalid opcode; effect lookups happen on code that has already been
+// validated.
+func EffectOf(op Opcode) Effect {
+	if !op.Valid() {
+		panic("vm: EffectOf of invalid opcode " + op.String())
+	}
+	return effects[op]
+}
+
+// MaxIn and MaxOut bound the data-stack effect over the whole
+// instruction set; cache organizations must support at least MaxIn
+// cached items to execute every instruction without underflow handling
+// in the middle of an instruction.
+var MaxIn, MaxOut = func() (in, out int) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if effects[op].In > in {
+			in = effects[op].In
+		}
+		if effects[op].Out > out {
+			out = effects[op].Out
+		}
+	}
+	return
+}()

@@ -1,0 +1,200 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Binary image format for compiled programs, so that a compile step
+// (the slow part: the Forth front end) can be separated from execution
+// — the usual split in deployed interpreters, and the paper's implicit
+// setting where the "compiler" produces virtual machine code that the
+// interpreter later runs.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "STKCACH1"
+//	entry   uint32
+//	memsize uint32
+//	ncode   uint32
+//	code    ncode × (opcode uint8, arg int64)
+//	ndata   uint32
+//	data    ndata bytes
+//	nwords  uint32
+//	words   nwords × (addr uint32, nameLen uint16, name bytes)
+var imageMagic = [8]byte{'S', 'T', 'K', 'C', 'A', 'C', 'H', '1'}
+
+// maxImageSection bounds decoded section sizes as a sanity check
+// against corrupt images.
+const maxImageSection = 1 << 28
+
+// Encode serializes a validated program to its binary image.
+func Encode(p *Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("vm: encode: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(imageMagic[:])
+	le := binary.LittleEndian
+	put32 := func(v uint32) {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	put32(uint32(p.Entry))
+	put32(uint32(p.MemSize))
+	put32(uint32(len(p.Code)))
+	for _, ins := range p.Code {
+		buf.WriteByte(byte(ins.Op))
+		var b [8]byte
+		le.PutUint64(b[:], uint64(ins.Arg))
+		buf.Write(b[:])
+	}
+	put32(uint32(len(p.Data)))
+	buf.Write(p.Data)
+	names := p.WordNames()
+	put32(uint32(len(names)))
+	for _, name := range names {
+		if len(name) > 0xffff {
+			return nil, fmt.Errorf("vm: encode: word name %q too long", name[:32]+"…")
+		}
+		put32(uint32(p.Words[name]))
+		var b [2]byte
+		le.PutUint16(b[:], uint16(len(name)))
+		buf.Write(b[:])
+		buf.WriteString(name)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a binary image back into a validated program.
+func Decode(img []byte) (*Program, error) {
+	r := &imageReader{buf: img}
+	var magic [8]byte
+	r.read(magic[:])
+	if magic != imageMagic {
+		return nil, fmt.Errorf("vm: decode: bad magic")
+	}
+	entry := r.u32()
+	memSize := r.u32()
+	ncode := r.u32()
+	if ncode > maxImageSection {
+		return nil, fmt.Errorf("vm: decode: implausible code size %d", ncode)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	code := make([]Instr, 0, ncode)
+	for i := uint32(0); i < ncode && r.err == nil; i++ {
+		op := Opcode(r.u8())
+		arg := Cell(r.u64())
+		code = append(code, Instr{Op: op, Arg: arg})
+	}
+	ndata := r.u32()
+	if ndata > maxImageSection {
+		return nil, fmt.Errorf("vm: decode: implausible data size %d", ndata)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	data := make([]byte, ndata)
+	r.read(data)
+	nwords := r.u32()
+	if nwords > maxImageSection {
+		return nil, fmt.Errorf("vm: decode: implausible word count %d", nwords)
+	}
+	words := make(map[string]int, nwords)
+	for i := uint32(0); i < nwords && r.err == nil; i++ {
+		addr := r.u32()
+		nameLen := r.u16()
+		name := make([]byte, nameLen)
+		r.read(name)
+		words[string(name)] = int(addr)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(img) {
+		return nil, fmt.Errorf("vm: decode: %d trailing bytes", len(img)-r.pos)
+	}
+	p := &Program{
+		Code:    code,
+		Entry:   int(entry),
+		MemSize: int(memSize),
+		Data:    data,
+		Words:   words,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("vm: decode: %w", err)
+	}
+	return p, nil
+}
+
+// imageReader is a bounds-checked cursor over an image.
+type imageReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *imageReader) read(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.pos+len(dst) > len(r.buf) {
+		r.err = fmt.Errorf("vm: decode: truncated image at offset %d", r.pos)
+		return
+	}
+	copy(dst, r.buf[r.pos:])
+	r.pos += len(dst)
+}
+
+func (r *imageReader) u8() byte {
+	var b [1]byte
+	r.read(b[:])
+	return b[0]
+}
+
+func (r *imageReader) u16() uint16 {
+	var b [2]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+func (r *imageReader) u32() uint32 {
+	var b [4]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *imageReader) u64() uint64 {
+	var b [8]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Equal reports whether two programs are identical images (same code,
+// entry, memory layout and word table).
+func Equal(a, b *Program) bool {
+	if a.Entry != b.Entry || a.MemSize != b.MemSize ||
+		len(a.Code) != len(b.Code) || !bytes.Equal(a.Data, b.Data) ||
+		len(a.Words) != len(b.Words) {
+		return false
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			return false
+		}
+	}
+	an, bn := a.WordNames(), b.WordNames()
+	sort.Strings(an)
+	sort.Strings(bn)
+	for i := range an {
+		if an[i] != bn[i] || a.Words[an[i]] != b.Words[bn[i]] {
+			return false
+		}
+	}
+	return true
+}

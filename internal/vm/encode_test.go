@@ -1,0 +1,144 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.AllocData([]byte("hello"))
+	b.Alloc(64)
+	b.Word("sq")
+	b.Emit(OpDup)
+	b.Emit(OpMul)
+	b.Emit(OpExit)
+	b.Word("main")
+	b.Lit(7)
+	b.CallTo("sq")
+	b.Emit(OpDot)
+	b.Emit(OpHalt)
+	b.SetEntry("word:main")
+	return b.MustBuild()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := sampleProgram(t)
+	img, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(p, q) {
+		t.Errorf("round trip changed the program:\n%+v\nvs\n%+v", p, q)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(&Program{}); err == nil {
+		t.Error("empty program encoded")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := sampleProgram(t)
+	img, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"truncated header", func(b []byte) []byte { return b[:6] }},
+		{"truncated code", func(b []byte) []byte { return b[:20] }},
+		{"truncated tail", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 1, 2, 3) }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			img2 := c.mutate(append([]byte(nil), img...))
+			if _, err := Decode(img2); err == nil {
+				t.Error("corrupt image decoded")
+			}
+		})
+	}
+}
+
+func TestDecodeValidatesSemantics(t *testing.T) {
+	// An image whose branch target is out of range must be rejected by
+	// the embedded Validate.
+	p := sampleProgram(t)
+	img, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the call instruction's target to garbage: find it.
+	q, err := Decode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ins := range q.Code {
+		if ins.Op == OpCall {
+			q.Code[i].Arg = 1 << 30
+		}
+	}
+	if _, err := Encode(q); err == nil {
+		t.Error("invalid program encoded")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	p := sampleProgram(t)
+	q := sampleProgram(t)
+	if !Equal(p, q) {
+		t.Error("identical programs not equal")
+	}
+	q.Code[0].Arg++
+	if Equal(p, q) {
+		t.Error("differing code equal")
+	}
+}
+
+func TestEncodeDecodePropertyRandomLiterals(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := NewBuilder()
+		for _, v := range vals {
+			b.Lit(v)
+		}
+		for range vals {
+			b.Emit(OpDrop)
+		}
+		b.Emit(OpHalt)
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		img, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		q, err := Decode(img)
+		if err != nil {
+			return false
+		}
+		return Equal(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrorMessages(t *testing.T) {
+	_, err := Decode([]byte("not an image at all"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v", err)
+	}
+}

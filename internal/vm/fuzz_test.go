@@ -1,0 +1,39 @@
+package vm
+
+import "testing"
+
+// FuzzDecode: arbitrary bytes must never panic the image decoder, and
+// anything that decodes must re-encode to an equal program.
+func FuzzDecode(f *testing.F) {
+	b := NewBuilder()
+	b.Word("main")
+	b.Lit(1)
+	b.Emit(OpDot)
+	b.Emit(OpHalt)
+	b.SetEntry("word:main")
+	img, err := Encode(b.MustBuild())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add([]byte("STKCACH1"))
+	f.Add(img[:len(img)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		img2, err := Encode(p)
+		if err != nil {
+			t.Fatalf("decoded program fails to encode: %v", err)
+		}
+		q, err := Decode(img2)
+		if err != nil {
+			t.Fatalf("re-encoded image fails to decode: %v", err)
+		}
+		if !Equal(p, q) {
+			t.Fatal("decode/encode/decode not idempotent")
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package vm defines the virtual stack machine that the stack-caching
+// techniques of Ertl's "Stack Caching for Interpreters" (PLDI 1995) are
+// applied to.
+//
+// The machine is a classic Forth-style two-stack virtual machine:
+//
+//   - a data stack of 64-bit cells, on which almost all instructions
+//     take their arguments and leave their results;
+//   - a return stack holding return addresses and do-loop control
+//     values;
+//   - a byte-addressed memory for variables, buffers and strings;
+//   - a linear code area of fixed-size instructions, each an opcode
+//     plus one optional immediate argument.
+//
+// The package defines the instruction set, the static stack effect of
+// every opcode (the metadata that drives all cache-state machinery in
+// internal/core), a program representation, a builder/assembler and a
+// disassembler. Interpreters live in internal/interp and the caching
+// execution engines in internal/dyncache and internal/statcache.
+package vm
+
+import "fmt"
+
+// Opcode identifies a virtual machine instruction.
+//
+// The numbering is dense so that per-opcode tables (dispatch tables,
+// effect tables, specialization tables) can be flat arrays indexed by
+// opcode.
+type Opcode uint8
+
+// The complete instruction set. Grouped as in the Forth tradition:
+// literals, arithmetic/logic, comparison, stack manipulation, return
+// stack, memory, control flow, loops, and I/O.
+const (
+	// OpNop does nothing. ( -- )
+	OpNop Opcode = iota
+
+	// OpLit pushes its immediate argument. ( -- n )
+	OpLit
+
+	// Arithmetic and logic.
+
+	// OpAdd adds the two top cells. ( a b -- a+b )
+	OpAdd
+	// OpSub subtracts the top cell from the second. ( a b -- a-b )
+	OpSub
+	// OpMul multiplies the two top cells. ( a b -- a*b )
+	OpMul
+	// OpDiv divides the second cell by the top cell, truncating toward
+	// negative infinity as Forth's floored division does. ( a b -- a/b )
+	OpDiv
+	// OpMod leaves the floored remainder. ( a b -- a mod b )
+	OpMod
+	// OpNegate negates the top cell. ( a -- -a )
+	OpNegate
+	// OpAbs leaves the absolute value. ( a -- |a| )
+	OpAbs
+	// OpMin leaves the smaller of the two top cells. ( a b -- min )
+	OpMin
+	// OpMax leaves the larger of the two top cells. ( a b -- max )
+	OpMax
+	// OpAnd is bitwise and. ( a b -- a&b )
+	OpAnd
+	// OpOr is bitwise or. ( a b -- a|b )
+	OpOr
+	// OpXor is bitwise exclusive or. ( a b -- a^b )
+	OpXor
+	// OpInvert is bitwise complement. ( a -- ^a )
+	OpInvert
+	// OpLshift shifts the second cell left by the top cell. ( a u -- a<<u )
+	OpLshift
+	// OpRshift shifts the second cell right (logically) by the top
+	// cell. ( a u -- a>>u )
+	OpRshift
+	// OpOnePlus increments the top cell. ( a -- a+1 )
+	OpOnePlus
+	// OpOneMinus decrements the top cell. ( a -- a-1 )
+	OpOneMinus
+	// OpTwoStar doubles the top cell. ( a -- a*2 )
+	OpTwoStar
+	// OpTwoSlash halves the top cell arithmetically. ( a -- a>>1 )
+	OpTwoSlash
+	// OpCells scales an index by the cell size. ( n -- n*8 )
+	OpCells
+	// OpLitAdd adds its immediate argument to the top cell; the
+	// superinstruction the front end emits for "literal +".
+	// ( a -- a+imm )
+	OpLitAdd
+
+	// Comparison. All leave a well-formed flag: -1 for true, 0 for
+	// false, as Forth requires.
+
+	// OpEq compares for equality. ( a b -- flag )
+	OpEq
+	// OpNe compares for inequality. ( a b -- flag )
+	OpNe
+	// OpLt is signed less-than. ( a b -- flag )
+	OpLt
+	// OpGt is signed greater-than. ( a b -- flag )
+	OpGt
+	// OpLe is signed less-or-equal. ( a b -- flag )
+	OpLe
+	// OpGe is signed greater-or-equal. ( a b -- flag )
+	OpGe
+	// OpULt is unsigned less-than. ( a b -- flag )
+	OpULt
+	// OpZeroEq tests the top cell against zero. ( a -- flag )
+	OpZeroEq
+	// OpZeroNe tests the top cell against nonzero. ( a -- flag )
+	OpZeroNe
+	// OpZeroLt tests the top cell for negativity. ( a -- flag )
+	OpZeroLt
+	// OpZeroGt tests the top cell for positivity. ( a -- flag )
+	OpZeroGt
+
+	// Stack manipulation. These are the instructions static stack
+	// caching optimizes away completely (paper §5): their whole effect
+	// is a re-mapping of stack items, recorded in Effect.Map.
+
+	// OpDup duplicates the top cell. ( a -- a a )
+	OpDup
+	// OpDrop discards the top cell. ( a -- )
+	OpDrop
+	// OpSwap exchanges the two top cells. ( a b -- b a )
+	OpSwap
+	// OpOver copies the second cell to the top. ( a b -- a b a )
+	OpOver
+	// OpRot rotates the third cell to the top. ( a b c -- b c a )
+	OpRot
+	// OpMinusRot rotates the top cell to third place. ( a b c -- c a b )
+	OpMinusRot
+	// OpNip discards the second cell. ( a b -- b )
+	OpNip
+	// OpTuck copies the top cell below the second. ( a b -- b a b )
+	OpTuck
+	// OpTwoDup duplicates the top pair. ( a b -- a b a b )
+	OpTwoDup
+	// OpTwoDrop discards the top pair. ( a b -- )
+	OpTwoDrop
+
+	// Return stack.
+
+	// OpToR moves the top cell to the return stack. ( a -- ) (R: -- a )
+	OpToR
+	// OpRFrom moves the top return-stack cell to the data stack.
+	// ( -- a ) (R: a -- )
+	OpRFrom
+	// OpRFetch copies the top return-stack cell. ( -- a ) (R: a -- a )
+	OpRFetch
+
+	// Memory. Addresses are byte addresses into the machine's memory.
+
+	// OpFetch loads the cell at the given address. ( addr -- x )
+	OpFetch
+	// OpStore stores the second cell at the address on top.
+	// ( x addr -- )
+	OpStore
+	// OpCFetch loads one byte, zero-extended. ( addr -- c )
+	OpCFetch
+	// OpCStore stores the low byte of the second cell. ( c addr -- )
+	OpCStore
+	// OpPlusStore adds the second cell to the cell at the address on
+	// top. ( n addr -- )
+	OpPlusStore
+
+	// Control flow. Branch targets are absolute code indices held in
+	// the immediate argument.
+
+	// OpBranch jumps unconditionally. ( -- )
+	OpBranch
+	// OpBranchZero jumps if the top cell is zero. ( flag -- )
+	OpBranchZero
+	// OpCall calls the word whose code index is the immediate
+	// argument, pushing the return address on the return stack.
+	// ( -- ) (R: -- ret )
+	OpCall
+	// OpExit returns from the current word. ( -- ) (R: ret -- )
+	OpExit
+	// OpHalt stops the machine. ( -- )
+	OpHalt
+
+	// Counted loops, in the Forth do/loop style. The loop control
+	// values (index and limit) live on the return stack.
+
+	// OpDo begins a counted loop: pops limit and initial index and
+	// pushes them on the return stack. ( limit index -- ) (R: -- limit index )
+	OpDo
+	// OpLoop increments the index; if it reaches the limit the loop
+	// control values are popped, otherwise control branches back to
+	// the immediate target. ( -- ) (R: limit index -- limit index | )
+	OpLoop
+	// OpPlusLoop is like OpLoop but adds the popped increment and
+	// terminates when the index crosses the limit boundary.
+	// ( n -- ) (R: limit index -- limit index | )
+	OpPlusLoop
+	// OpI pushes the innermost loop index. ( -- i ) (R: unchanged )
+	OpI
+	// OpJ pushes the next-outer loop index. ( -- j ) (R: unchanged )
+	OpJ
+	// OpUnloop discards one level of loop control values.
+	// ( -- ) (R: limit index -- )
+	OpUnloop
+
+	// I/O and miscellany.
+
+	// OpEmit writes the character in the top cell to the machine's
+	// output. ( c -- )
+	OpEmit
+	// OpDot writes the top cell as a decimal number and a space.
+	// ( n -- )
+	OpDot
+	// OpType writes len bytes starting at addr. ( addr len -- )
+	OpType
+	// OpDepth pushes the current data-stack depth (not counting the
+	// pushed value). ( -- n )
+	OpDepth
+
+	// NumOpcodes is the number of opcodes; it is not itself a valid
+	// opcode. Flat per-opcode tables have this length.
+	NumOpcodes
+)
+
+var opcodeNames = [NumOpcodes]string{
+	OpNop: "nop", OpLit: "lit",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "mod",
+	OpNegate: "negate", OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpInvert: "invert",
+	OpLshift: "lshift", OpRshift: "rshift",
+	OpOnePlus: "1+", OpOneMinus: "1-", OpTwoStar: "2*", OpTwoSlash: "2/",
+	OpCells: "cells", OpLitAdd: "lit+",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpGt: ">", OpLe: "<=", OpGe: ">=",
+	OpULt: "u<", OpZeroEq: "0=", OpZeroNe: "0<>", OpZeroLt: "0<", OpZeroGt: "0>",
+	OpDup: "dup", OpDrop: "drop", OpSwap: "swap", OpOver: "over",
+	OpRot: "rot", OpMinusRot: "-rot", OpNip: "nip", OpTuck: "tuck",
+	OpTwoDup: "2dup", OpTwoDrop: "2drop",
+	OpToR: ">r", OpRFrom: "r>", OpRFetch: "r@",
+	OpFetch: "@", OpStore: "!", OpCFetch: "c@", OpCStore: "c!",
+	OpPlusStore: "+!",
+	OpBranch:    "branch", OpBranchZero: "0branch", OpCall: "call",
+	OpExit: "exit", OpHalt: "halt",
+	OpDo: "do", OpLoop: "loop", OpPlusLoop: "+loop",
+	OpI: "i", OpJ: "j", OpUnloop: "unloop",
+	OpEmit: "emit", OpDot: ".", OpType: "type", OpDepth: "depth",
+}
+
+// String returns the conventional Forth name of the opcode.
+func (op Opcode) String() string {
+	if op < NumOpcodes {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < NumOpcodes }
+
+// OpcodeByName maps the conventional name back to the opcode. It
+// reports false for unknown names.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opcodeByName[name]
+	return op, ok
+}
+
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		m[opcodeNames[op]] = op
+	}
+	return m
+}()

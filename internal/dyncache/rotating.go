@@ -13,11 +13,18 @@ import (
 // (cached count, base register) — n²+1 states, the second row of
 // Fig. 18.
 func RunRotating(p *vm.Program, pol core.RotatingPolicy) (*Result, error) {
+	return RunRotatingWithLimit(p, pol, 0)
+}
+
+// RunRotatingWithLimit is RunRotating with an instruction budget;
+// maxSteps <= 0 means the default limit.
+func RunRotatingWithLimit(p *vm.Program, pol core.RotatingPolicy, maxSteps int64) (*Result, error) {
 	table, err := core.BuildRotatingTable(pol)
 	if err != nil {
 		return nil, err
 	}
 	m := interp.NewMachine(p)
+	m.MaxSteps = maxSteps
 	res := &Result{Machine: m, RiseAfterOverflow: make(map[int]int64)}
 
 	n := pol.NRegs
@@ -52,11 +59,19 @@ func RunRotating(p *vm.Program, pol core.RotatingPolicy) (*Result, error) {
 	}
 
 	for {
+		if m.PC < 0 || m.PC >= len(code) {
+			flush()
+			return res, interp.PCError(m.PC)
+		}
 		if m.Steps >= limit {
 			flush()
 			return res, failAt(m, "step limit exceeded")
 		}
 		ins := code[m.PC]
+		if !ins.Op.Valid() {
+			flush()
+			return res, failAt(m, "invalid opcode")
+		}
 		eff := vm.EffectOf(ins.Op)
 		m.Steps++
 		res.Counters.Instructions++

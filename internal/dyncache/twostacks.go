@@ -66,10 +66,17 @@ type TwoStackResult struct {
 // minimal-organization transition rules, with the data cache's
 // capacity shrunk by the cached return items.
 func RunTwoStacks(p *vm.Program, pol TwoStackPolicy) (*TwoStackResult, error) {
+	return RunTwoStacksWithLimit(p, pol, 0)
+}
+
+// RunTwoStacksWithLimit is RunTwoStacks with an instruction budget;
+// maxSteps <= 0 means the default limit.
+func RunTwoStacksWithLimit(p *vm.Program, pol TwoStackPolicy, maxSteps int64) (*TwoStackResult, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
 	m := interp.NewMachine(p)
+	m.MaxSteps = maxSteps
 	res := &TwoStackResult{Result: Result{Machine: m, RiseAfterOverflow: make(map[int]int64)}}
 
 	regs := make([]vm.Cell, pol.NRegs)
@@ -94,11 +101,19 @@ func RunTwoStacks(p *vm.Program, pol TwoStackPolicy) (*TwoStackResult, error) {
 	}
 
 	for {
+		if m.PC < 0 || m.PC >= len(code) {
+			flush()
+			return res, interp.PCError(m.PC)
+		}
 		if m.Steps >= limit {
 			flush()
 			return res, failAt(m, "step limit exceeded")
 		}
 		ins := code[m.PC]
+		if !ins.Op.Valid() {
+			flush()
+			return res, failAt(m, "invalid opcode")
+		}
 		eff := vm.EffectOf(ins.Op)
 		m.Steps++
 		res.Counters.Instructions++

@@ -59,7 +59,17 @@ func CompileWithOptions(src string, opt Options) (*vm.Program, error) {
 	c.b.CallTo("main")
 	c.b.Emit(vm.OpHalt)
 	c.b.SetEntryPos(entry)
-	return c.b.Build()
+	p, err := c.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Self-check: everything the front end emits must satisfy the full
+	// static contract the engines' fast paths rely on. A failure here
+	// is a compiler bug, not a user error.
+	if err := vm.Verify(p); err != nil {
+		return nil, fmt.Errorf("forth: internal error: compiled program fails verification: %w", err)
+	}
+	return p, nil
 }
 
 // wordKind classifies dictionary entries.

@@ -200,9 +200,11 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 		g.gotoState(rem)
 	case vm.OpType:
 		g.consume2(c, func(a, b string, rem int) string {
+			// m.RangeOK rather than addr+len > cap: the addition wraps
+			// negative for values near MaxInt64.
 			return fmt.Sprintf(
-				"if %s < 0 || %s < 0 || %s+%s > vm.Cell(len(m.Mem)) { errOp, errMsg = ins.Op, %q; goto fail%d }\nm.Out.Write(m.Mem[%s : %s+%s])",
-				b, a, a, b, "memory access out of range", rem, a, a, b)
+				"if !m.RangeOK(%s, %s) { errOp, errMsg = ins.Op, %q; goto fail%d }\nm.Out.Write(m.Mem[%s : %s+%s])",
+				a, b, "memory access out of range", rem, a, a, b)
 		})
 	case vm.OpDepth:
 		// The depth is computed from sp *after* any spill, with the

@@ -344,7 +344,7 @@ func Apply(m *Machine, ins vm.Instr, args []vm.Cell, out []vm.Cell, depth int) (
 		return 0, nil
 	case vm.OpType:
 		addr, n := second(), top()
-		if n < 0 || addr < 0 || addr+n > vm.Cell(len(m.Mem)) {
+		if !m.RangeOK(addr, n) {
 			return 0, m.fail(ins.Op, "memory access out of range")
 		}
 		m.Out.Write(m.Mem[addr : addr+n])

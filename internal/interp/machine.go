@@ -101,6 +101,19 @@ func (m *Machine) fail(op vm.Opcode, msg string) error {
 	return &RuntimeError{PC: m.PC, Op: op, Msg: msg}
 }
 
+// MsgPCRange is the message every engine uses when the program counter
+// leaves the code area — by falling off an unterminated program, or
+// through a corrupt return address popped by OpExit. There is no
+// current instruction at such a pc, so the error's Op is OpNop.
+const MsgPCRange = "program counter out of range"
+
+// PCError builds the out-of-range-pc error. All engines (including the
+// caching engines in other packages) report this identical error class
+// so differential tests can compare malformed-program behaviour.
+func PCError(pc int) *RuntimeError {
+	return &RuntimeError{PC: pc, Op: vm.OpNop, Msg: MsgPCRange}
+}
+
 // Snapshot captures the observable final state of an execution for
 // differential testing: stack contents, output, and memory hash.
 type Snapshot struct {
@@ -143,9 +156,11 @@ func (s Snapshot) Equal(t Snapshot) bool {
 	return true
 }
 
-// CellAt loads the cell at byte address addr.
+// CellAt loads the cell at byte address addr. The bound is written as
+// a subtraction so that an addr near MaxInt64 cannot wrap negative and
+// sneak past the check.
 func (m *Machine) CellAt(addr vm.Cell) (vm.Cell, bool) {
-	if addr < 0 || addr+vm.CellSize > vm.Cell(len(m.Mem)) {
+	if addr < 0 || addr > vm.Cell(len(m.Mem))-vm.CellSize {
 		return 0, false
 	}
 	return vm.Cell(binary.LittleEndian.Uint64(m.Mem[addr:])), true
@@ -153,11 +168,18 @@ func (m *Machine) CellAt(addr vm.Cell) (vm.Cell, bool) {
 
 // SetCellAt stores x at byte address addr.
 func (m *Machine) SetCellAt(addr, x vm.Cell) bool {
-	if addr < 0 || addr+vm.CellSize > vm.Cell(len(m.Mem)) {
+	if addr < 0 || addr > vm.Cell(len(m.Mem))-vm.CellSize {
 		return false
 	}
 	binary.LittleEndian.PutUint64(m.Mem[addr:], uint64(x))
 	return true
+}
+
+// RangeOK reports whether the byte range [addr, addr+n) lies inside
+// memory, without the addr+n overflow the naive comparison has for
+// values near MaxInt64.
+func (m *Machine) RangeOK(addr, n vm.Cell) bool {
+	return n >= 0 && addr >= 0 && addr <= vm.Cell(len(m.Mem))-n
 }
 
 // ByteAt loads the byte at addr.

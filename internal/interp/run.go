@@ -59,16 +59,29 @@ func Run(p *vm.Program, e Engine) (*Machine, error) {
 // instruction. Trace capture and all trace-driven simulators
 // (internal/constcache, internal/trace) build on this.
 func RunTraced(p *vm.Program, visit func(pc int, ins vm.Instr)) (*Machine, error) {
+	return RunTracedWithLimit(p, visit, 0)
+}
+
+// RunTracedWithLimit is RunTraced with an instruction budget;
+// maxSteps <= 0 means the default limit.
+func RunTracedWithLimit(p *vm.Program, visit func(pc int, ins vm.Instr), maxSteps int64) (*Machine, error) {
 	m := NewMachine(p)
+	m.MaxSteps = maxSteps
 	code := p.Code
 	limit := m.maxSteps()
 	for {
+		if m.PC < 0 || m.PC >= len(code) {
+			return m, PCError(m.PC)
+		}
 		if m.Steps >= limit {
 			return m, m.fail(code[m.PC].Op, "step limit exceeded")
 		}
 		ins := code[m.PC]
 		visit(m.PC, ins)
 		m.Steps++
+		if !ins.Op.Valid() {
+			return m, m.fail(ins.Op, "invalid opcode")
+		}
 		if err := handlers[ins.Op](m, ins.Arg); err != nil {
 			if err == errHalt {
 				return m, nil

@@ -22,6 +22,14 @@ func RunSwitch(m *Machine) error {
 	}
 
 	for {
+		// Unverified programs can send pc anywhere: off the end of an
+		// unterminated program, or through a corrupt return address
+		// popped by OpExit (e.g. `Lit 999; ToR; Exit`). The dispatch
+		// bounds check turns every such escape into a clean error.
+		if pc < 0 || pc >= len(code) {
+			sync()
+			return PCError(pc)
+		}
 		if steps >= limit {
 			sync()
 			return m.fail(code[pc].Op, "step limit exceeded")
@@ -683,7 +691,7 @@ func RunSwitch(m *Machine) error {
 				return m.fail(ins.Op, "stack underflow")
 			}
 			addr, n := st[sp-2], st[sp-1]
-			if n < 0 || addr < 0 || addr+n > vm.Cell(len(m.Mem)) {
+			if !m.RangeOK(addr, n) {
 				sync()
 				return m.fail(ins.Op, "memory access out of range")
 			}

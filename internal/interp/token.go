@@ -23,11 +23,17 @@ func RunToken(m *Machine) error {
 	code := m.Prog.Code
 	limit := m.maxSteps()
 	for {
+		if m.PC < 0 || m.PC >= len(code) {
+			return PCError(m.PC)
+		}
 		if m.Steps >= limit {
 			return m.fail(code[m.PC].Op, "step limit exceeded")
 		}
 		ins := code[m.PC]
 		m.Steps++
+		if !ins.Op.Valid() {
+			return m.fail(ins.Op, "invalid opcode")
+		}
 		if err := handlers[ins.Op](m, ins.Arg); err != nil {
 			if err == errHalt {
 				return nil
@@ -53,10 +59,22 @@ type Threaded struct {
 	code []threadedInstr
 }
 
+// invalidOp is the handler translation maps undefined opcodes to, so
+// that an unverified program reaches the same "invalid opcode" error
+// the other dispatch techniques report — at execution time, not at
+// translation time (the bad instruction may be unreachable).
+func invalidOp(m *Machine, _ vm.Cell) error {
+	return m.fail(m.Prog.Code[m.PC].Op, "invalid opcode")
+}
+
 // NewThreaded translates p into threaded code for machine m.
 func NewThreaded(m *Machine) *Threaded {
 	t := &Threaded{m: m, code: make([]threadedInstr, len(m.Prog.Code))}
 	for i, ins := range m.Prog.Code {
+		if !ins.Op.Valid() {
+			t.code[i] = threadedInstr{fn: invalidOp}
+			continue
+		}
 		t.code[i] = threadedInstr{fn: handlers[ins.Op], arg: ins.Arg}
 	}
 	return t
@@ -67,6 +85,9 @@ func (t *Threaded) Run() error {
 	m := t.m
 	limit := m.maxSteps()
 	for {
+		if m.PC < 0 || m.PC >= len(t.code) {
+			return PCError(m.PC)
+		}
 		if m.Steps >= limit {
 			return m.fail(m.Prog.Code[m.PC].Op, "step limit exceeded")
 		}
@@ -576,7 +597,7 @@ var handlers = [vm.NumOpcodes]handler{
 		if err != nil {
 			return err
 		}
-		if n < 0 || addr < 0 || addr+n > vm.Cell(len(m.Mem)) {
+		if !m.RangeOK(addr, n) {
 			return m.fail(vm.OpType, "memory access out of range")
 		}
 		m.Out.Write(m.Mem[addr : addr+n])

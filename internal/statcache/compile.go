@@ -186,7 +186,10 @@ func Compile(p *vm.Program, pol Policy) (*Plan, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.Validate(); err != nil {
+	// The specializing compiler walks the whole program anyway, so it
+	// demands the full static verification contract — not just
+	// structural validity — before generating unchecked plan steps.
+	if err := vm.Verify(p); err != nil {
 		return nil, err
 	}
 	plan := &Plan{Prog: p, Policy: pol, Steps: make([]Step, len(p.Code))}

@@ -25,7 +25,14 @@ type Result struct {
 
 // Execute runs a compiled plan with an explicit register file.
 func Execute(plan *Plan) (*Result, error) {
+	return ExecuteWithLimit(plan, 0)
+}
+
+// ExecuteWithLimit is Execute with an instruction budget; maxSteps <= 0
+// means the default limit.
+func ExecuteWithLimit(plan *Plan, maxSteps int64) (*Result, error) {
 	m := interp.NewMachine(plan.Prog)
+	m.MaxSteps = maxSteps
 	res := &Result{Machine: m}
 	regs := make([]vm.Cell, plan.Policy.NRegs)
 	mem := make([]vm.Cell, GuardCells+interp.DefaultStackCap)
@@ -76,10 +83,16 @@ func Execute(plan *Plan) (*Result, error) {
 	}
 
 	for {
+		// Compile verifies static targets, but OpExit pops its target
+		// from the return stack at run time, so a malformed program can
+		// still point pc anywhere.
+		pc := m.PC
+		if pc < 0 || pc >= len(plan.Steps) {
+			return res, interp.PCError(pc)
+		}
 		if m.Steps >= limit {
 			return res, failAt(m, "step limit exceeded")
 		}
-		pc := m.PC
 		step := &plan.Steps[pc]
 		ins := plan.Prog.Code[pc]
 		m.Steps++
@@ -190,5 +203,12 @@ func Execute(plan *Plan) (*Result, error) {
 }
 
 func failAt(m *interp.Machine, msg string) error {
-	return &interp.RuntimeError{PC: m.PC, Op: m.Prog.Code[m.PC].Op, Msg: msg}
+	// m.PC can already point out of range when a post-transfer
+	// reconciliation fails after OpExit popped a corrupt return
+	// address; the error constructor must not index Code with it.
+	op := vm.OpNop
+	if m.PC >= 0 && m.PC < len(m.Prog.Code) {
+		op = m.Prog.Code[m.PC].Op
+	}
+	return &interp.RuntimeError{PC: m.PC, Op: op, Msg: msg}
 }

@@ -1,0 +1,56 @@
+package vm
+
+import "fmt"
+
+// Verify statically checks that a program is safe to hand to the
+// unchecked fast paths of the execution engines. It is the analog of a
+// Wasm-style bytecode validator: engines may execute a verified
+// program without per-dispatch paranoia, because everything Verify
+// guarantees holds for the whole run.
+//
+// Verify subsumes Validate (structural well-formedness: defined
+// opcodes, branch/call/loop targets inside the code, entry in range,
+// data within memory) and additionally enforces:
+//
+//   - halt termination: the program contains at least one OpHalt, and
+//     the final instruction never falls through past the end of the
+//     code (it is OpHalt, OpBranch or OpExit — every other opcode can
+//     continue at pc+1, which would run off the code array);
+//   - literal-arg invariants: instructions whose opcode takes no
+//     immediate argument carry Arg == 0, so an engine (or a
+//     superinstruction fuser) may treat the argument slot of such an
+//     instruction as dead.
+//
+// What Verify deliberately does NOT guarantee: stack balance, return
+// addresses popped by OpExit (they are data, pushed at run time), or
+// memory addresses used by fetch/store — those remain dynamic checks
+// in every engine. The execution contract is therefore: a verified
+// program either halts, exceeds its step limit, or fails with a
+// RuntimeError; an unverified program may additionally fail with a
+// "program counter out of range" or "invalid opcode" error — but no
+// program, verified or not, may panic an engine.
+func Verify(p *Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	haltSeen := false
+	for pc, ins := range p.Code {
+		if EffectOf(ins.Op).Arg == ArgNone && ins.Arg != 0 {
+			return fmt.Errorf("vm: pc %d: %s carries stray immediate %d", pc, ins.Op, ins.Arg)
+		}
+		if ins.Op == OpHalt {
+			haltSeen = true
+		}
+	}
+	if !haltSeen {
+		return fmt.Errorf("vm: program has no %s instruction", OpHalt)
+	}
+	switch last := p.Code[len(p.Code)-1]; last.Op {
+	case OpHalt, OpBranch, OpExit:
+		// These never continue at pc+1 == len(Code).
+	default:
+		return fmt.Errorf("vm: final instruction %s at pc %d can fall off the end of the code",
+			last.Op, len(p.Code)-1)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func verifyProg(code ...Instr) *Program {
+	return &Program{Code: code, MemSize: 64}
+}
+
+func TestVerifyAcceptsWellFormedPrograms(t *testing.T) {
+	progs := map[string]*Program{
+		"minimal": verifyProg(Instr{Op: OpHalt}),
+		"arith": verifyProg(
+			Instr{Op: OpLit, Arg: 2},
+			Instr{Op: OpLit, Arg: 3},
+			Instr{Op: OpAdd},
+			Instr{Op: OpDot},
+			Instr{Op: OpHalt},
+		),
+		"call-and-exit": func() *Program {
+			b := NewBuilder()
+			b.Word("double")
+			b.Emit(OpDup)
+			b.Emit(OpAdd)
+			b.Emit(OpExit)
+			entry := b.Pos()
+			b.Lit(21)
+			b.CallTo("double")
+			b.Emit(OpDot)
+			b.Emit(OpHalt)
+			b.SetEntryPos(entry)
+			return b.MustBuild()
+		}(),
+		"halt-then-loop-body": verifyProg(
+			// Ends with a backward branch: no fall-off even though the
+			// last instruction is not OpHalt.
+			Instr{Op: OpHalt},
+			Instr{Op: OpBranch, Arg: 0},
+		),
+	}
+	for name, p := range progs {
+		if err := Verify(p); err != nil {
+			t.Errorf("%s: Verify() = %v, want nil", name, err)
+		}
+	}
+}
+
+func TestVerifyRejectsMalformedPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+		want string
+	}{
+		{"empty", &Program{}, "empty program"},
+		{"entry out of range", &Program{Code: []Instr{{Op: OpHalt}}, Entry: 5}, "entry"},
+		{"invalid opcode", verifyProg(Instr{Op: Opcode(200)}, Instr{Op: OpHalt}), "invalid opcode"},
+		{"negative branch target", verifyProg(Instr{Op: OpBranch, Arg: -5}, Instr{Op: OpHalt}), "out of range"},
+		{"branch past end", verifyProg(Instr{Op: OpBranch, Arg: 99}, Instr{Op: OpHalt}), "out of range"},
+		{"call past end", verifyProg(Instr{Op: OpCall, Arg: 99}, Instr{Op: OpHalt}), "out of range"},
+		{"loop past end", verifyProg(Instr{Op: OpLoop, Arg: 99}, Instr{Op: OpHalt}), "out of range"},
+		{"no halt", verifyProg(Instr{Op: OpLit, Arg: 1}, Instr{Op: OpBranch, Arg: 0}), "no halt"},
+		{"falls off the end", verifyProg(Instr{Op: OpHalt}, Instr{Op: OpLit, Arg: 1}), "fall off"},
+		{"unterminated", verifyProg(Instr{Op: OpLit, Arg: 1}), "no halt"},
+		{"stray immediate", verifyProg(Instr{Op: OpAdd, Arg: 7}, Instr{Op: OpHalt}), "stray immediate"},
+		{"data exceeds memory", &Program{
+			Code:    []Instr{{Op: OpHalt}},
+			Data:    []byte{1, 2, 3, 4},
+			MemSize: 2,
+		}, "exceeds memory"},
+	}
+	for _, tc := range cases {
+		err := Verify(tc.p)
+		if err == nil {
+			t.Errorf("%s: Verify() = nil, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Verify() = %q, want it to contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestVerifyIsStrongerThanValidate: every Verify-accepted program is
+// Validate-accepted, and the reproducer for the OpExit panic passes
+// Validate but not Verify (the verifier is what rejects it statically).
+func TestVerifyIsStrongerThanValidate(t *testing.T) {
+	exitOOB := verifyProg(
+		Instr{Op: OpLit, Arg: 999},
+		Instr{Op: OpToR},
+		Instr{Op: OpExit},
+	)
+	if err := exitOOB.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil (the reproducer is structurally valid)", err)
+	}
+	if err := Verify(exitOOB); err == nil {
+		t.Fatal("Verify() = nil, want error: program has no halt")
+	}
+}

@@ -1,0 +1,174 @@
+package stackcache
+
+// Regression tests for the malformed-program hardening: every program
+// here used to panic (or still would, without the dispatch-loop bounds
+// checks) in at least one engine. All engines must now return an
+// error, and the exact engines must agree on the error class.
+
+import (
+	"math"
+	"testing"
+
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+const malformedMaxSteps = 4096
+
+func TestMalformedProgramsErrorNotPanic(t *testing.T) {
+	tests := []struct {
+		name string
+		prog *vm.Program
+		// verifyRejects: vm.Verify must reject the program statically.
+		verifyRejects bool
+	}{
+		{
+			// ISSUE reproducer #1: OpExit pops 999 as a return address.
+			name: "exit-out-of-range-return",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.OpLit, Arg: 999},
+				{Op: vm.OpToR},
+				{Op: vm.OpExit},
+			}},
+			verifyRejects: true, // no OpHalt anywhere
+		},
+		{
+			// ISSUE reproducer #2: addr+len overflows int64 in OpType.
+			name: "type-length-overflow",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.OpLit, Arg: 1 << 62},
+				{Op: vm.OpLit, Arg: 1 << 62},
+				{Op: vm.OpType},
+				{Op: vm.OpHalt},
+			}, MemSize: 64},
+		},
+		{
+			name: "negative-branch-target",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.OpBranch, Arg: -5},
+				{Op: vm.OpHalt},
+			}},
+			verifyRejects: true,
+		},
+		{
+			name: "unterminated-program",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.OpLit, Arg: 1},
+			}},
+			verifyRejects: true,
+		},
+		{
+			name: "invalid-opcode",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.Opcode(200)},
+				{Op: vm.OpHalt},
+			}},
+			verifyRejects: true,
+		},
+		{
+			name: "fetch-near-maxint",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.OpLit, Arg: math.MaxInt64 - 3},
+				{Op: vm.OpFetch},
+				{Op: vm.OpHalt},
+			}, MemSize: 64},
+		},
+		{
+			name: "store-address-overflow",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.OpLit, Arg: 7},
+				{Op: vm.OpLit, Arg: math.MaxInt64 - 1},
+				{Op: vm.OpStore},
+				{Op: vm.OpHalt},
+			}, MemSize: 64},
+		},
+		{
+			name: "call-then-bad-exit",
+			prog: &vm.Program{Code: []vm.Instr{
+				{Op: vm.OpLit, Arg: -1},
+				{Op: vm.OpToR},
+				{Op: vm.OpExit},
+				{Op: vm.OpHalt},
+			}},
+		},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			verr := vm.Verify(tt.prog)
+			if tt.verifyRejects && verr == nil {
+				t.Errorf("vm.Verify accepted %s; want rejection", tt.name)
+			}
+
+			// The switch baseline defines the expected error class.
+			var baseMsg string
+			for _, e := range allEngines {
+				e := e
+				t.Run(e.name, func(t *testing.T) {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("engine %s panicked: %v", e.name, r)
+						}
+					}()
+					snap, err := e.run(tt.prog, malformedMaxSteps)
+					_ = snap
+					if e.needsVerify && verr != nil {
+						// statcache's compiler is allowed (required,
+						// even) to reject unverifiable programs.
+						if err == nil {
+							t.Fatalf("engine %s accepted unverifiable program", e.name)
+						}
+						return
+					}
+					if err == nil {
+						t.Fatalf("engine %s: no error for malformed program", e.name)
+					}
+					if !e.exact {
+						return
+					}
+					re, ok := err.(*interp.RuntimeError)
+					if !ok {
+						t.Fatalf("engine %s: error %v (%T) is not a RuntimeError", e.name, err, err)
+					}
+					if e.name == "switch" {
+						baseMsg = re.Msg
+						return
+					}
+					if re.Msg != baseMsg {
+						t.Errorf("engine %s: error class %q, switch baseline %q", e.name, re.Msg, baseMsg)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestVerifiedProgramsStillRun pins that hardening did not change the
+// behaviour of well-formed programs: a small verified program runs to
+// the same snapshot on every engine.
+func TestVerifiedProgramsStillRun(t *testing.T) {
+	prog := &vm.Program{Code: []vm.Instr{
+		{Op: vm.OpLit, Arg: 6},
+		{Op: vm.OpLit, Arg: 7},
+		{Op: vm.OpMul},
+		{Op: vm.OpDot},
+		{Op: vm.OpHalt},
+	}, MemSize: 64}
+	if err := vm.Verify(prog); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	var base interp.Snapshot
+	for i, e := range allEngines {
+		snap, err := e.run(prog, malformedMaxSteps)
+		if err != nil {
+			t.Fatalf("engine %s: %v", e.name, err)
+		}
+		if i == 0 {
+			base = snap
+			continue
+		}
+		if !base.Equal(snap) {
+			t.Errorf("engine %s: snapshot diverges from switch baseline", e.name)
+		}
+	}
+}

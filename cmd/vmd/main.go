@@ -1,0 +1,229 @@
+// Command vmd is the stdlib-only HTTP/JSON front end of the
+// internal/service execution layer: a compile-once/execute-many
+// virtual machine daemon serving every engine in the repository.
+//
+// Usage:
+//
+//	vmd -addr :8080 -workers 8 -queue 64 -cache 256
+//
+// Endpoints:
+//
+//	POST /run      {"source": ": main 1 2 + . ;", "engine": "static", "max_steps": 100000}
+//	POST /compile  {"source": ": main 1 2 + . ;"}   # warm the program cache
+//	GET  /stats    # metrics registry snapshot
+//	GET  /healthz  # liveness
+//
+// Engines: switch | token | threaded | dynamic | rotating | twostacks
+// | static (default switch). Errors come back as JSON with a stable
+// "class" drawn from the service's error vocabulary, mapped onto HTTP
+// status codes (400 bad_request/compile, 422 runtime, 429 queue_full,
+// 504 limit/canceled).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stackcache/internal/forth"
+	"stackcache/internal/service"
+	"stackcache/internal/vm"
+)
+
+// maxBodyBytes bounds request bodies; programs are source text, not
+// uploads.
+const maxBodyBytes = 1 << 20
+
+type runRequest struct {
+	Source   string `json:"source"`
+	Engine   string `json:"engine"`
+	MaxSteps int64  `json:"max_steps"`
+}
+
+type runResponse struct {
+	Key      string    `json:"key"`
+	Engine   string    `json:"engine"`
+	Output   string    `json:"output"`
+	Stack    []vm.Cell `json:"stack"`
+	Steps    int64     `json:"steps"`
+	CacheHit bool      `json:"cache_hit"`
+}
+
+type compileResponse struct {
+	Key      string `json:"key"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+type errorResponse struct {
+	Class string `json:"class"`
+	Error string `json:"error"`
+}
+
+// statusFor maps error classes onto HTTP status codes.
+func statusFor(class service.ErrorClass) int {
+	switch class {
+	case service.ClassBadRequest, service.ClassCompile:
+		return http.StatusBadRequest
+	case service.ClassRuntime:
+		return http.StatusUnprocessableEntity
+	case service.ClassQueueFull:
+		return http.StatusTooManyRequests
+	case service.ClassLimit, service.ClassCanceled:
+		return http.StatusGatewayTimeout
+	case service.ClassShutdown:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+type server struct {
+	svc *service.Service
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("vmd: encode response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	class := service.Classify(err)
+	writeJSON(w, statusFor(class), errorResponse{Class: class.String(), Error: err.Error()})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Class: service.ClassBadRequest.String(), Error: "POST only"})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Class: service.ClassBadRequest.String(), Error: "bad JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	engine, err := service.ParseEngine(req.Engine)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Class: service.ClassBadRequest.String(), Error: err.Error()})
+		return
+	}
+	resp, err := s.svc.Run(r.Context(), service.Request{
+		Source:   req.Source,
+		Engine:   engine,
+		MaxSteps: req.MaxSteps,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		Key:      resp.Key,
+		Engine:   resp.Engine.String(),
+		Output:   resp.Output,
+		Stack:    resp.Stack,
+		Steps:    resp.Steps,
+		CacheHit: resp.CacheHit,
+	})
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	key, hit, err := s.svc.Compile(req.Source)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, compileResponse{Key: key, CacheHit: hit})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "executor goroutines (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "submission queue depth (0 = 4x workers)")
+		cache    = flag.Int("cache", 256, "program cache entries")
+		maxSteps = flag.Int64("maxsteps", 1<<24, "default per-request step budget")
+		ceiling  = flag.Int64("ceiling", 1<<30, "largest step budget a request may ask for")
+		superins = flag.Bool("super", false, "compile with superinstruction fusion")
+	)
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		DefaultMaxSteps: *maxSteps,
+		MaxStepCeiling:  *ceiling,
+		CompileOptions:  forth.Options{Superinstructions: *superins},
+	})
+	if err != nil {
+		log.Fatalf("vmd: %v", err)
+	}
+
+	s := &server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("vmd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("vmd: shutdown: %v", err)
+		}
+		svc.Close()
+	}()
+
+	log.Printf("vmd: serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("vmd: %v", err)
+	}
+	<-done
+}

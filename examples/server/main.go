@@ -1,0 +1,82 @@
+// Server walkthrough: embed the internal/service execution layer — the
+// compile-once/execute-many front end over every engine — drive it
+// with concurrent mixed-engine traffic, and read the metrics registry.
+// The same service is exposed over HTTP by cmd/vmd; README.md next to
+// this file shows the curl equivalent of each step.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"stackcache/internal/service"
+)
+
+const src = `
+: square ( n -- n^2 ) dup * ;
+: sum-squares ( n -- sum ) 0 swap 1+ 1 do i square + loop ;
+: main 100 sum-squares . ;
+`
+
+// hostile never halts; only its step budget stops it.
+const hostile = `: main 0 begin 1 + dup 0 < until ;`
+
+func main() {
+	// 1. Start the service: a worker pool in front of a
+	// content-addressed program cache. Defaults: GOMAXPROCS workers,
+	// 4x that queue depth, 256 cached programs.
+	svc, err := service.New(service.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	// 2. Optionally pre-warm the cache. The key is the program's
+	// content address (SHA-256 of compile options + source).
+	key, _, err := svc.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled once, cached as %s...\n\n", key[:16])
+
+	// 3. Fire concurrent requests across every engine. All of them
+	// hit the cache: one compile serves the whole burst.
+	var wg sync.WaitGroup
+	for _, e := range service.Engines {
+		wg.Add(1)
+		go func(e service.Engine) {
+			defer wg.Done()
+			resp, err := svc.Run(context.Background(), service.Request{Source: src, Engine: e})
+			if err != nil {
+				log.Printf("%s: %v", e, err)
+				return
+			}
+			fmt.Printf("%-10s -> %s (%d steps, cache hit: %v)\n",
+				e, resp.Output, resp.Steps, resp.CacheHit)
+		}(e)
+	}
+	wg.Wait()
+
+	// 4. A hostile program cannot wedge a worker: the step budget
+	// turns it into a classified limit error.
+	_, err = svc.Run(context.Background(), service.Request{
+		Source:   hostile,
+		Engine:   service.EngineThreaded,
+		MaxSteps: 100_000,
+	})
+	fmt.Printf("\nhostile program: classified as %q (%v)\n", service.Classify(err), err)
+
+	// 5. The metrics registry has seen everything: requests, cache
+	// hits/misses, per-engine steps, errors by class.
+	snap := svc.Stats()
+	fmt.Printf("\nrequests=%d completed=%d cache hit rate=%.2f\n",
+		snap.Requests, snap.Completed, snap.HitRate())
+	fmt.Printf("errors by class: %v\n", snap.Errors)
+	for _, e := range service.Engines {
+		if es, ok := snap.Engines[e.String()]; ok {
+			fmt.Printf("  %-10s %d requests, %d steps\n", e, es.Requests, es.Steps)
+		}
+	}
+}

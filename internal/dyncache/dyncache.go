@@ -50,12 +50,21 @@ func Run(p *vm.Program, pol core.MinimalPolicy) (*Result, error) {
 // the default limit. Differential tests use it to bound adversarial
 // programs.
 func RunWithLimit(p *vm.Program, pol core.MinimalPolicy, maxSteps int64) (*Result, error) {
+	m := interp.NewMachine(p)
+	m.MaxSteps = maxSteps
+	return RunOn(m, pol)
+}
+
+// RunOn executes the machine's current program under dynamic stack
+// caching without allocating a new machine; the step budget is the
+// machine's MaxSteps. The pooled-execution service layer rebinds a
+// recycled machine (interp.Machine.Rebind) and calls this.
+func RunOn(m *interp.Machine, pol core.MinimalPolicy) (*Result, error) {
 	table, err := core.BuildTable(pol)
 	if err != nil {
 		return nil, err
 	}
-	m := interp.NewMachine(p)
-	m.MaxSteps = maxSteps
+	p := m.Prog
 	res := &Result{Machine: m, RiseAfterOverflow: make(map[int]int64)}
 
 	regs := make([]vm.Cell, pol.NRegs)

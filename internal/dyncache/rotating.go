@@ -19,12 +19,20 @@ func RunRotating(p *vm.Program, pol core.RotatingPolicy) (*Result, error) {
 // RunRotatingWithLimit is RunRotating with an instruction budget;
 // maxSteps <= 0 means the default limit.
 func RunRotatingWithLimit(p *vm.Program, pol core.RotatingPolicy, maxSteps int64) (*Result, error) {
+	m := interp.NewMachine(p)
+	m.MaxSteps = maxSteps
+	return RunRotatingOn(m, pol)
+}
+
+// RunRotatingOn executes the machine's current program under the
+// rotating organization without allocating a new machine; the step
+// budget is the machine's MaxSteps. Pooled-execution entry point.
+func RunRotatingOn(m *interp.Machine, pol core.RotatingPolicy) (*Result, error) {
 	table, err := core.BuildRotatingTable(pol)
 	if err != nil {
 		return nil, err
 	}
-	m := interp.NewMachine(p)
-	m.MaxSteps = maxSteps
+	p := m.Prog
 	res := &Result{Machine: m, RiseAfterOverflow: make(map[int]int64)}
 
 	n := pol.NRegs

@@ -72,11 +72,19 @@ func RunTwoStacks(p *vm.Program, pol TwoStackPolicy) (*TwoStackResult, error) {
 // RunTwoStacksWithLimit is RunTwoStacks with an instruction budget;
 // maxSteps <= 0 means the default limit.
 func RunTwoStacksWithLimit(p *vm.Program, pol TwoStackPolicy, maxSteps int64) (*TwoStackResult, error) {
+	m := interp.NewMachine(p)
+	m.MaxSteps = maxSteps
+	return RunTwoStacksOn(m, pol)
+}
+
+// RunTwoStacksOn executes the machine's current program with both
+// stacks cached, without allocating a new machine; the step budget is
+// the machine's MaxSteps. Pooled-execution entry point.
+func RunTwoStacksOn(m *interp.Machine, pol TwoStackPolicy) (*TwoStackResult, error) {
 	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
-	m := interp.NewMachine(p)
-	m.MaxSteps = maxSteps
+	p := m.Prog
 	res := &TwoStackResult{Result: Result{Machine: m, RiseAfterOverflow: make(map[int]int64)}}
 
 	regs := make([]vm.Cell, pol.NRegs)

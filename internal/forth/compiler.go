@@ -29,6 +29,20 @@ type Options struct {
 	NoPrelude bool
 }
 
+// CacheKey renders the options as a short stable string, so that a
+// content-addressed program cache can key compiled programs by
+// (options, source) without two distinct configurations ever
+// colliding. The encoding is explicit rather than derived so that
+// adding an option forces a conscious decision about cache identity.
+func (o Options) CacheKey() string {
+	limit := o.InlineLimit
+	if !o.Inline {
+		limit = 0
+	}
+	return fmt.Sprintf("super=%t,inline=%t,limit=%d,noprelude=%t",
+		o.Superinstructions, o.Inline, limit, o.NoPrelude)
+}
+
 // Compile compiles src with default options.
 func Compile(src string) (*vm.Program, error) {
 	return CompileWithOptions(src, Options{})

@@ -1,0 +1,53 @@
+package interp
+
+import (
+	"fmt"
+
+	"stackcache/internal/vm"
+)
+
+// MsgStepLimit is the message every engine uses when an execution
+// exhausts its instruction budget. The service layer classifies
+// limit errors by it.
+const MsgStepLimit = "step limit exceeded"
+
+// Rebind points an existing machine at a new program and resets it,
+// reusing the stack and memory allocations where the capacities allow.
+// It is the pooled-execution counterpart of NewMachine: a service that
+// keeps machines in a sync.Pool calls Rebind instead of allocating,
+// and steady-state executions then allocate (almost) nothing.
+//
+// Rebind fully re-initializes the observable state — stacks, memory,
+// step counter, output — so a machine left dirty by a failed or
+// limit-expired run cannot leak state into the next one.
+func (m *Machine) Rebind(p *vm.Program) {
+	m.Prog = p
+	if cap(m.Mem) >= p.MemSize {
+		m.Mem = m.Mem[:p.MemSize]
+	} else {
+		m.Mem = make([]byte, p.MemSize)
+	}
+	if len(m.Stack) == 0 {
+		m.Stack = make([]vm.Cell, DefaultStackCap)
+	}
+	if len(m.RSt) == 0 {
+		m.RSt = make([]vm.Cell, DefaultRStackCap)
+	}
+	m.MaxSteps = 0
+	m.Reset()
+}
+
+// RunOn executes the machine's current program with the chosen engine,
+// without allocating a new machine. The caller is responsible for the
+// machine being in a runnable state (NewMachine, Reset or Rebind).
+func RunOn(m *Machine, e Engine) error {
+	switch e {
+	case EngineSwitch:
+		return RunSwitch(m)
+	case EngineToken:
+		return RunToken(m)
+	case EngineThreaded:
+		return RunThreaded(m)
+	}
+	return fmt.Errorf("interp: unknown engine %d", int(e))
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"stackcache/internal/forth"
+	"stackcache/internal/statcache"
+	"stackcache/internal/vm"
+)
+
+// Entry is one cached, compiled, verified program. Entries are
+// immutable once published (the compile-once contract: only programs
+// that passed vm.Verify enter the cache), except for the lazily built
+// static-caching plan, which is itself compiled at most once.
+type Entry struct {
+	// Key is the content address: hex SHA-256 over the compile
+	// options and the Forth source.
+	Key string
+
+	// Prog is the compiled, verified program.
+	Prog *vm.Program
+
+	planOnce sync.Once
+	plan     *statcache.Plan
+	planErr  error
+	planPol  statcache.Policy
+}
+
+// Plan returns the entry's static stack-caching plan, compiling it on
+// first use and reusing it forever after — the statcache analog of the
+// program cache itself. The policy is fixed at cache construction, so
+// concurrent callers cannot race on different configurations.
+func (e *Entry) Plan() (*statcache.Plan, error) {
+	e.planOnce.Do(func() {
+		e.plan, e.planErr = statcache.Compile(e.Prog, e.planPol)
+	})
+	return e.plan, e.planErr
+}
+
+// CacheKey computes the content address the program cache uses for a
+// (options, source) pair.
+func CacheKey(src string, opt forth.Options) string {
+	h := sha256.New()
+	h.Write([]byte(opt.CacheKey()))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// inflight tracks one in-progress compile so that N concurrent
+// requests for the same source trigger exactly one compiler run;
+// late-comers block on done and share the result.
+type inflight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// ProgramCache is a bounded, content-addressed cache of compiled and
+// verified programs with LRU eviction and single-flight compilation.
+// It is safe for concurrent use. Compilation runs outside the lock, so
+// a slow compile of one program never blocks hits on others.
+type ProgramCache struct {
+	opt       forth.Options
+	staticPol statcache.Policy
+	max       int
+	metrics   *Metrics
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recent; values are *Entry
+	byKey    map[string]*list.Element
+	inflight map[string]*inflight
+
+	// onCompile, when set, runs at the start of every real compiler
+	// invocation. Tests use it to prove single-flight dedup (exactly
+	// one compile per source) and to hold compiles open.
+	onCompile func(src string)
+}
+
+// NewProgramCache builds a cache bounded to max entries (min 1).
+// Compiled programs use opt; EngineStatic plans use staticPol. The
+// metrics registry may be nil, e.g. in tests that only exercise the
+// cache.
+func NewProgramCache(max int, opt forth.Options, staticPol statcache.Policy, m *Metrics) *ProgramCache {
+	if max < 1 {
+		max = 1
+	}
+	return &ProgramCache{
+		opt:       opt,
+		staticPol: staticPol,
+		max:       max,
+		metrics:   m,
+		lru:       list.New(),
+		byKey:     make(map[string]*list.Element),
+		inflight:  make(map[string]*inflight),
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *ProgramCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// lookupKind says how a Get was satisfied.
+type lookupKind int
+
+const (
+	// lookupHit found the program already cached.
+	lookupHit lookupKind = iota
+	// lookupCoalesced joined another request's in-flight compile.
+	lookupCoalesced
+	// lookupMiss compiled the program itself.
+	lookupMiss
+)
+
+// Get returns the compiled program for src, compiling and verifying it
+// on a miss. Failed compiles are reported to every waiter but never
+// cached: the cache holds only programs that satisfy the full verifier
+// contract.
+func (c *ProgramCache) Get(src string) (*Entry, lookupKind, error) {
+	key := CacheKey(src, c.opt)
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		if c.metrics != nil {
+			c.metrics.cacheHits.Add(1)
+		}
+		return el.Value.(*Entry), lookupHit, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		if c.metrics != nil {
+			c.metrics.cacheCoalesced.Add(1)
+		}
+		<-fl.done
+		return fl.entry, lookupCoalesced, fl.err
+	}
+	fl := &inflight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.cacheMisses.Add(1)
+	}
+
+	entry, err := c.compile(key, src)
+	fl.entry, fl.err = entry, err
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.insert(key, entry)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return entry, lookupMiss, err
+}
+
+// compile runs the Forth compiler and the bytecode verifier outside
+// the cache lock.
+func (c *ProgramCache) compile(key, src string) (*Entry, error) {
+	if c.onCompile != nil {
+		c.onCompile(src)
+	}
+	prog, err := forth.CompileWithOptions(src, c.opt)
+	if err != nil {
+		return nil, err
+	}
+	// CompileWithOptions already self-verifies, but the cache's
+	// contract is its own: nothing enters without passing the verifier
+	// here, whatever produced the program.
+	if err := vm.Verify(prog); err != nil {
+		return nil, err
+	}
+	return &Entry{Key: key, Prog: prog, planPol: c.staticPol}, nil
+}
+
+// insert publishes the entry and evicts beyond the bound. Caller holds
+// the lock.
+func (c *ProgramCache) insert(key string, e *Entry) {
+	if el, ok := c.byKey[key]; ok {
+		// A concurrent Get published the key first (possible when an
+		// inflight slot is recreated after eviction); keep the
+		// existing entry fresh.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*Entry).Key)
+		if c.metrics != nil {
+			c.metrics.cacheEvictions.Add(1)
+		}
+	}
+}

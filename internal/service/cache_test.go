@@ -1,0 +1,191 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"stackcache/internal/forth"
+	"stackcache/internal/statcache"
+)
+
+func testCache(max int, m *Metrics) *ProgramCache {
+	return NewProgramCache(max, forth.Options{}, statcache.Policy{NRegs: 6, Canonical: 2}, m)
+}
+
+func srcN(i int) string { return fmt.Sprintf(": main %d . ;", i) }
+
+func TestCacheHitMiss(t *testing.T) {
+	var m Metrics
+	c := testCache(8, &m)
+
+	e1, kind, err := c.Get(srcN(1))
+	if err != nil || kind != lookupMiss {
+		t.Fatalf("first get: kind %v err %v", kind, err)
+	}
+	e2, kind, err := c.Get(srcN(1))
+	if err != nil || kind != lookupHit {
+		t.Fatalf("second get: kind %v err %v", kind, err)
+	}
+	if e1 != e2 {
+		t.Error("same source returned distinct entries")
+	}
+	if m.cacheMisses.Load() != 1 || m.cacheHits.Load() != 1 {
+		t.Errorf("misses %d hits %d, want 1/1", m.cacheMisses.Load(), m.cacheHits.Load())
+	}
+}
+
+// TestCacheKeyIncludesOptions checks that the same source under
+// different compile options gets different content addresses.
+func TestCacheKeyIncludesOptions(t *testing.T) {
+	src := ": main 1 2 + . ;"
+	plain := CacheKey(src, forth.Options{})
+	super := CacheKey(src, forth.Options{Superinstructions: true})
+	if plain == super {
+		t.Error("cache key ignores compile options")
+	}
+	if plain != CacheKey(src, forth.Options{}) {
+		t.Error("cache key not deterministic")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var m Metrics
+	const max = 4
+	c := testCache(max, &m)
+
+	for i := 0; i < max; i++ {
+		if _, _, err := c.Get(srcN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch entry 0 so it is the most recently used, then overflow:
+	// entry 1 must be the victim.
+	if _, kind, _ := c.Get(srcN(0)); kind != lookupHit {
+		t.Fatalf("entry 0 not cached before overflow")
+	}
+	if _, _, err := c.Get(srcN(max)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != max {
+		t.Errorf("cache size %d after eviction, want %d", got, max)
+	}
+	if m.cacheEvictions.Load() != 1 {
+		t.Errorf("evictions %d, want 1", m.cacheEvictions.Load())
+	}
+	if _, kind, _ := c.Get(srcN(0)); kind != lookupHit {
+		t.Error("recently-used entry 0 was evicted")
+	}
+	if _, kind, _ := c.Get(srcN(1)); kind != lookupMiss {
+		t.Error("least-recently-used entry 1 survived eviction")
+	}
+}
+
+// TestCacheSingleFlight proves the dedup contract: N concurrent
+// requests for the same novel source observe exactly one compile.
+func TestCacheSingleFlight(t *testing.T) {
+	var m Metrics
+	c := testCache(8, &m)
+
+	var compiles atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	c.onCompile = func(string) {
+		compiles.Add(1)
+		close(started) // panics if a second compile ever starts
+		<-release
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	entries := make([]*Entry, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.Get(": main 42 . ;")
+			if err != nil {
+				t.Error(err)
+			}
+			entries[i] = e
+		}(i)
+	}
+	<-started // one compile is in flight; everyone else must wait on it
+	release <- struct{}{}
+	close(release)
+	wg.Wait()
+
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("%d compiles for one source, want exactly 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if entries[i] != entries[0] {
+			t.Fatal("waiters got distinct entries")
+		}
+	}
+	if m.cacheMisses.Load() != 1 {
+		t.Errorf("misses %d, want 1", m.cacheMisses.Load())
+	}
+	if m.cacheHits.Load()+m.cacheCoalesced.Load() != n-1 {
+		t.Errorf("hits %d + coalesced %d, want %d",
+			m.cacheHits.Load(), m.cacheCoalesced.Load(), n-1)
+	}
+}
+
+// TestCacheFailedCompileNotCached checks that a failing compile is
+// reported but never enters the cache — retrying recompiles, and a
+// subsequent fixed source is unaffected.
+func TestCacheFailedCompileNotCached(t *testing.T) {
+	var m Metrics
+	c := testCache(8, &m)
+
+	var compiles atomic.Int64
+	c.onCompile = func(string) { compiles.Add(1) }
+
+	bad := ": main no-such-word ;"
+	if _, _, err := c.Get(bad); err == nil {
+		t.Fatal("bad source compiled")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed compile entered the cache (size %d)", c.Len())
+	}
+	if _, _, err := c.Get(bad); err == nil {
+		t.Fatal("bad source compiled on retry")
+	}
+	if got := compiles.Load(); got != 2 {
+		t.Errorf("%d compiles, want 2 (failures are never cached)", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache size %d after failures, want 0", c.Len())
+	}
+}
+
+// TestEntryPlanCompiledOnce checks the static-plan analog of the
+// compile-once contract.
+func TestEntryPlanCompiledOnce(t *testing.T) {
+	c := testCache(4, nil)
+	e, _, err := c.Get(": main 3 4 * . ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	plans := make([]*statcache.Plan, 8)
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := e.Plan()
+			if err != nil {
+				t.Error(err)
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(plans); i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("Plan() returned distinct plans")
+		}
+	}
+}

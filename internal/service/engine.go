@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/statcache"
+)
+
+// Engine selects which execution engine a request runs under. The
+// service fronts every engine the repository implements: the three
+// baseline dispatch techniques, the three dynamic stack-caching
+// organizations, and the static stack-caching compiler/executor.
+type Engine int
+
+const (
+	// EngineSwitch is the giant-switch baseline interpreter.
+	EngineSwitch Engine = iota
+	// EngineToken is the function-table ("direct call threading")
+	// baseline interpreter.
+	EngineToken
+	// EngineThreaded is the pre-translated function-value interpreter.
+	EngineThreaded
+	// EngineDynamic is dynamic stack caching, minimal organization.
+	EngineDynamic
+	// EngineRotating is dynamic stack caching with the rotating
+	// register file.
+	EngineRotating
+	// EngineTwoStacks is dynamic stack caching with both stacks
+	// sharing the register file.
+	EngineTwoStacks
+	// EngineStatic is static stack caching: compile-once plans
+	// executed on an explicit register file.
+	EngineStatic
+
+	// NumEngines is the number of selectable engines.
+	NumEngines = int(EngineStatic) + 1
+)
+
+// Engines lists every selectable engine, in wire-name order.
+var Engines = []Engine{
+	EngineSwitch, EngineToken, EngineThreaded,
+	EngineDynamic, EngineRotating, EngineTwoStacks, EngineStatic,
+}
+
+var engineNames = [NumEngines]string{
+	"switch", "token", "threaded", "dynamic", "rotating", "twostacks", "static",
+}
+
+// String returns the engine's wire name (the value requests use).
+func (e Engine) String() string {
+	if e < 0 || int(e) >= NumEngines {
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+	return engineNames[e]
+}
+
+// Valid reports whether e names a selectable engine.
+func (e Engine) Valid() bool { return e >= 0 && int(e) < NumEngines }
+
+// ParseEngine resolves a wire name ("switch", "dynamic", ...) to an
+// Engine. The empty string selects EngineSwitch, the cheapest
+// baseline, so clients that do not care get the fastest default.
+func ParseEngine(s string) (Engine, error) {
+	if s == "" {
+		return EngineSwitch, nil
+	}
+	for i, name := range engineNames {
+		if s == name {
+			return Engine(i), nil
+		}
+	}
+	return 0, fmt.Errorf("service: unknown engine %q (want one of %v)", s, engineNames)
+}
+
+// Policies bundles the caching-engine configuration a Service uses for
+// every request. Policies are service-level, not request-level, so the
+// static-plan cache stays small (one plan per program) and dynamic
+// transition tables are shared.
+type Policies struct {
+	// Dynamic configures EngineDynamic.
+	Dynamic core.MinimalPolicy
+	// Rotating configures EngineRotating.
+	Rotating core.RotatingPolicy
+	// TwoStacks configures EngineTwoStacks.
+	TwoStacks dyncache.TwoStackPolicy
+	// Static configures EngineStatic's compile-once plans.
+	Static statcache.Policy
+}
+
+// DefaultPolicies returns the configurations the paper's evaluation
+// centers on: a register file of 6 with overflow followup 5 (dynamic),
+// and canonical depth 2 (static).
+func DefaultPolicies() Policies {
+	return Policies{
+		Dynamic:   core.MinimalPolicy{NRegs: 6, OverflowTo: 5},
+		Rotating:  core.RotatingPolicy{NRegs: 6, OverflowTo: 5},
+		TwoStacks: dyncache.TwoStackPolicy{NRegs: 6, RMax: 2, OverflowTo: 4},
+		Static:    statcache.Policy{NRegs: 6, Canonical: 2},
+	}
+}
+
+// Validate checks every policy.
+func (p Policies) Validate() error {
+	if err := p.Dynamic.Validate(); err != nil {
+		return err
+	}
+	if err := p.Rotating.Validate(); err != nil {
+		return err
+	}
+	if err := p.TwoStacks.Validate(); err != nil {
+		return err
+	}
+	return p.Static.Validate()
+}

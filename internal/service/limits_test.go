@@ -1,0 +1,80 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLimitDoesNotPoisonPool is the satellite regression: with a pool
+// of exactly one worker (hence one hot pooled machine), a request that
+// blows its step budget must not leak any state — output, stack,
+// memory, step count — into the next request on the same machine.
+func TestLimitDoesNotPoisonPool(t *testing.T) {
+	for _, e := range Engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := mustService(t, func(c *Config) {
+				c.Workers = 1
+				c.QueueDepth = 4
+			})
+
+			// First request: prints eagerly, then spins until the
+			// budget expires, leaving dirty output, stack and memory
+			// on the worker's machine.
+			dirty := ": main 7 . 1 2 3 0 begin 1 + dup 0 < until ;"
+			resp, err := s.Run(context.Background(),
+				Request{Source: dirty, Engine: e, MaxSteps: 5_000})
+			if Classify(err) != ClassLimit {
+				t.Fatalf("dirty run classified %s (err %v), want limit", Classify(err), err)
+			}
+			if resp == nil {
+				t.Fatal("limit error lost the partial response")
+			}
+			if resp.Steps != 5_000 {
+				t.Errorf("dirty run steps %d, want exactly the 5000 budget", resp.Steps)
+			}
+
+			// Second request, back-to-back on the same worker: must
+			// see a pristine machine.
+			resp, err = s.Run(context.Background(),
+				Request{Source: ": main depth . 10 20 + . ;", Engine: e})
+			if err != nil {
+				t.Fatalf("follow-up run failed: %v", err)
+			}
+			if resp.Output != "0 30 " {
+				t.Errorf("follow-up output %q, want %q (stack or output leaked)", resp.Output, "0 30 ")
+			}
+			if len(resp.Stack) != 0 {
+				t.Errorf("follow-up stack %v, want empty", resp.Stack)
+			}
+		})
+	}
+}
+
+// TestLimitErrorClassCounted checks the limit class reaches the
+// metrics registry and the partial response reports the budget.
+func TestLimitErrorClassCounted(t *testing.T) {
+	s := mustService(t)
+	_, err := s.Run(context.Background(),
+		Request{Source: spinSource, MaxSteps: 1_000})
+	if Classify(err) != ClassLimit {
+		t.Fatalf("classified %s, want limit", Classify(err))
+	}
+	if got := s.Stats().Errors["limit"]; got != 1 {
+		t.Errorf("limit counter %d, want 1", got)
+	}
+}
+
+// TestDefaultBudgetApplies checks a request without an explicit budget
+// still cannot run forever: the service default bounds it.
+func TestDefaultBudgetApplies(t *testing.T) {
+	s := mustService(t, func(c *Config) {
+		c.DefaultMaxSteps = 2_000
+	})
+	resp, err := s.Run(context.Background(), Request{Source: spinSource})
+	if Classify(err) != ClassLimit {
+		t.Fatalf("classified %s, want limit", Classify(err))
+	}
+	if resp == nil || resp.Steps != 2_000 {
+		t.Errorf("steps = %v, want the 2000 default budget", resp)
+	}
+}

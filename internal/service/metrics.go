@@ -1,0 +1,200 @@
+package service
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ErrorClass partitions everything that can go wrong with a request
+// into a small, stable vocabulary. Counters are kept per class so that
+// operators can tell a flood of hostile programs (limit, runtime) from
+// a capacity problem (queue_full) or a client bug (bad_request,
+// compile).
+type ErrorClass int
+
+const (
+	// ClassOK is a successful execution.
+	ClassOK ErrorClass = iota
+	// ClassBadRequest is a malformed request (unknown engine, empty
+	// source, out-of-range step budget).
+	ClassBadRequest
+	// ClassCompile is a Forth compilation or verification failure.
+	ClassCompile
+	// ClassLimit is an execution that exhausted its step budget.
+	ClassLimit
+	// ClassRuntime is any other runtime error (stack underflow,
+	// division by zero, memory access out of range, ...).
+	ClassRuntime
+	// ClassQueueFull is a request rejected because the submission
+	// queue was at capacity.
+	ClassQueueFull
+	// ClassCanceled is a request abandoned because its context was
+	// canceled or its deadline expired before execution finished.
+	ClassCanceled
+	// ClassShutdown is a request rejected because the service is
+	// closing.
+	ClassShutdown
+
+	// NumErrorClasses is the number of error classes.
+	NumErrorClasses = int(ClassShutdown) + 1
+)
+
+var errorClassNames = [NumErrorClasses]string{
+	"ok", "bad_request", "compile", "limit", "runtime",
+	"queue_full", "canceled", "shutdown",
+}
+
+// String returns the class's wire name.
+func (c ErrorClass) String() string {
+	if c < 0 || int(c) >= NumErrorClasses {
+		return "unknown"
+	}
+	return errorClassNames[c]
+}
+
+// NumLatencyBuckets is the number of exponential latency buckets per
+// engine: bucket i counts executions with latency < 2^i microseconds,
+// the last bucket catching everything slower.
+const NumLatencyBuckets = 16
+
+// BucketBounds returns the human-readable upper bounds of the latency
+// histogram, in microseconds; the final entry is math-free shorthand
+// for "everything else".
+func BucketBounds() [NumLatencyBuckets]string {
+	var out [NumLatencyBuckets]string
+	for i := 0; i < NumLatencyBuckets-1; i++ {
+		out[i] = "<" + strconv.Itoa(1<<i) + "us"
+	}
+	out[NumLatencyBuckets-1] = ">=" + strconv.Itoa(1<<(NumLatencyBuckets-1)) + "us"
+	return out
+}
+
+// engineMetrics is the per-engine slice of the registry: request count,
+// cumulative executed steps, and a latency histogram. All fields are
+// updated with atomics; the struct is never copied while live.
+type engineMetrics struct {
+	requests atomic.Int64
+	steps    atomic.Int64
+	buckets  [NumLatencyBuckets]atomic.Int64
+}
+
+// Metrics is the service's registry: lock-free counters every worker
+// updates and any reader can snapshot while traffic is in flight. The
+// zero value is ready to use.
+type Metrics struct {
+	requests  atomic.Int64 // accepted into the queue
+	completed atomic.Int64 // finished (any class)
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCoalesced atomic.Int64 // waited on another request's compile
+	cacheEvictions atomic.Int64
+
+	errors [NumErrorClasses]atomic.Int64
+
+	engines [NumEngines]engineMetrics
+}
+
+// observeDone records one finished request of any class.
+func (m *Metrics) observeDone(class ErrorClass) {
+	m.completed.Add(1)
+	m.errors[class].Add(1)
+}
+
+// observeExec additionally records an execution that actually ran on
+// an engine: its step count and wall-clock latency.
+func (m *Metrics) observeExec(e Engine, steps int64, d time.Duration) {
+	if !e.Valid() {
+		return
+	}
+	em := &m.engines[e]
+	em.requests.Add(1)
+	em.steps.Add(steps)
+	us := d.Microseconds()
+	b := 0
+	if us > 0 {
+		b = bits.Len64(uint64(us)) // us < 2^b
+	}
+	if b >= NumLatencyBuckets {
+		b = NumLatencyBuckets - 1
+	}
+	em.buckets[b].Add(1)
+}
+
+// EngineSnapshot is the exported per-engine view.
+type EngineSnapshot struct {
+	Requests int64                    `json:"requests"`
+	Steps    int64                    `json:"steps"`
+	Latency  [NumLatencyBuckets]int64 `json:"latency_buckets"`
+}
+
+// Snapshot is a consistent-enough point-in-time copy of the registry
+// (individual counters are read atomically; cross-counter skew under
+// concurrent traffic is bounded by one in-flight request).
+type Snapshot struct {
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheCoalesced int64 `json:"cache_coalesced"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheSize      int   `json:"cache_size"`
+
+	// Errors counts finished requests by class wire name, including
+	// "ok".
+	Errors map[string]int64 `json:"errors"`
+
+	// Engines maps engine wire names to their per-engine counters.
+	Engines map[string]EngineSnapshot `json:"engines"`
+
+	// LatencyBucketBounds labels the latency histogram entries.
+	LatencyBucketBounds [NumLatencyBuckets]string `json:"latency_bucket_bounds"`
+}
+
+// HitRate returns the cache hit fraction over all lookups, 0 when no
+// lookup has happened yet.
+func (s Snapshot) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses + s.CacheCoalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// snapshot copies the counters out of the registry.
+func (m *Metrics) snapshot() Snapshot {
+	s := Snapshot{
+		Requests:            m.requests.Load(),
+		Completed:           m.completed.Load(),
+		CacheHits:           m.cacheHits.Load(),
+		CacheMisses:         m.cacheMisses.Load(),
+		CacheCoalesced:      m.cacheCoalesced.Load(),
+		CacheEvictions:      m.cacheEvictions.Load(),
+		Errors:              make(map[string]int64, NumErrorClasses),
+		Engines:             make(map[string]EngineSnapshot, NumEngines),
+		LatencyBucketBounds: BucketBounds(),
+	}
+	for c := 0; c < NumErrorClasses; c++ {
+		if n := m.errors[c].Load(); n != 0 {
+			s.Errors[ErrorClass(c).String()] = n
+		}
+	}
+	for _, e := range Engines {
+		em := &m.engines[e]
+		if em.requests.Load() == 0 {
+			continue
+		}
+		es := EngineSnapshot{
+			Requests: em.requests.Load(),
+			Steps:    em.steps.Load(),
+		}
+		for b := range es.Latency {
+			es.Latency[b] = em.buckets[b].Load()
+		}
+		s.Engines[e.String()] = es
+	}
+	return s
+}

@@ -1,0 +1,394 @@
+// Package service is the concurrent execution layer over every engine
+// in this repository: a compile-once/execute-many front end in the
+// style production interpreters use to amortize compilation and
+// validation across requests.
+//
+// The pieces, front to back:
+//
+//   - a content-addressed program cache (SHA-256 of compile options +
+//     Forth source) with bounded LRU eviction and single-flight
+//     compilation, so N concurrent requests for the same source
+//     trigger exactly one compile and only verified programs are ever
+//     cached;
+//   - a worker pool with a bounded submission queue, per-request
+//     engine selection across all seven engines, context-based
+//     deadlines while queued, and per-request step budgets wired
+//     through the engines' *WithLimit entry points so a hostile
+//     program can never wedge a worker;
+//   - machine reuse via sync.Pool (interp.Machine.Rebind), so
+//     steady-state executions allocate near zero;
+//   - an atomic metrics registry: requests, cache hits/misses/
+//     coalesced compiles/evictions, executed steps, errors by class,
+//     and per-engine latency histograms.
+//
+// cmd/vmd exposes the same API over HTTP/JSON.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"stackcache/internal/dyncache"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/statcache"
+	"stackcache/internal/vm"
+)
+
+// Config sizes and configures a Service. The zero value is usable:
+// every field has a sensible default.
+type Config struct {
+	// Workers is the number of executor goroutines (default
+	// GOMAXPROCS).
+	Workers int
+
+	// QueueDepth bounds the submission queue (default 4×Workers).
+	// When the queue is full, Run fails fast with ClassQueueFull
+	// instead of building an unbounded backlog.
+	QueueDepth int
+
+	// CacheSize bounds the program cache (default 256 entries).
+	CacheSize int
+
+	// DefaultMaxSteps is the step budget for requests that do not set
+	// one (default 1<<24). MaxStepCeiling caps what a request may ask
+	// for (default 1<<30).
+	DefaultMaxSteps int64
+	MaxStepCeiling  int64
+
+	// CompileOptions configures the Forth compiler for every program
+	// entering the cache (options are part of the cache key).
+	CompileOptions forth.Options
+
+	// Policies configures the caching engines. Zero means
+	// DefaultPolicies.
+	Policies Policies
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultMaxSteps <= 0 {
+		c.DefaultMaxSteps = 1 << 24
+	}
+	if c.MaxStepCeiling <= 0 {
+		c.MaxStepCeiling = 1 << 30
+	}
+	if c.Policies == (Policies{}) {
+		c.Policies = DefaultPolicies()
+	}
+	return c
+}
+
+// Request is one execution to perform.
+type Request struct {
+	// Source is the Forth program; it must define main.
+	Source string
+
+	// Engine selects the execution engine.
+	Engine Engine
+
+	// MaxSteps is this request's step budget; 0 means the service
+	// default. Budgets above the service ceiling are rejected.
+	MaxSteps int64
+}
+
+// Response is the outcome of a successfully executed request. When Run
+// returns an execution error (ClassLimit, ClassRuntime), the response
+// still carries the partial output and step count for diagnosis.
+type Response struct {
+	// Key is the program's content address in the cache.
+	Key string
+
+	// Engine echoes the engine that ran the program.
+	Engine Engine
+
+	// Output is everything the program printed.
+	Output string
+
+	// Stack is the final data stack, bottom first.
+	Stack []vm.Cell
+
+	// Steps is the number of instructions executed.
+	Steps int64
+
+	// CacheHit reports whether the program was served from the cache
+	// (including coalescing onto another request's in-flight compile).
+	CacheHit bool
+}
+
+// Error is a classified service failure.
+type Error struct {
+	Class ErrorClass
+	Err   error
+}
+
+func (e *Error) Error() string { return e.Class.String() + ": " + e.Err.Error() }
+func (e *Error) Unwrap() error { return e.Err }
+
+func classified(class ErrorClass, err error) *Error {
+	return &Error{Class: class, Err: err}
+}
+
+// Classify maps any error Run returns to its class. Nil maps to
+// ClassOK.
+func Classify(err error) ErrorClass {
+	if err == nil {
+		return ClassOK
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Class
+	}
+	var re *interp.RuntimeError
+	if errors.As(err, &re) {
+		if re.Msg == interp.MsgStepLimit {
+			return ClassLimit
+		}
+		return ClassRuntime
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCanceled
+	}
+	return ClassRuntime
+}
+
+// task is one queued execution.
+type task struct {
+	ctx      context.Context
+	entry    *Entry
+	engine   Engine
+	maxSteps int64
+	done     chan result
+}
+
+type result struct {
+	resp *Response
+	err  error
+}
+
+// Service is the concurrent execution service. Create one with New,
+// submit with Run, observe with Stats, and stop it with Close.
+type Service struct {
+	cfg     Config
+	cache   *ProgramCache
+	metrics Metrics
+
+	machines sync.Pool // of *interp.Machine
+
+	tasks chan *task
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // guards closing against in-flight submits
+	closed bool
+}
+
+// New validates cfg, starts the worker pool and returns the running
+// service.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Policies.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   cfg,
+		tasks: make(chan *task, cfg.QueueDepth),
+	}
+	s.cache = NewProgramCache(cfg.CacheSize, cfg.CompileOptions, cfg.Policies.Static, &s.metrics)
+	s.machines.New = func() any { return new(interp.Machine) }
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops the workers after draining queued tasks. Run calls that
+// lose the race report ClassShutdown. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.tasks)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the metrics registry.
+func (s *Service) Stats() Snapshot {
+	snap := s.metrics.snapshot()
+	snap.CacheSize = s.cache.Len()
+	return snap
+}
+
+// Compile compiles (or finds) src in the program cache without
+// executing it, returning its content address — the warm-up/pre-flight
+// API behind vmd's /compile endpoint.
+func (s *Service) Compile(src string) (key string, cacheHit bool, err error) {
+	s.metrics.requests.Add(1)
+	entry, kind, err := s.cache.Get(src)
+	if err != nil {
+		s.metrics.observeDone(ClassCompile)
+		return "", false, classified(ClassCompile, err)
+	}
+	s.metrics.observeDone(ClassOK)
+	return entry.Key, kind != lookupMiss, nil
+}
+
+// Run compiles (or looks up) the request's program, queues it on the
+// worker pool and waits for the result or ctx. All failures are
+// *Error values; Classify recovers the class.
+func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
+	s.metrics.requests.Add(1)
+
+	maxSteps := req.MaxSteps
+	switch {
+	case maxSteps == 0:
+		maxSteps = s.cfg.DefaultMaxSteps
+	case maxSteps < 0 || maxSteps > s.cfg.MaxStepCeiling:
+		return s.fail(ClassBadRequest,
+			fmt.Errorf("service: max steps %d out of range (0,%d]", maxSteps, s.cfg.MaxStepCeiling))
+	}
+	if !req.Engine.Valid() {
+		return s.fail(ClassBadRequest, fmt.Errorf("service: invalid engine %d", int(req.Engine)))
+	}
+	if req.Source == "" {
+		return s.fail(ClassBadRequest, fmt.Errorf("service: empty source"))
+	}
+
+	// Compile (or join an in-flight compile) before queueing, so the
+	// bounded queue holds only ready-to-run work and compile storms
+	// dedup at the cache, not in the pool.
+	entry, kind, err := s.cache.Get(req.Source)
+	if err != nil {
+		return s.fail(ClassCompile, err)
+	}
+	if req.Engine == EngineStatic {
+		// Force the compile-once plan out here for the same reason.
+		if _, err := entry.Plan(); err != nil {
+			return s.fail(ClassCompile, err)
+		}
+	}
+
+	t := &task{
+		ctx:      ctx,
+		entry:    entry,
+		engine:   req.Engine,
+		maxSteps: maxSteps,
+		done:     make(chan result, 1),
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return s.fail(ClassShutdown, fmt.Errorf("service: closed"))
+	}
+	select {
+	case s.tasks <- t:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		return s.fail(ClassQueueFull,
+			fmt.Errorf("service: queue full (%d queued)", s.cfg.QueueDepth))
+	}
+
+	select {
+	case r := <-t.done:
+		// The submitter is the sole recorder of per-request
+		// completion, so completed-by-class sums to requests even
+		// when a canceled task is still executed by a worker.
+		s.metrics.observeDone(Classify(r.err))
+		if r.resp != nil {
+			r.resp.CacheHit = kind != lookupMiss
+		}
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The worker will observe the canceled context and drop the
+		// task; the buffered done channel lets it finish either way.
+		return s.fail(ClassCanceled, ctx.Err())
+	}
+}
+
+// fail records a finished request of the given class and returns the
+// classified error.
+func (s *Service) fail(class ErrorClass, err error) (*Response, error) {
+	s.metrics.observeDone(class)
+	return nil, classified(class, err)
+}
+
+// worker drains the task queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.tasks {
+		if t.ctx != nil && t.ctx.Err() != nil {
+			t.done <- result{err: classified(ClassCanceled, t.ctx.Err())}
+			continue
+		}
+		start := time.Now()
+		resp, err := s.execute(t)
+		steps := int64(0)
+		if resp != nil {
+			steps = resp.Steps
+		}
+		s.metrics.observeExec(t.engine, steps, time.Since(start))
+		if err != nil {
+			err = classified(Classify(err), err)
+		}
+		t.done <- result{resp: resp, err: err}
+	}
+}
+
+// execute runs one task on a pooled machine. The machine is fully
+// re-initialized by Rebind, so state left over from a failed or
+// limit-expired run can never leak into the next request.
+func (s *Service) execute(t *task) (*Response, error) {
+	m := s.machines.Get().(*interp.Machine)
+	defer s.machines.Put(m)
+	m.Rebind(t.entry.Prog)
+	m.MaxSteps = t.maxSteps
+
+	var err error
+	switch t.engine {
+	case EngineSwitch:
+		err = interp.RunOn(m, interp.EngineSwitch)
+	case EngineToken:
+		err = interp.RunOn(m, interp.EngineToken)
+	case EngineThreaded:
+		err = interp.RunOn(m, interp.EngineThreaded)
+	case EngineDynamic:
+		_, err = dyncache.RunOn(m, s.cfg.Policies.Dynamic)
+	case EngineRotating:
+		_, err = dyncache.RunRotatingOn(m, s.cfg.Policies.Rotating)
+	case EngineTwoStacks:
+		_, err = dyncache.RunTwoStacksOn(m, s.cfg.Policies.TwoStacks)
+	case EngineStatic:
+		p, perr := t.entry.Plan()
+		if perr != nil {
+			return nil, classified(ClassCompile, perr)
+		}
+		_, err = statcache.ExecuteOn(m, p)
+	default:
+		return nil, classified(ClassBadRequest, fmt.Errorf("service: invalid engine %d", int(t.engine)))
+	}
+
+	resp := &Response{
+		Key:    t.entry.Key,
+		Engine: t.engine,
+		Output: m.Out.String(),
+		Stack:  append([]vm.Cell(nil), m.Stack[:m.SP]...),
+		Steps:  m.Steps,
+	}
+	return resp, err
+}

@@ -1,6 +1,8 @@
 package statcache
 
 import (
+	"sync"
+
 	"stackcache/internal/core"
 	"stackcache/internal/interp"
 	"stackcache/internal/vm"
@@ -33,9 +35,35 @@ func Execute(plan *Plan) (*Result, error) {
 func ExecuteWithLimit(plan *Plan, maxSteps int64) (*Result, error) {
 	m := interp.NewMachine(plan.Prog)
 	m.MaxSteps = maxSteps
+	return ExecuteOn(m, plan)
+}
+
+// memPool recycles the guard-zone memory stacks across executions so
+// that a pooled-machine service allocates no fresh 40KB scratch per
+// request. All slices in the pool have the same fixed size.
+var memPool = sync.Pool{
+	New: func() any {
+		return make([]vm.Cell, GuardCells+interp.DefaultStackCap)
+	},
+}
+
+// ExecuteOn runs a compiled plan on an existing machine (which must be
+// bound to plan.Prog — interp.Machine.Rebind does that for recycled
+// machines); the step budget is the machine's MaxSteps. This is the
+// pooled-execution entry point: the register file is small and the
+// guard-zone memory stack comes from an internal pool.
+func ExecuteOn(m *interp.Machine, plan *Plan) (*Result, error) {
 	res := &Result{Machine: m}
 	regs := make([]vm.Cell, plan.Policy.NRegs)
-	mem := make([]vm.Cell, GuardCells+interp.DefaultStackCap)
+	mem := memPool.Get().([]vm.Cell)
+	defer func() {
+		// The executor reads guard-zone zeros below the logical stack
+		// bottom, so a recycled scratch must go back clean.
+		for i := range mem {
+			mem[i] = 0
+		}
+		memPool.Put(mem)
+	}()
 	// Execution starts in the canonical state; the cached items stand
 	// for the top of the (empty) stack, i.e. guard-zone items, so the
 	// memory stack pointer starts Canonical cells below the logical

@@ -177,6 +177,7 @@ func main() {
 		cache    = flag.Int("cache", 256, "program cache entries")
 		maxSteps = flag.Int64("maxsteps", 1<<24, "default per-request step budget")
 		ceiling  = flag.Int64("ceiling", 1<<30, "largest step budget a request may ask for")
+		maxOut   = flag.Int("maxout", 1<<20, "per-request output budget in bytes")
 		superins = flag.Bool("super", false, "compile with superinstruction fusion")
 	)
 	flag.Parse()
@@ -187,6 +188,7 @@ func main() {
 		CacheSize:       *cache,
 		DefaultMaxSteps: *maxSteps,
 		MaxStepCeiling:  *ceiling,
+		MaxOutputBytes:  *maxOut,
 		CompileOptions:  forth.Options{Superinstructions: *superins},
 	})
 	if err != nil {

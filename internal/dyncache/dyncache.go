@@ -89,12 +89,22 @@ func RunOn(m *interp.Machine, pol core.MinimalPolicy) (*Result, error) {
 		limit = m.MaxSteps
 	}
 
-	flush := func() {
+	// flush spills the cached items into the machine stack, for halt
+	// and error paths. The cache extends the stack beyond m.Stack's
+	// capacity, so a deep-stack halt can overflow here; error paths
+	// ignore the returned error (the original failure wins) and drop
+	// whatever did not fit.
+	flush := func() error {
 		for i := 0; i < c; i++ {
+			if m.SP == len(m.Stack) {
+				c = 0
+				return failAt(m, "stack overflow")
+			}
 			m.Stack[m.SP] = regs[i]
 			m.SP++
 		}
 		c = 0
+		return nil
 	}
 
 	for {
@@ -161,8 +171,7 @@ func RunOn(m *interp.Machine, pol core.MinimalPolicy) (*Result, error) {
 			if err == interp.ErrHalt {
 				endRise()
 				c = rem
-				flush()
-				return res, nil
+				return res, flush()
 			}
 			c = rem
 			flush()

@@ -78,6 +78,32 @@ func TestMatchesBaselineOnAllPrograms(t *testing.T) {
 	}
 }
 
+// TestDeepHaltStackOverflows is the regression for the halt-flush
+// panic: the register cache extends the logical stack beyond
+// Machine.Stack's capacity, so a program can halt with more cells than
+// the flush target holds. Every variant must report a clean
+// stack-overflow error instead of indexing past m.Stack.
+func TestDeepHaltStackOverflows(t *testing.T) {
+	src := ": main " + strings.Repeat("1 ", interp.DefaultStackCap+1) + ";"
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range testPolicies {
+		if _, err := Run(p, pol); err == nil || !strings.Contains(err.Error(), "stack overflow") {
+			t.Errorf("minimal %+v: err = %v, want stack overflow", pol, err)
+		}
+		rot := core.RotatingPolicy{NRegs: pol.NRegs, OverflowTo: pol.OverflowTo}
+		if _, err := RunRotating(p, rot); err == nil || !strings.Contains(err.Error(), "stack overflow") {
+			t.Errorf("rotating %+v: err = %v, want stack overflow", rot, err)
+		}
+	}
+	two := TwoStackPolicy{NRegs: 4, OverflowTo: 2, RMax: 2}
+	if _, err := RunTwoStacks(p, two); err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("twostacks %+v: err = %v, want stack overflow", two, err)
+	}
+}
+
 func TestCountersBasicSanity(t *testing.T) {
 	p, err := forth.Compile(`: main 100 0 do i drop loop ;`)
 	if err != nil {

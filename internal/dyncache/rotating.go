@@ -58,12 +58,20 @@ func RunRotatingOn(m *interp.Machine, pol core.RotatingPolicy) (*Result, error) 
 
 	at := func(off int) *vm.Cell { return &regs[(base+off)%n] }
 
-	flush := func() {
+	// flush spills the cached items into the machine stack; see the
+	// comment in RunOn — a deep-stack halt can overflow here, and
+	// error paths ignore the returned error.
+	flush := func() error {
 		for i := 0; i < c; i++ {
+			if m.SP == len(m.Stack) {
+				c = 0
+				return failAt(m, "stack overflow")
+			}
 			m.Stack[m.SP] = *at(i)
 			m.SP++
 		}
 		c = 0
+		return nil
 	}
 
 	for {
@@ -124,8 +132,7 @@ func RunRotatingOn(m *interp.Machine, pol core.RotatingPolicy) (*Result, error) 
 			if err == interp.ErrHalt {
 				endRise()
 				c = rem
-				flush()
-				return res, nil
+				return res, flush()
 			}
 			c = rem
 			flush()

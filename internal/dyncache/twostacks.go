@@ -100,12 +100,20 @@ func RunTwoStacksOn(m *interp.Machine, pol TwoStackPolicy) (*TwoStackResult, err
 		limit = m.MaxSteps
 	}
 
-	flush := func() {
+	// flush spills the cached items into the machine stack; see the
+	// comment in RunOn — a deep-stack halt can overflow here, and
+	// error paths ignore the returned error.
+	flush := func() error {
 		for i := 0; i < c; i++ {
+			if m.SP == len(m.Stack) {
+				c = 0
+				return failAt(m, "stack overflow")
+			}
 			m.Stack[m.SP] = regs[i]
 			m.SP++
 		}
 		c = 0
+		return nil
 	}
 
 	for {
@@ -211,8 +219,7 @@ func RunTwoStacksOn(m *interp.Machine, pol TwoStackPolicy) (*TwoStackResult, err
 		if err != nil {
 			if err == interp.ErrHalt {
 				c = rem
-				flush()
-				return res, nil
+				return res, flush()
 			}
 			c = rem
 			flush()

@@ -336,10 +336,16 @@ func Apply(m *Machine, ins vm.Instr, args []vm.Cell, out []vm.Cell, depth int) (
 
 	case vm.OpEmit:
 		m.Out.WriteByte(byte(top()))
+		if err := m.checkOut(ins.Op); err != nil {
+			return 0, err
+		}
 		m.PC++
 		return 0, nil
 	case vm.OpDot:
 		m.writeDot(top())
+		if err := m.checkOut(ins.Op); err != nil {
+			return 0, err
+		}
 		m.PC++
 		return 0, nil
 	case vm.OpType:
@@ -348,6 +354,9 @@ func Apply(m *Machine, ins vm.Instr, args []vm.Cell, out []vm.Cell, depth int) (
 			return 0, m.fail(ins.Op, "memory access out of range")
 		}
 		m.Out.Write(m.Mem[addr : addr+n])
+		if err := m.checkOut(ins.Op); err != nil {
+			return 0, err
+		}
 		m.PC++
 		return 0, nil
 	case vm.OpDepth:

@@ -55,6 +55,12 @@ type Machine struct {
 	// it is an error. Zero means DefaultMaxSteps.
 	MaxSteps int64
 
+	// MaxOut bounds the bytes a program may print to Out; exceeding it
+	// is an error. Zero means unlimited. Services running hostile
+	// programs set it so a single run cannot materialize an arbitrarily
+	// large output buffer.
+	MaxOut int
+
 	// Steps is the number of instructions executed so far.
 	Steps int64
 }
@@ -204,6 +210,21 @@ func (m *Machine) SetByteAt(addr, x vm.Cell) bool {
 func (m *Machine) writeDot(n vm.Cell) {
 	m.Out.WriteString(strconv.FormatInt(n, 10))
 	m.Out.WriteByte(' ')
+}
+
+// MsgOutputLimit is the message every engine uses when a program's
+// output exceeds the machine's MaxOut budget. The service layer
+// classifies these as limit errors, like MsgStepLimit.
+const MsgOutputLimit = "output limit exceeded"
+
+// checkOut enforces MaxOut after an output-writing instruction (emit,
+// dot, type). The budget can be overshot by at most that one write; a
+// caller needing a hard cap on shipped bytes truncates Out afterwards.
+func (m *Machine) checkOut(op vm.Opcode) error {
+	if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+		return m.fail(op, MsgOutputLimit)
+	}
+	return nil
 }
 
 // FloorDiv is Forth's floored division; the quotient rounds toward

@@ -34,6 +34,7 @@ func (m *Machine) Rebind(p *vm.Program) {
 		m.RSt = make([]vm.Cell, DefaultRStackCap)
 	}
 	m.MaxSteps = 0
+	m.MaxOut = 0
 	m.Reset()
 }
 

@@ -673,6 +673,10 @@ func RunSwitch(m *Machine) error {
 				return m.fail(ins.Op, "stack underflow")
 			}
 			m.Out.WriteByte(byte(st[sp-1]))
+			if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+				sync()
+				return m.fail(ins.Op, MsgOutputLimit)
+			}
 			sp--
 			pc++
 
@@ -682,6 +686,10 @@ func RunSwitch(m *Machine) error {
 				return m.fail(ins.Op, "stack underflow")
 			}
 			m.writeDot(st[sp-1])
+			if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+				sync()
+				return m.fail(ins.Op, MsgOutputLimit)
+			}
 			sp--
 			pc++
 
@@ -696,6 +704,10 @@ func RunSwitch(m *Machine) error {
 				return m.fail(ins.Op, "memory access out of range")
 			}
 			m.Out.Write(m.Mem[addr : addr+n])
+			if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+				sync()
+				return m.fail(ins.Op, MsgOutputLimit)
+			}
 			sp -= 2
 			pc++
 

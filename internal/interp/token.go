@@ -580,6 +580,9 @@ var handlers = [vm.NumOpcodes]handler{
 			return err
 		}
 		m.Out.WriteByte(byte(c))
+		if err := m.checkOut(vm.OpEmit); err != nil {
+			return err
+		}
 		m.PC++
 		return nil
 	},
@@ -589,6 +592,9 @@ var handlers = [vm.NumOpcodes]handler{
 			return err
 		}
 		m.writeDot(n)
+		if err := m.checkOut(vm.OpDot); err != nil {
+			return err
+		}
 		m.PC++
 		return nil
 	},
@@ -601,6 +607,9 @@ var handlers = [vm.NumOpcodes]handler{
 			return m.fail(vm.OpType, "memory access out of range")
 		}
 		m.Out.Write(m.Mem[addr : addr+n])
+		if err := m.checkOut(vm.OpType); err != nil {
+			return err
+		}
 		m.PC++
 		return nil
 	},

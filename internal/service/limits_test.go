@@ -2,7 +2,10 @@ package service
 
 import (
 	"context"
+	"strings"
 	"testing"
+
+	"stackcache/internal/interp"
 )
 
 // TestLimitDoesNotPoisonPool is the satellite regression: with a pool
@@ -61,6 +64,83 @@ func TestLimitErrorClassCounted(t *testing.T) {
 	}
 	if got := s.Stats().Errors["limit"]; got != 1 {
 		t.Errorf("limit counter %d, want 1", got)
+	}
+}
+
+// TestDeepStackIsARuntimeErrorOnEveryEngine is the regression for the
+// statcache halt-flush panic: a program halting with more logical
+// stack cells than Machine.Stack holds used to crash the worker
+// goroutine (and with it the whole daemon) on the static engine. Every
+// engine must instead report a clean runtime error, and the worker
+// must survive to serve the next request.
+func TestDeepStackIsARuntimeErrorOnEveryEngine(t *testing.T) {
+	deep := ": main " + strings.Repeat("1 ", interp.DefaultStackCap+1) + ";"
+	for _, e := range Engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := mustService(t, func(c *Config) {
+				c.Workers = 1
+				c.QueueDepth = 4
+			})
+			_, err := s.Run(context.Background(), Request{Source: deep, Engine: e})
+			if Classify(err) != ClassRuntime {
+				t.Fatalf("deep stack classified %s (err %v), want runtime", Classify(err), err)
+			}
+			if !strings.Contains(err.Error(), "stack overflow") {
+				t.Errorf("err = %v, want stack overflow", err)
+			}
+			resp, err := s.Run(context.Background(),
+				Request{Source: ": main 1 2 + . ;", Engine: e})
+			if err != nil {
+				t.Fatalf("follow-up after deep stack failed: %v", err)
+			}
+			if resp.Output != "3 " {
+				t.Errorf("follow-up output %q, want %q", resp.Output, "3 ")
+			}
+		})
+	}
+}
+
+// TestOutputBudgetBoundsResponses checks the output cap: a program
+// printing without bound must fail with the limit class once it
+// crosses MaxOutputBytes, the shipped output must be clamped to the
+// cap, and the pooled machine must serve the next request cleanly.
+func TestOutputBudgetBoundsResponses(t *testing.T) {
+	// Prints increasing integers (practically) forever; only the
+	// output budget stops it before the step budget.
+	noisy := ": main 0 begin 1 + dup . dup 0 < until drop ;"
+	const capBytes = 4096
+	for _, e := range Engines {
+		t.Run(e.String(), func(t *testing.T) {
+			s := mustService(t, func(c *Config) {
+				c.Workers = 1
+				c.QueueDepth = 4
+				c.MaxOutputBytes = capBytes
+			})
+			resp, err := s.Run(context.Background(), Request{Source: noisy, Engine: e})
+			if Classify(err) != ClassLimit {
+				t.Fatalf("noisy run classified %s (err %v), want limit", Classify(err), err)
+			}
+			if !strings.Contains(err.Error(), interp.MsgOutputLimit) {
+				t.Errorf("err = %v, want %q", err, interp.MsgOutputLimit)
+			}
+			if resp == nil {
+				t.Fatal("output-limit error lost the partial response")
+			}
+			if len(resp.Output) > capBytes {
+				t.Errorf("shipped %d output bytes, cap is %d", len(resp.Output), capBytes)
+			}
+			if got := s.Stats().Errors["limit"]; got != 1 {
+				t.Errorf("limit counter %d, want 1", got)
+			}
+			resp, err = s.Run(context.Background(),
+				Request{Source: ": main depth . 10 20 + . ;", Engine: e})
+			if err != nil {
+				t.Fatalf("follow-up after output limit failed: %v", err)
+			}
+			if resp.Output != "0 30 " {
+				t.Errorf("follow-up output %q, want %q (output leaked)", resp.Output, "0 30 ")
+			}
+		})
 	}
 }
 

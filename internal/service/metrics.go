@@ -22,7 +22,8 @@ const (
 	ClassBadRequest
 	// ClassCompile is a Forth compilation or verification failure.
 	ClassCompile
-	// ClassLimit is an execution that exhausted its step budget.
+	// ClassLimit is an execution that exhausted its step or output
+	// budget.
 	ClassLimit
 	// ClassRuntime is any other runtime error (stack underflow,
 	// division by zero, memory access out of range, ...).
@@ -84,7 +85,7 @@ type engineMetrics struct {
 // updates and any reader can snapshot while traffic is in flight. The
 // zero value is ready to use.
 type Metrics struct {
-	requests  atomic.Int64 // accepted into the queue
+	requests  atomic.Int64 // received by Run/Compile, including rejects
 	completed atomic.Int64 // finished (any class)
 
 	cacheHits      atomic.Int64

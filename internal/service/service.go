@@ -12,9 +12,10 @@
 //     cached;
 //   - a worker pool with a bounded submission queue, per-request
 //     engine selection across all seven engines, context-based
-//     deadlines while queued, and per-request step budgets wired
-//     through the engines' *WithLimit entry points so a hostile
-//     program can never wedge a worker;
+//     deadlines while queued, and per-request step and output budgets
+//     wired through the engines' *WithLimit entry points and
+//     Machine.MaxOut so a hostile program can never wedge a worker or
+//     balloon its memory;
 //   - machine reuse via sync.Pool (interp.Machine.Rebind), so
 //     steady-state executions allocate near zero;
 //   - an atomic metrics registry: requests, cache hits/misses/
@@ -60,6 +61,12 @@ type Config struct {
 	DefaultMaxSteps int64
 	MaxStepCeiling  int64
 
+	// MaxOutputBytes bounds the bytes a single execution may print
+	// (default 1<<20). Exceeding it fails the request with ClassLimit,
+	// so a program allowed a large step budget cannot materialize an
+	// arbitrarily large output buffer in the daemon.
+	MaxOutputBytes int
+
 	// CompileOptions configures the Forth compiler for every program
 	// entering the cache (options are part of the cache key).
 	CompileOptions forth.Options
@@ -84,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStepCeiling <= 0 {
 		c.MaxStepCeiling = 1 << 30
+	}
+	if c.MaxOutputBytes <= 0 {
+		c.MaxOutputBytes = 1 << 20
 	}
 	if c.Policies == (Policies{}) {
 		c.Policies = DefaultPolicies()
@@ -153,7 +163,7 @@ func Classify(err error) ErrorClass {
 	}
 	var re *interp.RuntimeError
 	if errors.As(err, &re) {
-		if re.Msg == interp.MsgStepLimit {
+		if re.Msg == interp.MsgStepLimit || re.Msg == interp.MsgOutputLimit {
 			return ClassLimit
 		}
 		return ClassRuntime
@@ -350,14 +360,28 @@ func (s *Service) worker() {
 	}
 }
 
+// maxRetainedMemBytes bounds the data-memory allocation a machine may
+// keep while pooled; one program with a huge allot must not pin its
+// memory for the daemon's lifetime.
+const maxRetainedMemBytes = 1 << 20
+
 // execute runs one task on a pooled machine. The machine is fully
 // re-initialized by Rebind, so state left over from a failed or
 // limit-expired run can never leak into the next request.
 func (s *Service) execute(t *task) (*Response, error) {
 	m := s.machines.Get().(*interp.Machine)
-	defer s.machines.Put(m)
+	defer func() {
+		// Machines whose output buffer or data memory grew past the
+		// retention caps are dropped rather than recycled, so one
+		// pathological request cannot pin large allocations in the
+		// pool.
+		if m.Out.Cap() <= s.cfg.MaxOutputBytes && cap(m.Mem) <= maxRetainedMemBytes {
+			s.machines.Put(m)
+		}
+	}()
 	m.Rebind(t.entry.Prog)
 	m.MaxSteps = t.maxSteps
+	m.MaxOut = s.cfg.MaxOutputBytes
 
 	var err error
 	switch t.engine {
@@ -383,10 +407,17 @@ func (s *Service) execute(t *task) (*Response, error) {
 		return nil, classified(ClassBadRequest, fmt.Errorf("service: invalid engine %d", int(t.engine)))
 	}
 
+	// The engines' output check fires after the write that crossed the
+	// budget, so the buffer can overshoot by one instruction's worth;
+	// clamp what we ship so MaxOutputBytes is a hard cap on responses.
+	out := m.Out.Bytes()
+	if len(out) > s.cfg.MaxOutputBytes {
+		out = out[:s.cfg.MaxOutputBytes]
+	}
 	resp := &Response{
 		Key:    t.entry.Key,
 		Engine: t.engine,
-		Output: m.Out.String(),
+		Output: string(out),
 		Stack:  append([]vm.Cell(nil), m.Stack[:m.SP]...),
 		Steps:  m.Steps,
 	}

@@ -186,9 +186,16 @@ func ExecuteOn(m *interp.Machine, plan *Plan) (*Result, error) {
 		if err != nil {
 			if err == interp.ErrHalt {
 				// Halt reconciled to canonical; flush the logical
-				// stack into the machine.
+				// stack into the machine. The scratch stack is larger
+				// than the machine stack (guard zone + canonical
+				// offset), so a program can halt with more logical
+				// cells than m.Stack holds — report overflow rather
+				// than writing past it.
 				k := plan.Policy.Canonical
 				total := msp - GuardCells + k
+				if total > len(m.Stack) {
+					return res, failAt(m, "stack overflow")
+				}
 				m.SP = 0
 				for i := 0; i < total; i++ {
 					ext := msp + k - total + i

@@ -89,6 +89,29 @@ func TestMatchesBaselineOnAllPrograms(t *testing.T) {
 	}
 }
 
+// TestDeepHaltStackOverflows is the regression for the halt-flush
+// panic: the guard-zone scratch stack holds more cells than
+// Machine.Stack, so a program can halt with a logical stack deeper
+// than the flush target. That used to index past m.Stack; it must be
+// a clean stack-overflow error under every policy.
+func TestDeepHaltStackOverflows(t *testing.T) {
+	src := ": main " + strings.Repeat("1 ", interp.DefaultStackCap+1) + ";"
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range testPolicies {
+		plan, err := Compile(p, pol)
+		if err != nil {
+			t.Fatalf("%+v: compile: %v", pol, err)
+		}
+		_, err = Execute(plan)
+		if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+			t.Errorf("%+v: err = %v, want stack overflow", pol, err)
+		}
+	}
+}
+
 func TestManipulationsEliminated(t *testing.T) {
 	res := run(t, forthPrograms["manips"], Policy{NRegs: 6, Canonical: 2})
 	saved := res.Counters.DispatchesSaved()

@@ -1,0 +1,150 @@
+package stackcache
+
+// Cross-engine differential tests for open program arguments: every
+// registered engine must compute the same observable result from the
+// same program, initial stack and memory overlay. This is the ExecSpec
+// contract — inputs are part of every engine's semantics, including
+// the caching engines whose register files must be seeded from the
+// initial stack (the statcache guard-zone seeding in particular).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+const argsMaxSteps = 1 << 20
+
+// runAllWithSpec executes p under every engine with the given spec and
+// checks the exact engines match the switch baseline bit for bit
+// (snapshots include stack, rstack, memory, output and step count).
+func runAllWithSpec(t *testing.T, p *vm.Program, spec interp.ExecSpec) {
+	t.Helper()
+	if allEngines[0].name != "switch" {
+		t.Fatal("engine table must lead with the switch baseline")
+	}
+	ref, refErr := allEngines[0].runSpec(p, spec)
+	if refErr != nil {
+		t.Fatalf("switch baseline: %v", refErr)
+	}
+	for _, e := range allEngines[1:] {
+		got, err := e.runSpec(p, spec)
+		if err != nil {
+			t.Errorf("%s: %v", e.name, err)
+			continue
+		}
+		if !e.exact {
+			// Inexact engines still owe the same output and final
+			// stack; only error classes and underflow handling differ.
+			if got.Output != ref.Output {
+				t.Errorf("%s: output %q, switch %q", e.name, got.Output, ref.Output)
+			}
+			if fmt.Sprint(got.Stack) != fmt.Sprint(ref.Stack) {
+				t.Errorf("%s: stack %v, switch %v", e.name, got.Stack, ref.Stack)
+			}
+			continue
+		}
+		if !got.Equal(ref) {
+			t.Errorf("%s: snapshot diverges from switch\n got: %+v\nwant: %+v", e.name, got, ref)
+		}
+	}
+}
+
+func compileArgs(t *testing.T, src string) *vm.Program {
+	t.Helper()
+	p, err := forth.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArgsDifferential(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		args []vm.Cell
+	}{
+		{"add", ": main + . ;", []vm.Cell{30, 12}},
+		{"negatives", ": main - . ;", []vm.Cell{-100, -58}},
+		{"deep-consume", ": main + + + + + + + . ;", []vm.Cell{1, 2, 3, 4, 5, 6, 7, 8}},
+		{"leave-on-stack", ": main dup * ;", []vm.Cell{9}},
+		{"mixed", ": main over over > if swap then - . ;", []vm.Cell{17, 42}},
+		{"loop-bound", ": main 0 swap 0 do 1 + loop . ;", []vm.Cell{10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := compileArgs(t, tc.src)
+			runAllWithSpec(t, p, interp.ExecSpec{MaxSteps: argsMaxSteps, Args: tc.args})
+		})
+	}
+}
+
+// TestArgsDeepInitialStack seeds more cells than any register file
+// holds, so every caching engine must spill the seed into memory (the
+// statcache guard-zone inverse mapping, the dyncache overflow states).
+func TestArgsDeepInitialStack(t *testing.T) {
+	args := make([]vm.Cell, 64)
+	for i := range args {
+		args[i] = vm.Cell(i * i)
+	}
+	// Sum everything: 63 additions, then print.
+	src := ": main "
+	for i := 0; i < len(args)-1; i++ {
+		src += "+ "
+	}
+	src += ". ;"
+	p := compileArgs(t, src)
+	runAllWithSpec(t, p, interp.ExecSpec{MaxSteps: argsMaxSteps, Args: args})
+}
+
+// TestMemOverlayDifferential overlays data memory and has the program
+// read it back: handcrafted bytecode with OpFetch so the overlay is
+// observable without compiler involvement.
+func TestMemOverlayDifferential(t *testing.T) {
+	prog := &vm.Program{
+		Code: []vm.Instr{
+			{Op: vm.OpLit, Arg: 0},
+			{Op: vm.OpFetch}, // cell at addr 0
+			{Op: vm.OpLit, Arg: 8},
+			{Op: vm.OpFetch}, // cell at addr 8
+			{Op: vm.OpAdd},
+			{Op: vm.OpDot},
+			{Op: vm.OpHalt},
+		},
+		MemSize: 64,
+	}
+	if err := vm.Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]byte, 16)
+	binary.LittleEndian.PutUint64(mem[0:], 40)
+	binary.LittleEndian.PutUint64(mem[8:], 2)
+	runAllWithSpec(t, prog, interp.ExecSpec{MaxSteps: argsMaxSteps, Mem: mem})
+}
+
+// TestArgsAndOverlayTogether combines both input channels.
+func TestArgsAndOverlayTogether(t *testing.T) {
+	src := "variable x : main x @ * . ;"
+	p := compileArgs(t, src)
+	mem := make([]byte, 8)
+	binary.LittleEndian.PutUint64(mem, 6)
+	runAllWithSpec(t, p, interp.ExecSpec{MaxSteps: argsMaxSteps, Args: []vm.Cell{7}, Mem: mem})
+}
+
+// TestApplySpecValidation: oversized inputs are rejected before any
+// engine runs.
+func TestApplySpecValidation(t *testing.T) {
+	p := compileArgs(t, ": main ;")
+	m := interp.NewMachine(p)
+	if err := m.ApplySpec(interp.ExecSpec{Args: make([]vm.Cell, len(m.Stack)+1)}); err == nil {
+		t.Error("oversized args accepted")
+	}
+	if err := m.ApplySpec(interp.ExecSpec{Mem: make([]byte, len(m.Mem)+1)}); err == nil {
+		t.Error("oversized memory overlay accepted")
+	}
+}

@@ -24,7 +24,7 @@ import (
 )
 
 // benchProgram compiles a workload once, for use across iterations.
-func benchProgram(b *testing.B, name string) *vm.Program {
+func benchProgram(b testing.TB, name string) *vm.Program {
 	b.Helper()
 	w, ok := workloads.ByName(name)
 	if !ok {

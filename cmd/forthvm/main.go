@@ -8,11 +8,13 @@
 //	forthvm -engine threaded prog.fs
 //	forthvm -engine dynamic -regs 6 -overflow 5 prog.fs
 //	forthvm -engine static -regs 6 -canonical 2 -stats prog.fs
+//	forthvm -args 30,12 sum.fs               # seed the initial stack
 //	forthvm -workload gray -stats            # run a built-in workload
 //	forthvm -disasm prog.fs                  # show the compiled code
 //	echo ': main 1 2 + . ;' | forthvm -
 //
-// Engines: switch | token | threaded | dynamic | static.
+// The engine set comes from the engine registry; -engine accepts any
+// registered name (forthvm -h lists them).
 package main
 
 import (
@@ -20,9 +22,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"stackcache/internal/core"
-	"stackcache/internal/dyncache"
+	"stackcache/internal/engine"
 	"stackcache/internal/forth"
 	"stackcache/internal/interp"
 	"stackcache/internal/statcache"
@@ -32,18 +36,24 @@ import (
 
 func main() {
 	var (
-		engine    = flag.String("engine", "switch", "switch|token|threaded|dynamic|static")
-		regs      = flag.Int("regs", 6, "cache registers (dynamic/static)")
-		overflow  = flag.Int("overflow", 5, "overflow followup state (dynamic)")
+		engineName = flag.String("engine", "switch",
+			"execution engine: "+strings.Join(engine.Names(), "|"))
+		regs      = flag.Int("regs", 6, "cache registers (dynamic/rotating/twostacks/static)")
+		overflow  = flag.Int("overflow", 5, "overflow followup state (dynamic/rotating)")
 		canonical = flag.Int("canonical", 2, "canonical state depth (static)")
 		stats     = flag.Bool("stats", false, "print execution statistics")
 		disasm    = flag.Bool("disasm", false, "print disassembly instead of running")
 		workload  = flag.String("workload", "", "run a built-in workload by name")
+		argList   = flag.String("args", "", "comma-separated initial data stack, bottom first")
 		super     = flag.Bool("super", false, "enable superinstruction fusion")
 	)
 	flag.Parse()
 
 	src, name, err := loadSource(*workload, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	args, err := parseArgs(*argList)
 	if err != nil {
 		fail(err)
 	}
@@ -57,7 +67,7 @@ func main() {
 		fail(fmt.Errorf("program rejected by verifier: %w", err))
 	}
 	if *disasm {
-		if *engine == "static" {
+		if *engineName == "static" {
 			plan, err := statcache.Compile(prog, statcache.Policy{NRegs: *regs, Canonical: *canonical})
 			if err != nil {
 				fail(err)
@@ -69,54 +79,69 @@ func main() {
 		return
 	}
 
-	switch *engine {
-	case "switch", "token", "threaded":
-		var e interp.Engine
-		switch *engine {
-		case "switch":
-			e = interp.EngineSwitch
-		case "token":
-			e = interp.EngineToken
-		default:
-			e = interp.EngineThreaded
-		}
-		m, err := interp.Run(prog, e)
-		if err != nil {
-			fail(err)
-		}
-		os.Stdout.Write(m.Out.Bytes())
-		if *stats {
-			fmt.Fprintf(os.Stderr, "\n%s: %d instructions (%s dispatch)\n", name, m.Steps, e)
-		}
-	case "dynamic":
-		res, err := dyncache.Run(prog, core.MinimalPolicy{NRegs: *regs, OverflowTo: *overflow})
-		if err != nil {
-			fail(err)
-		}
-		os.Stdout.Write(res.Machine.Out.Bytes())
-		if *stats {
-			fmt.Fprintf(os.Stderr, "\n%s: %s\n  access overhead %.3f cycles/inst\n",
-				name, res.Counters.String(),
-				res.Counters.AccessPerInstruction(core.DefaultCost))
-		}
-	case "static":
-		plan, err := statcache.Compile(prog, statcache.Policy{NRegs: *regs, Canonical: *canonical})
-		if err != nil {
-			fail(err)
-		}
-		res, err := statcache.Execute(plan)
-		if err != nil {
-			fail(err)
-		}
-		os.Stdout.Write(res.Machine.Out.Bytes())
-		if *stats {
-			fmt.Fprintf(os.Stderr, "\n%s: %s\n  eliminated %d instructions, net overhead %.3f cycles/inst\n",
-				name, res.Counters.String(), res.Counters.DispatchesSaved(),
-				res.Counters.NetPerInstruction(core.DefaultCost))
-		}
-	default:
-		fail(fmt.Errorf("unknown engine %q", *engine))
+	// One engine set built from the policy flags; every registered
+	// engine is runnable with no per-engine code here. Engines whose
+	// policies are baked in at generation time simply ignore the flags.
+	pol := engine.DefaultPolicies()
+	pol.Dynamic = core.MinimalPolicy{NRegs: *regs, OverflowTo: *overflow}
+	pol.Rotating = core.RotatingPolicy{NRegs: *regs, OverflowTo: *overflow}
+	pol.Static = statcache.Policy{NRegs: *regs, Canonical: *canonical}
+	engines, err := engine.AllWith(pol)
+	if err != nil {
+		fail(err)
 	}
+	var eng engine.Engine
+	for _, e := range engines {
+		if e.Name() == *engineName {
+			eng = e
+			break
+		}
+	}
+	if eng == nil {
+		fail(fmt.Errorf("unknown engine %q (want one of %v)", *engineName, engine.Names()))
+	}
+
+	m := interp.NewMachine(prog)
+	if err := m.ApplySpec(interp.ExecSpec{Args: args}); err != nil {
+		fail(err)
+	}
+	var counters core.Counters
+	counted := false
+	if ce, ok := eng.(engine.CountingEngine); ok && *stats {
+		counters, err = ce.RunCounted(m)
+		counted = true
+	} else {
+		err = eng.Run(m)
+	}
+	os.Stdout.Write(m.Out.Bytes())
+	if err != nil {
+		fail(err)
+	}
+	if *stats {
+		if counted {
+			fmt.Fprintf(os.Stderr, "\n%s: %s\n  access overhead %.3f cycles/inst\n",
+				name, counters.String(), counters.AccessPerInstruction(core.DefaultCost))
+		} else {
+			fmt.Fprintf(os.Stderr, "\n%s: %d instructions (%s)\n", name, m.Steps, eng.Name())
+		}
+	}
+}
+
+// parseArgs turns "30,12" into the program's initial data stack.
+func parseArgs(s string) ([]vm.Cell, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]vm.Cell, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -args value %q: %w", p, err)
+		}
+		out = append(out, vm.Cell(n))
+	}
+	return out, nil
 }
 
 func loadSource(workload string, args []string) (src, name string, err error) {

@@ -9,14 +9,20 @@
 //	stackcache -all               # everything, in paper order
 //	stackcache -all -micro        # fast run on the micro workloads
 //	stackcache -fig 22 -maxregs 6
+//	stackcache -engine all        # wall-clock workload sweep per engine
+//	stackcache -engine static     # ... for one registered engine
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
+	"time"
 
+	"stackcache/internal/engine"
 	"stackcache/internal/experiments"
+	"stackcache/internal/interp"
 	"stackcache/internal/vm"
 	"stackcache/internal/workloads"
 )
@@ -39,6 +45,46 @@ func verifyWorkloads(ws []workloads.Workload) error {
 	return nil
 }
 
+// sweepEngines runs every workload under the selected engines (a
+// registered name, or "all" for the whole registry) and prints
+// wall-clock steps/s — the repository's engines compared as black
+// boxes through the registry, no per-engine code.
+func sweepEngines(selector string, ws []workloads.Workload) error {
+	var engines []engine.Engine
+	if selector == "all" {
+		engines = engine.All()
+	} else {
+		e, ok := engine.Lookup(selector)
+		if !ok {
+			return fmt.Errorf("unknown engine %q (want \"all\" or one of %v)", selector, engine.Names())
+		}
+		engines = []engine.Engine{e}
+	}
+	if ws == nil {
+		ws = workloads.All()
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tworkload\tsteps\ttime\tsteps/s")
+	for _, e := range engines {
+		for _, w := range ws {
+			p, err := w.Compile()
+			if err != nil {
+				return err
+			}
+			m := interp.NewMachine(p)
+			start := time.Now()
+			runErr := e.Run(m)
+			d := time.Since(start)
+			if runErr != nil {
+				return fmt.Errorf("%s on %s: %w", e.Name(), w.Name, runErr)
+			}
+			rate := float64(m.Steps) / d.Seconds()
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%.3g\n", e.Name(), w.Name, m.Steps, d.Round(time.Microsecond), rate)
+		}
+	}
+	return tw.Flush()
+}
+
 func main() {
 	var (
 		fig     = flag.String("fig", "", "experiment to run (see -list)")
@@ -46,6 +92,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments")
 		micro   = flag.Bool("micro", false, "use the micro workloads (faster)")
 		maxRegs = flag.Int("maxregs", 10, "largest register count in sweeps")
+		engSel  = flag.String("engine", "", "wall-clock workload sweep: a registered engine name, or \"all\"")
 	)
 	flag.Parse()
 
@@ -70,6 +117,11 @@ func main() {
 	}
 
 	switch {
+	case *engSel != "":
+		if err := sweepEngines(*engSel, opt.Workloads); err != nil {
+			fmt.Fprintf(os.Stderr, "stackcache: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
 		for _, e := range experiments.Registry {
 			fmt.Printf("=== %s ===\n", e.Title)

@@ -8,16 +8,20 @@
 //
 // Endpoints:
 //
-//	POST /run      {"source": ": main 1 2 + . ;", "engine": "static", "max_steps": 100000}
+//	POST /run      {"source": ": main + . ;", "engine": "static", "args": [30, 12], "max_steps": 100000}
 //	POST /compile  {"source": ": main 1 2 + . ;"}   # warm the program cache
-//	GET  /stats    # metrics registry snapshot
+//	GET  /stats    # metrics registry snapshot (JSON)
+//	GET  /metrics  # the same registry in Prometheus text format
 //	GET  /healthz  # liveness
 //
-// Engines: switch | token | threaded | dynamic | rotating | twostacks
-// | static (default switch). Errors come back as JSON with a stable
-// "class" drawn from the service's error vocabulary, mapped onto HTTP
-// status codes (400 bad_request/compile, 422 runtime, 429 queue_full,
-// 504 limit/canceled).
+// The engine set is whatever the engine registry holds (-h lists it;
+// default switch). "args" seeds the program's initial data stack and
+// "mem" (base64 bytes in JSON) overlays its data memory, so one cached
+// program serves many computations — the cache key covers only the
+// source. Errors come back as JSON with a stable "class" drawn from
+// the service's error vocabulary, mapped onto HTTP status codes (400
+// bad_request/compile, 422 runtime, 429 queue_full, 504
+// limit/canceled).
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"stackcache/internal/engine"
 	"stackcache/internal/forth"
 	"stackcache/internal/service"
 	"stackcache/internal/vm"
@@ -43,18 +48,21 @@ import (
 const maxBodyBytes = 1 << 20
 
 type runRequest struct {
-	Source   string `json:"source"`
-	Engine   string `json:"engine"`
-	MaxSteps int64  `json:"max_steps"`
+	Source   string    `json:"source"`
+	Engine   string    `json:"engine"`
+	MaxSteps int64     `json:"max_steps"`
+	Args     []vm.Cell `json:"args"` // initial data stack, bottom first
+	Mem      []byte    `json:"mem"`  // data-memory overlay (base64 in JSON)
 }
 
 type runResponse struct {
-	Key      string    `json:"key"`
-	Engine   string    `json:"engine"`
-	Output   string    `json:"output"`
-	Stack    []vm.Cell `json:"stack"`
-	Steps    int64     `json:"steps"`
-	CacheHit bool      `json:"cache_hit"`
+	Key        string    `json:"key"`
+	Engine     string    `json:"engine"`
+	Output     string    `json:"output"`
+	Stack      []vm.Cell `json:"stack"`
+	StackDepth int       `json:"stack_depth"`
+	Steps      int64     `json:"steps"`
+	CacheHit   bool      `json:"cache_hit"`
 }
 
 type compileResponse struct {
@@ -122,28 +130,25 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	engine, err := service.ParseEngine(req.Engine)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Class: service.ClassBadRequest.String(), Error: err.Error()})
-		return
-	}
 	resp, err := s.svc.Run(r.Context(), service.Request{
 		Source:   req.Source,
-		Engine:   engine,
+		Engine:   req.Engine,
 		MaxSteps: req.MaxSteps,
+		Args:     req.Args,
+		Mem:      req.Mem,
 	})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, runResponse{
-		Key:      resp.Key,
-		Engine:   resp.Engine.String(),
-		Output:   resp.Output,
-		Stack:    resp.Stack,
-		Steps:    resp.Steps,
-		CacheHit: resp.CacheHit,
+		Key:        resp.Key,
+		Engine:     resp.Engine,
+		Output:     resp.Output,
+		Stack:      resp.Stack,
+		StackDepth: resp.StackDepth,
+		Steps:      resp.Steps,
+		CacheHit:   resp.CacheHit,
 	})
 }
 
@@ -164,6 +169,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := service.WritePrometheus(w, s.svc.Stats()); err != nil {
+		log.Printf("vmd: write metrics: %v", err)
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -178,8 +190,14 @@ func main() {
 		maxSteps = flag.Int64("maxsteps", 1<<24, "default per-request step budget")
 		ceiling  = flag.Int64("ceiling", 1<<30, "largest step budget a request may ask for")
 		maxOut   = flag.Int("maxout", 1<<20, "per-request output budget in bytes")
+		maxStack = flag.Int("maxstack", 1024, "largest final stack a response may carry, in cells")
 		superins = flag.Bool("super", false, "compile with superinstruction fusion")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of vmd:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nEngines (POST /run \"engine\" field): %v\n", engine.Names())
+	}
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
@@ -189,6 +207,7 @@ func main() {
 		DefaultMaxSteps: *maxSteps,
 		MaxStepCeiling:  *ceiling,
 		MaxOutputBytes:  *maxOut,
+		MaxStackCells:   *maxStack,
 		CompileOptions:  forth.Options{Superinstructions: *superins},
 	})
 	if err != nil {
@@ -200,6 +219,7 @@ func main() {
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 
 	httpSrv := &http.Server{

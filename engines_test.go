@@ -1,22 +1,20 @@
 package stackcache
 
-// The shared engine table for cross-engine differential testing. Every
-// execution engine in the repository appears here behind a uniform
-// runner signature so that malformed_test.go and fuzz_engines_test.go
-// can drive all of them over the same programs.
+// The shared engine table for cross-engine differential testing, built
+// from the engine registry: every registered engine appears behind a
+// uniform runner signature so that malformed_test.go, args_test.go and
+// fuzz_engines_test.go drive all of them over the same programs —
+// registering a new engine makes it covered here with zero edits.
 
 import (
-	"stackcache/internal/core"
-	"stackcache/internal/dyncache"
-	"stackcache/internal/gendyn"
-	"stackcache/internal/gendyn4"
+	"stackcache/internal/engine"
 	"stackcache/internal/interp"
-	"stackcache/internal/statcache"
 	"stackcache/internal/vm"
 )
 
 // engineRunner executes a program under one engine with an instruction
-// budget and reports the observable final state.
+// budget (and optional ExecSpec inputs) and reports the observable
+// final state.
 type engineRunner struct {
 	name string
 
@@ -31,78 +29,37 @@ type engineRunner struct {
 	// fail vm.Verify; differential tests skip them on such programs.
 	needsVerify bool
 
-	run func(p *vm.Program, maxSteps int64) (interp.Snapshot, error)
+	run     func(p *vm.Program, maxSteps int64) (interp.Snapshot, error)
+	runSpec func(p *vm.Program, spec interp.ExecSpec) (interp.Snapshot, error)
 }
 
-func runInterp(e interp.Engine) func(*vm.Program, int64) (interp.Snapshot, error) {
-	return func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
-		m := interp.NewMachine(p)
-		m.MaxSteps = maxSteps
-		var err error
-		switch e {
-		case interp.EngineSwitch:
-			err = interp.RunSwitch(m)
-		case interp.EngineToken:
-			err = interp.RunToken(m)
-		default:
-			err = interp.RunThreaded(m)
+// allEngines is the registry's engine set as differential-test
+// runners, in registration order — the switch baseline first, which
+// the tests rely on as the reference the others are compared against.
+var allEngines = buildEngineTable()
+
+func buildEngineTable() []engineRunner {
+	var out []engineRunner
+	for _, e := range engine.All() {
+		e := e
+		tr := engine.TraitsOf(e)
+		runSpec := func(p *vm.Program, spec interp.ExecSpec) (interp.Snapshot, error) {
+			m := interp.NewMachine(p)
+			if err := m.ApplySpec(spec); err != nil {
+				return interp.Snapshot{}, err
+			}
+			err := e.Run(m)
+			return m.Snapshot(), err
 		}
-		return m.Snapshot(), err
+		out = append(out, engineRunner{
+			name:        e.Name(),
+			exact:       tr.Exact,
+			needsVerify: tr.NeedsVerify,
+			run: func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
+				return runSpec(p, interp.ExecSpec{MaxSteps: maxSteps})
+			},
+			runSpec: runSpec,
+		})
 	}
-}
-
-func runGenerated(gen func(*interp.Machine) error) func(*vm.Program, int64) (interp.Snapshot, error) {
-	return func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
-		m := interp.NewMachine(p)
-		m.MaxSteps = maxSteps
-		err := gen(m)
-		return m.Snapshot(), err
-	}
-}
-
-// allEngines lists every execution engine in the repository. The
-// switch interpreter must stay first: differential tests use it as the
-// baseline the others are compared against.
-var allEngines = []engineRunner{
-	{name: "switch", exact: true, run: runInterp(interp.EngineSwitch)},
-	{name: "token", exact: true, run: runInterp(interp.EngineToken)},
-	{name: "threaded", exact: true, run: runInterp(interp.EngineThreaded)},
-	{name: "traced", exact: true, run: func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
-		m, err := interp.RunTracedWithLimit(p, func(int, vm.Instr) {}, maxSteps)
-		return m.Snapshot(), err
-	}},
-	{name: "dyncache", exact: true, run: func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
-		res, err := dyncache.RunWithLimit(p, core.MinimalPolicy{NRegs: 6, OverflowTo: 5}, maxSteps)
-		if res == nil {
-			return interp.Snapshot{}, err
-		}
-		return res.Machine.Snapshot(), err
-	}},
-	{name: "rotating", exact: true, run: func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
-		res, err := dyncache.RunRotatingWithLimit(p, core.RotatingPolicy{NRegs: 6, OverflowTo: 5}, maxSteps)
-		if res == nil {
-			return interp.Snapshot{}, err
-		}
-		return res.Machine.Snapshot(), err
-	}},
-	{name: "twostacks", exact: true, run: func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
-		res, err := dyncache.RunTwoStacksWithLimit(p, dyncache.TwoStackPolicy{NRegs: 6, RMax: 2, OverflowTo: 4}, maxSteps)
-		if res == nil {
-			return interp.Snapshot{}, err
-		}
-		return res.Machine.Snapshot(), err
-	}},
-	{name: "gendyn", exact: true, run: runGenerated(gendyn.Run)},
-	{name: "gendyn4", exact: true, run: runGenerated(gendyn4.Run)},
-	{name: "statcache", exact: false, needsVerify: true, run: func(p *vm.Program, maxSteps int64) (interp.Snapshot, error) {
-		plan, err := statcache.Compile(p, statcache.Policy{NRegs: 6, Canonical: 2})
-		if err != nil {
-			return interp.Snapshot{}, err
-		}
-		res, err := statcache.ExecuteWithLimit(plan, maxSteps)
-		if res == nil {
-			return interp.Snapshot{}, err
-		}
-		return res.Machine.Snapshot(), err
-	}},
+	return out
 }

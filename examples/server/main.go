@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"stackcache/internal/service"
+	"stackcache/internal/vm"
 )
 
 const src = `
@@ -41,29 +42,45 @@ func main() {
 	}
 	fmt.Printf("compiled once, cached as %s...\n\n", key[:16])
 
-	// 3. Fire concurrent requests across every engine. All of them
-	// hit the cache: one compile serves the whole burst.
+	// 3. Fire concurrent requests across every registered engine —
+	// the service's engine set comes straight from the engine
+	// registry. All of them hit the cache: one compile serves the
+	// whole burst.
 	var wg sync.WaitGroup
-	for _, e := range service.Engines {
+	for _, name := range svc.Engines() {
 		wg.Add(1)
-		go func(e service.Engine) {
+		go func(name string) {
 			defer wg.Done()
-			resp, err := svc.Run(context.Background(), service.Request{Source: src, Engine: e})
+			resp, err := svc.Run(context.Background(), service.Request{Source: src, Engine: name})
 			if err != nil {
-				log.Printf("%s: %v", e, err)
+				log.Printf("%s: %v", name, err)
 				return
 			}
 			fmt.Printf("%-10s -> %s (%d steps, cache hit: %v)\n",
-				e, resp.Output, resp.Steps, resp.CacheHit)
-		}(e)
+				name, resp.Output, resp.Steps, resp.CacheHit)
+		}(name)
 	}
 	wg.Wait()
+
+	// 3b. Program arguments: the same cached program, two different
+	// computations. The cache key covers only the source, so neither
+	// run recompiles anything.
+	for _, args := range [][]vm.Cell{{30, 12}, {7, 5}} {
+		resp, err := svc.Run(context.Background(), service.Request{
+			Source: ": main + . ;",
+			Args:   args,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("args %v -> %s (cache hit: %v)\n", args, resp.Output, resp.CacheHit)
+	}
 
 	// 4. A hostile program cannot wedge a worker: the step budget
 	// turns it into a classified limit error.
 	_, err = svc.Run(context.Background(), service.Request{
 		Source:   hostile,
-		Engine:   service.EngineThreaded,
+		Engine:   "threaded",
 		MaxSteps: 100_000,
 	})
 	fmt.Printf("\nhostile program: classified as %q (%v)\n", service.Classify(err), err)
@@ -74,9 +91,9 @@ func main() {
 	fmt.Printf("\nrequests=%d completed=%d cache hit rate=%.2f\n",
 		snap.Requests, snap.Completed, snap.HitRate())
 	fmt.Printf("errors by class: %v\n", snap.Errors)
-	for _, e := range service.Engines {
-		if es, ok := snap.Engines[e.String()]; ok {
-			fmt.Printf("  %-10s %d requests, %d steps\n", e, es.Requests, es.Steps)
+	for _, name := range svc.Engines() {
+		if es, ok := snap.Engines[name]; ok {
+			fmt.Printf("  %-10s %d requests, %d steps\n", name, es.Requests, es.Steps)
 		}
 	}
 }

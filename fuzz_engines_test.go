@@ -1,11 +1,15 @@
 package stackcache
 
 // FuzzEngines is the cross-engine differential fuzzer: it decodes
-// arbitrary bytes into a (possibly malformed, unverified) program and
-// runs it on every engine. No engine may panic; the exact engines must
-// produce the switch baseline's result bit-for-bit on success and its
-// error class on failure. This is the dynamic half of the execution
-// contract whose static half is vm.Verify — see DESIGN.md.
+// arbitrary bytes into a (possibly malformed, unverified) program plus
+// an arbitrary initial data stack, and runs both on every engine. No
+// engine may panic; the exact engines must produce the switch
+// baseline's result bit-for-bit on success and its error class on
+// failure. This is the dynamic half of the execution contract whose
+// static half is vm.Verify — see DESIGN.md. Fuzzing the initial stack
+// exercises the ExecSpec seeding paths — the caching engines must load
+// their register files (and spill the remainder) from arbitrary
+// starting depths, not just from empty.
 
 import (
 	"testing"
@@ -25,6 +29,33 @@ const fuzzMaxSteps = 512
 // fuzzInstrCap bounds the decoded program length so plan compilation
 // stays cheap.
 const fuzzInstrCap = 256
+
+// fuzzArgCap bounds the decoded initial stack. Together with
+// fuzzMaxSteps it keeps the reachable depth far below DefaultStackCap,
+// preserving the no-overflow property above.
+const fuzzArgCap = 48
+
+// decodeFuzzArgs turns raw bytes into an initial data stack, one cell
+// per byte with the same int8-extreme mapping as instruction
+// arguments.
+func decodeFuzzArgs(data []byte) []vm.Cell {
+	n := len(data)
+	if n > fuzzArgCap {
+		n = fuzzArgCap
+	}
+	args := make([]vm.Cell, n)
+	for i := 0; i < n; i++ {
+		switch a := int8(data[i]); a {
+		case 127:
+			args[i] = 1 << 62
+		case -128:
+			args[i] = -(1 << 62)
+		default:
+			args[i] = vm.Cell(a)
+		}
+	}
+	return args
+}
 
 // decodeFuzzProgram turns raw fuzz bytes into a program: two bytes per
 // instruction. The opcode byte is taken modulo NumOpcodes+1 so one
@@ -59,28 +90,37 @@ func decodeFuzzProgram(data []byte) *vm.Program {
 func FuzzEngines(f *testing.F) {
 	// The two ISSUE reproducers, arg-adjusted into the encoding: a
 	// corrupt OpExit return address and the OpType 1<<62 overflow.
-	f.Add([]byte{byte(vm.OpLit), 100, byte(vm.OpToR), 0, byte(vm.OpExit), 0})
-	f.Add([]byte{byte(vm.OpLit), 127, byte(vm.OpLit), 127, byte(vm.OpType), 0, byte(vm.OpHalt), 0})
+	f.Add([]byte{byte(vm.OpLit), 100, byte(vm.OpToR), 0, byte(vm.OpExit), 0}, []byte{})
+	f.Add([]byte{byte(vm.OpLit), 127, byte(vm.OpLit), 127, byte(vm.OpType), 0, byte(vm.OpHalt), 0}, []byte{})
 	// Other interesting shapes: negative branch, call/exit pair,
-	// division by zero, counted loop, memory traffic, huge addresses.
-	f.Add([]byte{byte(vm.OpBranch), 0x80, byte(vm.OpHalt), 0})
-	f.Add([]byte{byte(vm.OpCall), 2, byte(vm.OpHalt), 0, byte(vm.OpLit), 9, byte(vm.OpExit), 0})
-	f.Add([]byte{byte(vm.OpLit), 1, byte(vm.OpLit), 0, byte(vm.OpDiv), 0, byte(vm.OpHalt), 0})
+	// division by zero, counted loop, memory traffic, huge addresses —
+	// several seeded with nonzero initial stacks so the arg-decoding
+	// corpus has starting points: consumed args, extreme cells, and
+	// deeper-than-register-file seeds.
+	f.Add([]byte{byte(vm.OpBranch), 0x80, byte(vm.OpHalt), 0}, []byte{1, 2, 3})
+	f.Add([]byte{byte(vm.OpCall), 2, byte(vm.OpHalt), 0, byte(vm.OpLit), 9, byte(vm.OpExit), 0}, []byte{})
+	f.Add([]byte{byte(vm.OpLit), 1, byte(vm.OpLit), 0, byte(vm.OpDiv), 0, byte(vm.OpHalt), 0}, []byte{5})
 	f.Add([]byte{byte(vm.OpLit), 3, byte(vm.OpLit), 0, byte(vm.OpDo), 0,
-		byte(vm.OpI), 0, byte(vm.OpDot), 0, byte(vm.OpLoop), 3, byte(vm.OpHalt), 0})
+		byte(vm.OpI), 0, byte(vm.OpDot), 0, byte(vm.OpLoop), 3, byte(vm.OpHalt), 0}, []byte{0x80, 127})
 	f.Add([]byte{byte(vm.OpLit), 42, byte(vm.OpLit), 8, byte(vm.OpStore), 0,
-		byte(vm.OpLit), 8, byte(vm.OpFetch), 0, byte(vm.OpDot), 0, byte(vm.OpHalt), 0})
-	f.Add([]byte{byte(vm.OpLit), 0x81, byte(vm.OpFetch), 0, byte(vm.OpHalt), 0})
+		byte(vm.OpLit), 8, byte(vm.OpFetch), 0, byte(vm.OpDot), 0, byte(vm.OpHalt), 0}, []byte{9, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add([]byte{byte(vm.OpLit), 0x81, byte(vm.OpFetch), 0, byte(vm.OpHalt), 0}, []byte{})
+	// Args consumed directly: add then print whatever was seeded.
+	f.Add([]byte{byte(vm.OpAdd), 0, byte(vm.OpDot), 0, byte(vm.OpHalt), 0}, []byte{30, 12})
+	// Deeper than any register file: 16 seeded cells through a popping loop.
+	f.Add([]byte{byte(vm.OpDrop), 0, byte(vm.OpHalt), 0},
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
 
-	f.Fuzz(func(t *testing.T, data []byte) {
+	f.Fuzz(func(t *testing.T, data, argBytes []byte) {
 		p := decodeFuzzProgram(data)
 		if p == nil {
 			return
 		}
 		verified := vm.Verify(p) == nil
+		spec := interp.ExecSpec{MaxSteps: fuzzMaxSteps, Args: decodeFuzzArgs(argBytes)}
 
 		base := allEngines[0]
-		baseSnap, baseErr := base.run(p, fuzzMaxSteps)
+		baseSnap, baseErr := base.runSpec(p, spec)
 		var baseMsg string
 		if baseErr != nil {
 			re, ok := baseErr.(*interp.RuntimeError)
@@ -91,7 +131,7 @@ func FuzzEngines(f *testing.F) {
 		}
 
 		for _, e := range allEngines[1:] {
-			snap, err := e.run(p, fuzzMaxSteps)
+			snap, err := e.runSpec(p, spec)
 			if e.needsVerify {
 				// statcache requires verified input and deviates (by
 				// design: the guard zone) on underflowing programs.

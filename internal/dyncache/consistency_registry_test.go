@@ -1,0 +1,84 @@
+// Registry-driven consistency sweep. This lives in an external test
+// package because internal/engine imports dyncache: the in-package
+// tests (consistency_test.go) pin each organization against the
+// baseline directly, while this file checks the same programs through
+// the registry — the exact surface the service and CLIs consume — so a
+// newly registered engine is consistency-tested here with zero edits.
+package dyncache_test
+
+import (
+	"testing"
+
+	"stackcache/internal/engine"
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+// The same program set as the in-package consistency sweep, duplicated
+// because external test packages cannot share in-package helpers.
+var registryPrograms = map[string]string{
+	"arith": `: main 1 2 3 4 5 + - * swap / . 10 3 mod . ;`,
+	"fib":   `: fib dup 2 < if exit then dup 1- recurse swap 2 - recurse + ; : main 15 fib . ;`,
+	"sieve": `
+create flags 100 allot
+: main 100 0 do 1 flags i + c! loop
+  10 2 do flags i + c@ if 100 i dup * do 0 flags i + c! j +loop then loop
+  0 100 2 do flags i + c@ if 1+ then loop . ;`,
+	"deepstack": `: main 1 2 3 4 5 6 7 8 9 10 + + + + + + + + + . ;`,
+	"strings":   `: main s" abc" type ." xyz" cr 65 emit ;`,
+	"loops":     `: main 0 100 0 do i + loop . 0 begin 1+ dup 10 >= until . ;`,
+	"memory": `
+variable a variable b
+: main 7 a ! 35 b ! a @ b @ + . a @ b +! b @ . ;`,
+	"manips": `: main 1 2 swap over rot dup 2dup + + + + + . 5 6 nip 7 tuck + + . ;`,
+	"rstack": `: main 42 >r 1 2 + r> + . 9 >r r@ r> + . ;`,
+	"depth":  `: main 1 2 3 depth . . . . ;`,
+}
+
+// TestRegistryConsistency runs every program under every registered
+// engine and compares observable state against the switch baseline:
+// exact engines bit for bit, inexact ones (statcache's guard zone) on
+// output and final stack.
+func TestRegistryConsistency(t *testing.T) {
+	engines := engine.All()
+	if engines[0].Name() != "switch" {
+		t.Fatal("registry must lead with the switch baseline")
+	}
+	for name, src := range registryPrograms {
+		t.Run(name, func(t *testing.T) {
+			p, err := forth.Compile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.Verify(p); err != nil {
+				t.Fatal(err)
+			}
+			ref := interp.NewMachine(p)
+			if err := engines[0].Run(ref); err != nil {
+				t.Fatalf("switch: %v", err)
+			}
+			refSnap := ref.Snapshot()
+			for _, e := range engines[1:] {
+				m := interp.NewMachine(p)
+				if err := e.Run(m); err != nil {
+					t.Errorf("%s: %v", e.Name(), err)
+					continue
+				}
+				snap := m.Snapshot()
+				if engine.TraitsOf(e).Exact {
+					if !snap.Equal(refSnap) {
+						t.Errorf("%s: snapshot diverges from switch", e.Name())
+					}
+					continue
+				}
+				if snap.Output != refSnap.Output {
+					t.Errorf("%s: output %q, switch %q", e.Name(), snap.Output, refSnap.Output)
+				}
+				if len(snap.Stack) != len(refSnap.Stack) {
+					t.Errorf("%s: stack %v, switch %v", e.Name(), snap.Stack, refSnap.Stack)
+				}
+			}
+		})
+	}
+}

@@ -42,17 +42,10 @@ type Result struct {
 }
 
 // Run executes p under dynamic stack caching with the given policy.
+// Budgets and program inputs come through the machine: callers needing
+// them configure a machine with interp.ExecSpec and use RunOn.
 func Run(p *vm.Program, pol core.MinimalPolicy) (*Result, error) {
-	return RunWithLimit(p, pol, 0)
-}
-
-// RunWithLimit is Run with an instruction budget; maxSteps <= 0 means
-// the default limit. Differential tests use it to bound adversarial
-// programs.
-func RunWithLimit(p *vm.Program, pol core.MinimalPolicy, maxSteps int64) (*Result, error) {
-	m := interp.NewMachine(p)
-	m.MaxSteps = maxSteps
-	return RunOn(m, pol)
+	return RunOn(interp.NewMachine(p), pol)
 }
 
 // RunOn executes the machine's current program under dynamic stack

@@ -13,15 +13,7 @@ import (
 // (cached count, base register) — n²+1 states, the second row of
 // Fig. 18.
 func RunRotating(p *vm.Program, pol core.RotatingPolicy) (*Result, error) {
-	return RunRotatingWithLimit(p, pol, 0)
-}
-
-// RunRotatingWithLimit is RunRotating with an instruction budget;
-// maxSteps <= 0 means the default limit.
-func RunRotatingWithLimit(p *vm.Program, pol core.RotatingPolicy, maxSteps int64) (*Result, error) {
-	m := interp.NewMachine(p)
-	m.MaxSteps = maxSteps
-	return RunRotatingOn(m, pol)
+	return RunRotatingOn(interp.NewMachine(p), pol)
 }
 
 // RunRotatingOn executes the machine's current program under the

@@ -66,15 +66,7 @@ type TwoStackResult struct {
 // minimal-organization transition rules, with the data cache's
 // capacity shrunk by the cached return items.
 func RunTwoStacks(p *vm.Program, pol TwoStackPolicy) (*TwoStackResult, error) {
-	return RunTwoStacksWithLimit(p, pol, 0)
-}
-
-// RunTwoStacksWithLimit is RunTwoStacks with an instruction budget;
-// maxSteps <= 0 means the default limit.
-func RunTwoStacksWithLimit(p *vm.Program, pol TwoStackPolicy, maxSteps int64) (*TwoStackResult, error) {
-	m := interp.NewMachine(p)
-	m.MaxSteps = maxSteps
-	return RunTwoStacksOn(m, pol)
+	return RunTwoStacksOn(interp.NewMachine(p), pol)
 }
 
 // RunTwoStacksOn executes the machine's current program with both

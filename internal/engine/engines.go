@@ -1,0 +1,191 @@
+package engine
+
+// The repository's engine set. Each variant is one Register call; the
+// order fixes Names()/All() order, with the switch baseline first
+// because the differential tests compare everything against it.
+
+import (
+	"sync"
+
+	"stackcache/internal/core"
+	"stackcache/internal/dyncache"
+	"stackcache/internal/gendyn"
+	"stackcache/internal/gendyn4"
+	"stackcache/internal/interp"
+	"stackcache/internal/statcache"
+	"stackcache/internal/vm"
+)
+
+func init() {
+	Register("switch", func(Policies) Engine { return &runFunc{"switch", interp.RunSwitch} })
+	Register("token", func(Policies) Engine { return &runFunc{"token", interp.RunToken} })
+	Register("threaded", func(Policies) Engine { return &runFunc{"threaded", interp.RunThreaded} })
+	Register("traced", func(Policies) Engine { return Traced(nil) })
+	Register("dynamic", func(p Policies) Engine { return dynamicEngine{p.Dynamic} })
+	Register("rotating", func(p Policies) Engine { return rotatingEngine{p.Rotating} })
+	Register("twostacks", func(p Policies) Engine { return twoStacksEngine{p.TwoStacks} })
+	Register("static", func(p Policies) Engine { return &staticEngine{pol: p.Static} })
+	Register("gendyn", func(Policies) Engine { return &runFunc{"gendyn", gendyn.Run} })
+	Register("gendyn4", func(Policies) Engine { return &runFunc{"gendyn4", gendyn4.Run} })
+}
+
+// runFunc adapts a plain run function (the baseline interpreters and
+// the generated per-state interpreters, whose policies are baked in at
+// generation time).
+type runFunc struct {
+	name string
+	run  func(*interp.Machine) error
+}
+
+func (r *runFunc) Name() string                { return r.name }
+func (r *runFunc) Run(m *interp.Machine) error { return r.run(m) }
+
+// tracedEngine is the token interpreter with a per-instruction visit
+// hook — the trace-capture engine behind internal/constcache and
+// internal/trace, available through the registry like any other
+// engine.
+type tracedEngine struct {
+	visit func(pc int, ins vm.Instr)
+}
+
+// Traced returns a tracing engine invoking visit before each executed
+// instruction. The registered "traced" engine uses a nil visitor —
+// pure dispatch-hook overhead — so it can serve requests; analysis
+// callers build their own with a real visitor.
+func Traced(visit func(pc int, ins vm.Instr)) Engine {
+	return &tracedEngine{visit: visit}
+}
+
+func (t *tracedEngine) Name() string                { return "traced" }
+func (t *tracedEngine) Run(m *interp.Machine) error { return interp.RunTracedOn(m, t.visit) }
+
+// dynamicEngine is dynamic stack caching, minimal organization.
+type dynamicEngine struct{ pol core.MinimalPolicy }
+
+func (e dynamicEngine) Name() string { return "dynamic" }
+
+func (e dynamicEngine) Run(m *interp.Machine) error {
+	_, err := dyncache.RunOn(m, e.pol)
+	return err
+}
+
+func (e dynamicEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	res, err := dyncache.RunOn(m, e.pol)
+	if res == nil {
+		return core.Counters{}, err
+	}
+	return res.Counters, err
+}
+
+// rotatingEngine is dynamic stack caching with the rotating register
+// file.
+type rotatingEngine struct{ pol core.RotatingPolicy }
+
+func (e rotatingEngine) Name() string { return "rotating" }
+
+func (e rotatingEngine) Run(m *interp.Machine) error {
+	_, err := dyncache.RunRotatingOn(m, e.pol)
+	return err
+}
+
+func (e rotatingEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	res, err := dyncache.RunRotatingOn(m, e.pol)
+	if res == nil {
+		return core.Counters{}, err
+	}
+	return res.Counters, err
+}
+
+// twoStacksEngine is dynamic stack caching with both stacks sharing
+// the register file.
+type twoStacksEngine struct{ pol dyncache.TwoStackPolicy }
+
+func (e twoStacksEngine) Name() string { return "twostacks" }
+
+func (e twoStacksEngine) Run(m *interp.Machine) error {
+	_, err := dyncache.RunTwoStacksOn(m, e.pol)
+	return err
+}
+
+func (e twoStacksEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	res, err := dyncache.RunTwoStacksOn(m, e.pol)
+	if res == nil {
+		return core.Counters{}, err
+	}
+	return res.Counters, err
+}
+
+// maxCachedPlans bounds the static engine's per-program plan cache so
+// a long-lived instance serving an unbounded program stream cannot pin
+// plans forever.
+const maxCachedPlans = 512
+
+// staticEngine is static stack caching: per-program compile-once plans
+// (cached, single-flight) executed on an explicit register file.
+type staticEngine struct {
+	pol statcache.Policy
+
+	mu    sync.Mutex
+	plans map[*vm.Program]*planEntry
+}
+
+type planEntry struct {
+	once sync.Once
+	plan *statcache.Plan
+	err  error
+}
+
+// planFor returns the program's compile-once plan, compiling it at
+// most once per program even under concurrent callers. Programs are
+// keyed by identity: they are immutable once compiled, and the
+// services in front of this engine already deduplicate by content.
+func (e *staticEngine) planFor(p *vm.Program) (*statcache.Plan, error) {
+	e.mu.Lock()
+	pe, ok := e.plans[p]
+	if !ok {
+		if e.plans == nil || len(e.plans) >= maxCachedPlans {
+			e.plans = make(map[*vm.Program]*planEntry)
+		}
+		pe = &planEntry{}
+		e.plans[p] = pe
+	}
+	e.mu.Unlock()
+	pe.once.Do(func() { pe.plan, pe.err = statcache.Compile(p, e.pol) })
+	return pe.plan, pe.err
+}
+
+func (e *staticEngine) Name() string { return "static" }
+
+// Prepare compiles (or finds) the program's plan, so services can
+// front-load compile failures before queueing the execution.
+func (e *staticEngine) Prepare(p *vm.Program) error {
+	_, err := e.planFor(p)
+	return err
+}
+
+func (e *staticEngine) Run(m *interp.Machine) error {
+	plan, err := e.planFor(m.Prog)
+	if err != nil {
+		return err
+	}
+	_, err = statcache.ExecuteOn(m, plan)
+	return err
+}
+
+func (e *staticEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	plan, err := e.planFor(m.Prog)
+	if err != nil {
+		return core.Counters{}, err
+	}
+	res, err := statcache.ExecuteOn(m, plan)
+	if res == nil {
+		return core.Counters{}, err
+	}
+	return res.Counters, err
+}
+
+// Traits: the static engine's guard zone turns some underflows into
+// reads of zero, and its compiler requires verified input.
+func (e *staticEngine) Traits() Traits {
+	return Traits{Exact: false, NeedsVerify: true}
+}

@@ -190,12 +190,14 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 	case vm.OpEmit:
 		args, rem := g.args(c, 1)
 		g.p("m.Out.WriteByte(byte(%s))", args[0])
+		g.checkOut(rem)
 		g.p("pc++")
 		g.gotoState(rem)
 	case vm.OpDot:
 		args, rem := g.args(c, 1)
 		g.p("m.Out.WriteString(strconv.FormatInt(%s, 10))", args[0])
 		g.p("m.Out.WriteByte(' ')")
+		g.checkOut(rem)
 		g.p("pc++")
 		g.gotoState(rem)
 	case vm.OpType:
@@ -203,8 +205,8 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 			// m.RangeOK rather than addr+len > cap: the addition wraps
 			// negative for values near MaxInt64.
 			return fmt.Sprintf(
-				"if !m.RangeOK(%s, %s) { errOp, errMsg = ins.Op, %q; goto fail%d }\nm.Out.Write(m.Mem[%s : %s+%s])",
-				a, b, "memory access out of range", rem, a, a, b)
+				"if !m.RangeOK(%s, %s) { errOp, errMsg = ins.Op, %q; goto fail%d }\nm.Out.Write(m.Mem[%s : %s+%s])\nif m.MaxOut > 0 && m.Out.Len() > m.MaxOut { errOp, errMsg = ins.Op, interp.MsgOutputLimit; goto fail%d }",
+				a, b, "memory access out of range", rem, a, a, b, rem)
 		})
 	case vm.OpDepth:
 		// The depth is computed from sp *after* any spill, with the
@@ -239,6 +241,15 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 
 // gotoState emits the jump to the interpreter copy for the new state.
 func (g *generator) gotoState(c int) { g.p("goto state%d", c) }
+
+// checkOut emits the Machine.MaxOut budget check after an
+// output-writing instruction; rem is the cache state whose fail label
+// flushes the surviving cached items. Like the hand-written engines,
+// the budget fires after the write that crossed it, so one
+// instruction's worth of overshoot is allowed.
+func (g *generator) checkOut(rem int) {
+	g.p("if m.MaxOut > 0 && m.Out.Len() > m.MaxOut { errOp, errMsg = ins.Op, interp.MsgOutputLimit; goto fail%d }", rem)
+}
 
 // args emits argument gathering for an instruction consuming `in`
 // items in state c and returns the argument expressions (bottom-first)

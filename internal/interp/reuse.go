@@ -1,8 +1,6 @@
 package interp
 
 import (
-	"fmt"
-
 	"stackcache/internal/vm"
 )
 
@@ -36,19 +34,4 @@ func (m *Machine) Rebind(p *vm.Program) {
 	m.MaxSteps = 0
 	m.MaxOut = 0
 	m.Reset()
-}
-
-// RunOn executes the machine's current program with the chosen engine,
-// without allocating a new machine. The caller is responsible for the
-// machine being in a runnable state (NewMachine, Reset or Rebind).
-func RunOn(m *Machine, e Engine) error {
-	switch e {
-	case EngineSwitch:
-		return RunSwitch(m)
-	case EngineToken:
-		return RunToken(m)
-	case EngineThreaded:
-		return RunThreaded(m)
-	}
-	return fmt.Errorf("interp: unknown engine %d", int(e))
 }

@@ -57,36 +57,42 @@ func Run(p *vm.Program, e Engine) (*Machine, error) {
 
 // RunTraced executes p with token dispatch, invoking visit before each
 // instruction. Trace capture and all trace-driven simulators
-// (internal/constcache, internal/trace) build on this.
+// (internal/constcache, internal/trace) build on this. Budgets come
+// through the machine: callers needing a step limit use RunTracedOn
+// with an ExecSpec-configured machine.
 func RunTraced(p *vm.Program, visit func(pc int, ins vm.Instr)) (*Machine, error) {
-	return RunTracedWithLimit(p, visit, 0)
+	m := NewMachine(p)
+	return m, RunTracedOn(m, visit)
 }
 
-// RunTracedWithLimit is RunTraced with an instruction budget;
-// maxSteps <= 0 means the default limit.
-func RunTracedWithLimit(p *vm.Program, visit func(pc int, ins vm.Instr), maxSteps int64) (*Machine, error) {
-	m := NewMachine(p)
-	m.MaxSteps = maxSteps
-	code := p.Code
+// RunTracedOn executes the machine's current program with token
+// dispatch, invoking visit (when non-nil) before each instruction.
+// Budgets are the machine's (MaxSteps, MaxOut), so the tracer obeys
+// the same ExecSpec contract as every other engine; the engine
+// registry exposes it as the "traced" engine.
+func RunTracedOn(m *Machine, visit func(pc int, ins vm.Instr)) error {
+	code := m.Prog.Code
 	limit := m.maxSteps()
 	for {
 		if m.PC < 0 || m.PC >= len(code) {
-			return m, PCError(m.PC)
+			return PCError(m.PC)
 		}
 		if m.Steps >= limit {
-			return m, m.fail(code[m.PC].Op, "step limit exceeded")
+			return m.fail(code[m.PC].Op, "step limit exceeded")
 		}
 		ins := code[m.PC]
-		visit(m.PC, ins)
+		if visit != nil {
+			visit(m.PC, ins)
+		}
 		m.Steps++
 		if !ins.Op.Valid() {
-			return m, m.fail(ins.Op, "invalid opcode")
+			return m.fail(ins.Op, "invalid opcode")
 		}
 		if err := handlers[ins.Op](m, ins.Arg); err != nil {
 			if err == errHalt {
-				return m, nil
+				return nil
 			}
-			return m, err
+			return err
 		}
 	}
 }

@@ -7,14 +7,14 @@ import (
 	"sync"
 
 	"stackcache/internal/forth"
-	"stackcache/internal/statcache"
 	"stackcache/internal/vm"
 )
 
 // Entry is one cached, compiled, verified program. Entries are
 // immutable once published (the compile-once contract: only programs
-// that passed vm.Verify enter the cache), except for the lazily built
-// static-caching plan, which is itself compiled at most once.
+// that passed vm.Verify enter the cache). Engine-specific per-program
+// artifacts (the static engine's plans) live with the engine, keyed by
+// program identity, so the cache stays engine-agnostic.
 type Entry struct {
 	// Key is the content address: hex SHA-256 over the compile
 	// options and the Forth source.
@@ -22,22 +22,6 @@ type Entry struct {
 
 	// Prog is the compiled, verified program.
 	Prog *vm.Program
-
-	planOnce sync.Once
-	plan     *statcache.Plan
-	planErr  error
-	planPol  statcache.Policy
-}
-
-// Plan returns the entry's static stack-caching plan, compiling it on
-// first use and reusing it forever after — the statcache analog of the
-// program cache itself. The policy is fixed at cache construction, so
-// concurrent callers cannot race on different configurations.
-func (e *Entry) Plan() (*statcache.Plan, error) {
-	e.planOnce.Do(func() {
-		e.plan, e.planErr = statcache.Compile(e.Prog, e.planPol)
-	})
-	return e.plan, e.planErr
 }
 
 // CacheKey computes the content address the program cache uses for a
@@ -64,10 +48,9 @@ type inflight struct {
 // It is safe for concurrent use. Compilation runs outside the lock, so
 // a slow compile of one program never blocks hits on others.
 type ProgramCache struct {
-	opt       forth.Options
-	staticPol statcache.Policy
-	max       int
-	metrics   *Metrics
+	opt     forth.Options
+	max     int
+	metrics *Metrics
 
 	mu       sync.Mutex
 	lru      *list.List // front = most recent; values are *Entry
@@ -81,21 +64,19 @@ type ProgramCache struct {
 }
 
 // NewProgramCache builds a cache bounded to max entries (min 1).
-// Compiled programs use opt; EngineStatic plans use staticPol. The
-// metrics registry may be nil, e.g. in tests that only exercise the
-// cache.
-func NewProgramCache(max int, opt forth.Options, staticPol statcache.Policy, m *Metrics) *ProgramCache {
+// Compiled programs use opt. The metrics registry may be nil, e.g. in
+// tests that only exercise the cache.
+func NewProgramCache(max int, opt forth.Options, m *Metrics) *ProgramCache {
 	if max < 1 {
 		max = 1
 	}
 	return &ProgramCache{
-		opt:       opt,
-		staticPol: staticPol,
-		max:       max,
-		metrics:   m,
-		lru:       list.New(),
-		byKey:     make(map[string]*list.Element),
-		inflight:  make(map[string]*inflight),
+		opt:      opt,
+		max:      max,
+		metrics:  m,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*inflight),
 	}
 }
 
@@ -178,7 +159,7 @@ func (c *ProgramCache) compile(key, src string) (*Entry, error) {
 	if err := vm.Verify(prog); err != nil {
 		return nil, err
 	}
-	return &Entry{Key: key, Prog: prog, planPol: c.staticPol}, nil
+	return &Entry{Key: key, Prog: prog}, nil
 }
 
 // insert publishes the entry and evicts beyond the bound. Caller holds

@@ -7,11 +7,10 @@ import (
 	"testing"
 
 	"stackcache/internal/forth"
-	"stackcache/internal/statcache"
 )
 
 func testCache(max int, m *Metrics) *ProgramCache {
-	return NewProgramCache(max, forth.Options{}, statcache.Policy{NRegs: 6, Canonical: 2}, m)
+	return NewProgramCache(max, forth.Options{}, m)
 }
 
 func srcN(i int) string { return fmt.Sprintf(": main %d . ;", i) }
@@ -161,31 +160,5 @@ func TestCacheFailedCompileNotCached(t *testing.T) {
 	}
 }
 
-// TestEntryPlanCompiledOnce checks the static-plan analog of the
-// compile-once contract.
-func TestEntryPlanCompiledOnce(t *testing.T) {
-	c := testCache(4, nil)
-	e, _, err := c.Get(": main 3 4 * . ;")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	plans := make([]*statcache.Plan, 8)
-	for i := range plans {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			p, err := e.Plan()
-			if err != nil {
-				t.Error(err)
-			}
-			plans[i] = p
-		}(i)
-	}
-	wg.Wait()
-	for i := 1; i < len(plans); i++ {
-		if plans[i] != plans[0] {
-			t.Fatal("Plan() returned distinct plans")
-		}
-	}
-}
+// The static-plan analog of the compile-once contract now lives with
+// the static engine; see internal/engine's TestStaticPlanCompiledOnce.

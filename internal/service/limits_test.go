@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"stackcache/internal/engine"
 	"stackcache/internal/interp"
 )
 
@@ -13,8 +14,8 @@ import (
 // blows its step budget must not leak any state — output, stack,
 // memory, step count — into the next request on the same machine.
 func TestLimitDoesNotPoisonPool(t *testing.T) {
-	for _, e := range Engines {
-		t.Run(e.String(), func(t *testing.T) {
+	for _, e := range engine.Names() {
+		t.Run(e, func(t *testing.T) {
 			s := mustService(t, func(c *Config) {
 				c.Workers = 1
 				c.QueueDepth = 4
@@ -75,8 +76,8 @@ func TestLimitErrorClassCounted(t *testing.T) {
 // must survive to serve the next request.
 func TestDeepStackIsARuntimeErrorOnEveryEngine(t *testing.T) {
 	deep := ": main " + strings.Repeat("1 ", interp.DefaultStackCap+1) + ";"
-	for _, e := range Engines {
-		t.Run(e.String(), func(t *testing.T) {
+	for _, e := range engine.Names() {
+		t.Run(e, func(t *testing.T) {
 			s := mustService(t, func(c *Config) {
 				c.Workers = 1
 				c.QueueDepth = 4
@@ -109,8 +110,8 @@ func TestOutputBudgetBoundsResponses(t *testing.T) {
 	// output budget stops it before the step budget.
 	noisy := ": main 0 begin 1 + dup . dup 0 < until drop ;"
 	const capBytes = 4096
-	for _, e := range Engines {
-		t.Run(e.String(), func(t *testing.T) {
+	for _, e := range engine.Names() {
+		t.Run(e, func(t *testing.T) {
 			s := mustService(t, func(c *Config) {
 				c.Workers = 1
 				c.QueueDepth = 4

@@ -3,6 +3,7 @@ package service
 import (
 	"math/bits"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -18,12 +19,13 @@ const (
 	// ClassOK is a successful execution.
 	ClassOK ErrorClass = iota
 	// ClassBadRequest is a malformed request (unknown engine, empty
-	// source, out-of-range step budget).
+	// source, out-of-range step budget, oversized args or memory
+	// overlay).
 	ClassBadRequest
 	// ClassCompile is a Forth compilation or verification failure.
 	ClassCompile
-	// ClassLimit is an execution that exhausted its step or output
-	// budget.
+	// ClassLimit is an execution that exhausted its step, output or
+	// response-stack budget.
 	ClassLimit
 	// ClassRuntime is any other runtime error (stack underflow,
 	// division by zero, memory access out of range, ...).
@@ -83,7 +85,10 @@ type engineMetrics struct {
 
 // Metrics is the service's registry: lock-free counters every worker
 // updates and any reader can snapshot while traffic is in flight. The
-// zero value is ready to use.
+// zero value is ready to use. Per-engine slices are keyed by engine
+// wire name, so the registry follows whatever engine set the service
+// was built over — engines added through the engine registry get a
+// slice on first execution with no code here.
 type Metrics struct {
 	requests  atomic.Int64 // received by Run/Compile, including rejects
 	completed atomic.Int64 // finished (any class)
@@ -95,7 +100,7 @@ type Metrics struct {
 
 	errors [NumErrorClasses]atomic.Int64
 
-	engines [NumEngines]engineMetrics
+	engines sync.Map // engine name -> *engineMetrics
 }
 
 // observeDone records one finished request of any class.
@@ -105,12 +110,9 @@ func (m *Metrics) observeDone(class ErrorClass) {
 }
 
 // observeExec additionally records an execution that actually ran on
-// an engine: its step count and wall-clock latency.
-func (m *Metrics) observeExec(e Engine, steps int64, d time.Duration) {
-	if !e.Valid() {
-		return
-	}
-	em := &m.engines[e]
+// the named engine: its step count and wall-clock latency.
+func (m *Metrics) observeExec(engine string, steps int64, d time.Duration) {
+	em := m.engineMetricsFor(engine)
 	em.requests.Add(1)
 	em.steps.Add(steps)
 	us := d.Microseconds()
@@ -122,6 +124,14 @@ func (m *Metrics) observeExec(e Engine, steps int64, d time.Duration) {
 		b = NumLatencyBuckets - 1
 	}
 	em.buckets[b].Add(1)
+}
+
+func (m *Metrics) engineMetricsFor(engine string) *engineMetrics {
+	if v, ok := m.engines.Load(engine); ok {
+		return v.(*engineMetrics)
+	}
+	v, _ := m.engines.LoadOrStore(engine, &engineMetrics{})
+	return v.(*engineMetrics)
 }
 
 // EngineSnapshot is the exported per-engine view.
@@ -175,7 +185,7 @@ func (m *Metrics) snapshot() Snapshot {
 		CacheCoalesced:      m.cacheCoalesced.Load(),
 		CacheEvictions:      m.cacheEvictions.Load(),
 		Errors:              make(map[string]int64, NumErrorClasses),
-		Engines:             make(map[string]EngineSnapshot, NumEngines),
+		Engines:             make(map[string]EngineSnapshot),
 		LatencyBucketBounds: BucketBounds(),
 	}
 	for c := 0; c < NumErrorClasses; c++ {
@@ -183,10 +193,10 @@ func (m *Metrics) snapshot() Snapshot {
 			s.Errors[ErrorClass(c).String()] = n
 		}
 	}
-	for _, e := range Engines {
-		em := &m.engines[e]
+	m.engines.Range(func(key, value any) bool {
+		em := value.(*engineMetrics)
 		if em.requests.Load() == 0 {
-			continue
+			return true
 		}
 		es := EngineSnapshot{
 			Requests: em.requests.Load(),
@@ -195,7 +205,8 @@ func (m *Metrics) snapshot() Snapshot {
 		for b := range es.Latency {
 			es.Latency[b] = em.buckets[b].Load()
 		}
-		s.Engines[e.String()] = es
-	}
+		s.Engines[key.(string)] = es
+		return true
+	})
 	return s
 }

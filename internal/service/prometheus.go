@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4) — the plain-text counters-and-
+// histograms dialect every Prometheus-compatible scraper speaks. It is
+// a hand-rolled encoder over the same Snapshot /stats serves as JSON,
+// so the service stays dependency-free.
+//
+// Conventions: every metric is prefixed vmd_; counters end in _total;
+// the per-engine latency histogram follows the native histogram-as-
+// cumulative-buckets encoding (vmd_exec_latency_seconds_bucket with an
+// le label, plus _count; no _sum, which the registry does not track).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	// Map iteration order is random; sort labels so scrapes are
+	// stable and diffs between scrapes are meaningful.
+	classes := make([]string, 0, len(s.Errors))
+	for c := range s.Errors {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	engines := make([]string, 0, len(s.Engines))
+	for e := range s.Engines {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, v int64) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("vmd_requests_total", "Requests received, including rejects.", s.Requests)
+	counter("vmd_completed_total", "Requests finished, any class.", s.Completed)
+	counter("vmd_cache_hits_total", "Program cache hits.", s.CacheHits)
+	counter("vmd_cache_misses_total", "Program cache misses (compiles).", s.CacheMisses)
+	counter("vmd_cache_coalesced_total", "Lookups that joined an in-flight compile.", s.CacheCoalesced)
+	counter("vmd_cache_evictions_total", "Programs evicted from the cache.", s.CacheEvictions)
+	p("# HELP vmd_cache_size Programs currently cached.\n# TYPE vmd_cache_size gauge\nvmd_cache_size %d\n", s.CacheSize)
+
+	p("# HELP vmd_results_total Finished requests by error class.\n# TYPE vmd_results_total counter\n")
+	for _, c := range classes {
+		p("vmd_results_total{class=%q} %d\n", c, s.Errors[c])
+	}
+
+	p("# HELP vmd_engine_requests_total Executions per engine.\n# TYPE vmd_engine_requests_total counter\n")
+	for _, e := range engines {
+		p("vmd_engine_requests_total{engine=%q} %d\n", e, s.Engines[e].Requests)
+	}
+	p("# HELP vmd_engine_steps_total VM instructions executed per engine.\n# TYPE vmd_engine_steps_total counter\n")
+	for _, e := range engines {
+		p("vmd_engine_steps_total{engine=%q} %d\n", e, s.Engines[e].Steps)
+	}
+
+	p("# HELP vmd_exec_latency_seconds Execution wall-clock latency per engine.\n# TYPE vmd_exec_latency_seconds histogram\n")
+	for _, e := range engines {
+		es := s.Engines[e]
+		// The registry's bucket i counts latencies in [2^(i-1), 2^i)
+		// microseconds (bucket 0: <1us); the Prometheus encoding wants
+		// cumulative counts with upper bounds in seconds.
+		cum := int64(0)
+		for i := 0; i < NumLatencyBuckets-1; i++ {
+			cum += es.Latency[i]
+			le := strconv.FormatFloat(float64(int64(1)<<i)/1e6, 'g', -1, 64)
+			p("vmd_exec_latency_seconds_bucket{engine=%q,le=%q} %d\n", e, le, cum)
+		}
+		cum += es.Latency[NumLatencyBuckets-1]
+		p("vmd_exec_latency_seconds_bucket{engine=%q,le=\"+Inf\"} %d\n", e, cum)
+		p("vmd_exec_latency_seconds_count{engine=%q} %d\n", e, cum)
+	}
+	return err
+}

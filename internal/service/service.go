@@ -10,17 +10,22 @@
 //     compilation, so N concurrent requests for the same source
 //     trigger exactly one compile and only verified programs are ever
 //     cached;
-//   - a worker pool with a bounded submission queue, per-request
-//     engine selection across all seven engines, context-based
-//     deadlines while queued, and per-request step and output budgets
-//     wired through the engines' *WithLimit entry points and
-//     Machine.MaxOut so a hostile program can never wedge a worker or
-//     balloon its memory;
+//   - the engine registry (internal/engine): requests select an engine
+//     by wire name, and every engine the registry knows — baselines,
+//     dynamic and static stack caching, the generated per-state
+//     interpreters — is servable with no per-engine code here;
+//   - per-request ExecSpec plumbing: step and output budgets plus
+//     program inputs (initial stack, memory overlay), so one cached
+//     program serves many computations — cache keys are source-only;
+//   - a worker pool with a bounded submission queue and context-based
+//     deadlines while queued, so a hostile program can never wedge a
+//     worker or balloon its memory;
 //   - machine reuse via sync.Pool (interp.Machine.Rebind), so
 //     steady-state executions allocate near zero;
 //   - an atomic metrics registry: requests, cache hits/misses/
 //     coalesced compiles/evictions, executed steps, errors by class,
-//     and per-engine latency histograms.
+//     and per-engine latency histograms — exportable as JSON (Stats)
+//     or Prometheus text (WritePrometheus).
 //
 // cmd/vmd exposes the same API over HTTP/JSON.
 package service
@@ -33,12 +38,16 @@ import (
 	"sync"
 	"time"
 
-	"stackcache/internal/dyncache"
+	"stackcache/internal/engine"
 	"stackcache/internal/forth"
 	"stackcache/internal/interp"
-	"stackcache/internal/statcache"
 	"stackcache/internal/vm"
 )
+
+// DefaultEngine is the engine requests that name none run under: the
+// cheapest baseline, so clients that do not care get the fastest
+// default.
+const DefaultEngine = "switch"
 
 // Config sizes and configures a Service. The zero value is usable:
 // every field has a sensible default.
@@ -67,13 +76,19 @@ type Config struct {
 	// arbitrarily large output buffer in the daemon.
 	MaxOutputBytes int
 
+	// MaxStackCells bounds the data-stack cells a response carries
+	// (default 1024), symmetric to the output clamp: a deep-stack halt
+	// fails with ClassLimit and the shipped stack is truncated to the
+	// cap, so a reply can never balloon on Response.Stack.
+	MaxStackCells int
+
 	// CompileOptions configures the Forth compiler for every program
 	// entering the cache (options are part of the cache key).
 	CompileOptions forth.Options
 
 	// Policies configures the caching engines. Zero means
-	// DefaultPolicies.
-	Policies Policies
+	// engine.DefaultPolicies.
+	Policies engine.Policies
 }
 
 func (c Config) withDefaults() Config {
@@ -95,8 +110,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxOutputBytes <= 0 {
 		c.MaxOutputBytes = 1 << 20
 	}
-	if c.Policies == (Policies{}) {
-		c.Policies = DefaultPolicies()
+	if c.MaxStackCells <= 0 {
+		c.MaxStackCells = 1024
+	}
+	if c.Policies == (engine.Policies{}) {
+		c.Policies = engine.DefaultPolicies()
 	}
 	return c
 }
@@ -106,12 +124,23 @@ type Request struct {
 	// Source is the Forth program; it must define main.
 	Source string
 
-	// Engine selects the execution engine.
-	Engine Engine
+	// Engine selects the execution engine by its registry wire name
+	// ("switch", "dynamic", "static", ...). Empty means DefaultEngine.
+	Engine string
 
 	// MaxSteps is this request's step budget; 0 means the service
 	// default. Budgets above the service ceiling are rejected.
 	MaxSteps int64
+
+	// Args is the program's initial data stack, bottom first — the
+	// compile-once/execute-many payoff: the cache key covers only
+	// (options, source), so one cached program serves any number of
+	// argument sets without recompiling.
+	Args []vm.Cell
+
+	// Mem, when non-empty, is overlaid over the program's data image
+	// starting at address 0. It must fit the program's memory.
+	Mem []byte
 }
 
 // Response is the outcome of a successfully executed request. When Run
@@ -122,13 +151,17 @@ type Response struct {
 	Key string
 
 	// Engine echoes the engine that ran the program.
-	Engine Engine
+	Engine string
 
-	// Output is everything the program printed.
+	// Output is everything the program printed, clamped to the
+	// service's output budget.
 	Output string
 
-	// Stack is the final data stack, bottom first.
-	Stack []vm.Cell
+	// Stack is the final data stack, bottom first, truncated to the
+	// service's MaxStackCells. StackDepth is the true final depth, so
+	// a truncated reply is detectable (StackDepth > len(Stack)).
+	Stack      []vm.Cell
+	StackDepth int
 
 	// Steps is the number of instructions executed.
 	Steps int64
@@ -174,13 +207,15 @@ func Classify(err error) ErrorClass {
 	return ClassRuntime
 }
 
-// task is one queued execution.
+// task is one queued execution: a ready-to-run (compiled, verified,
+// prepared) program, the engine to run it under, and the per-request
+// ExecSpec. No per-engine plumbing — the engine seam is the interface.
 type task struct {
-	ctx      context.Context
-	entry    *Entry
-	engine   Engine
-	maxSteps int64
-	done     chan result
+	ctx   context.Context
+	entry *Entry
+	eng   engine.Engine
+	spec  interp.ExecSpec
+	done  chan result
 }
 
 type result struct {
@@ -195,6 +230,9 @@ type Service struct {
 	cache   *ProgramCache
 	metrics Metrics
 
+	engines     map[string]engine.Engine
+	engineNames []string // registry order, for error messages and introspection
+
 	machines sync.Pool // of *interp.Machine
 
 	tasks chan *task
@@ -204,24 +242,37 @@ type Service struct {
 	closed bool
 }
 
-// New validates cfg, starts the worker pool and returns the running
+// New validates cfg, builds the engine set from the registry with the
+// configured policies, starts the worker pool and returns the running
 // service.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.Policies.Validate(); err != nil {
+	engines, err := engine.AllWith(cfg.Policies)
+	if err != nil {
 		return nil, err
 	}
 	s := &Service{
-		cfg:   cfg,
-		tasks: make(chan *task, cfg.QueueDepth),
+		cfg:     cfg,
+		engines: make(map[string]engine.Engine, len(engines)),
+		tasks:   make(chan *task, cfg.QueueDepth),
 	}
-	s.cache = NewProgramCache(cfg.CacheSize, cfg.CompileOptions, cfg.Policies.Static, &s.metrics)
+	for _, e := range engines {
+		s.engines[e.Name()] = e
+		s.engineNames = append(s.engineNames, e.Name())
+	}
+	s.cache = NewProgramCache(cfg.CacheSize, cfg.CompileOptions, &s.metrics)
 	s.machines.New = func() any { return new(interp.Machine) }
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// Engines lists the service's selectable engine names in registry
+// order.
+func (s *Service) Engines() []string {
+	return append([]string(nil), s.engineNames...)
 }
 
 // Close stops the workers after draining queued tasks. Run calls that
@@ -271,11 +322,21 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 		return s.fail(ClassBadRequest,
 			fmt.Errorf("service: max steps %d out of range (0,%d]", maxSteps, s.cfg.MaxStepCeiling))
 	}
-	if !req.Engine.Valid() {
-		return s.fail(ClassBadRequest, fmt.Errorf("service: invalid engine %d", int(req.Engine)))
+	name := req.Engine
+	if name == "" {
+		name = DefaultEngine
+	}
+	eng, ok := s.engines[name]
+	if !ok {
+		return s.fail(ClassBadRequest,
+			fmt.Errorf("service: unknown engine %q (want one of %v)", req.Engine, s.engineNames))
 	}
 	if req.Source == "" {
 		return s.fail(ClassBadRequest, fmt.Errorf("service: empty source"))
+	}
+	if len(req.Args) > interp.DefaultStackCap {
+		return s.fail(ClassBadRequest,
+			fmt.Errorf("service: %d args exceed the %d-cell stack", len(req.Args), interp.DefaultStackCap))
 	}
 
 	// Compile (or join an in-flight compile) before queueing, so the
@@ -285,19 +346,31 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return s.fail(ClassCompile, err)
 	}
-	if req.Engine == EngineStatic {
-		// Force the compile-once plan out here for the same reason.
-		if _, err := entry.Plan(); err != nil {
+	if len(req.Mem) > entry.Prog.MemSize {
+		return s.fail(ClassBadRequest,
+			fmt.Errorf("service: %d-byte memory overlay exceeds the program's %d-byte memory",
+				len(req.Mem), entry.Prog.MemSize))
+	}
+	// Engines with a per-program compile step (static plans) run it
+	// here for the same reason; the engine caches the result, so this
+	// is once per program, not per request.
+	if p, ok := eng.(engine.Preparer); ok {
+		if err := p.Prepare(entry.Prog); err != nil {
 			return s.fail(ClassCompile, err)
 		}
 	}
 
 	t := &task{
-		ctx:      ctx,
-		entry:    entry,
-		engine:   req.Engine,
-		maxSteps: maxSteps,
-		done:     make(chan result, 1),
+		ctx:   ctx,
+		entry: entry,
+		eng:   eng,
+		spec: interp.ExecSpec{
+			MaxSteps: maxSteps,
+			MaxOut:   s.cfg.MaxOutputBytes,
+			Args:     req.Args,
+			Mem:      req.Mem,
+		},
+		done: make(chan result, 1),
 	}
 
 	s.mu.RLock()
@@ -352,7 +425,7 @@ func (s *Service) worker() {
 		if resp != nil {
 			steps = resp.Steps
 		}
-		s.metrics.observeExec(t.engine, steps, time.Since(start))
+		s.metrics.observeExec(t.eng.Name(), steps, time.Since(start))
 		if err != nil {
 			err = classified(Classify(err), err)
 		}
@@ -366,8 +439,8 @@ func (s *Service) worker() {
 const maxRetainedMemBytes = 1 << 20
 
 // execute runs one task on a pooled machine. The machine is fully
-// re-initialized by Rebind, so state left over from a failed or
-// limit-expired run can never leak into the next request.
+// re-initialized by Rebind and ApplySpec, so state left over from a
+// failed or limit-expired run can never leak into the next request.
 func (s *Service) execute(t *task) (*Response, error) {
 	m := s.machines.Get().(*interp.Machine)
 	defer func() {
@@ -380,32 +453,12 @@ func (s *Service) execute(t *task) (*Response, error) {
 		}
 	}()
 	m.Rebind(t.entry.Prog)
-	m.MaxSteps = t.maxSteps
-	m.MaxOut = s.cfg.MaxOutputBytes
-
-	var err error
-	switch t.engine {
-	case EngineSwitch:
-		err = interp.RunOn(m, interp.EngineSwitch)
-	case EngineToken:
-		err = interp.RunOn(m, interp.EngineToken)
-	case EngineThreaded:
-		err = interp.RunOn(m, interp.EngineThreaded)
-	case EngineDynamic:
-		_, err = dyncache.RunOn(m, s.cfg.Policies.Dynamic)
-	case EngineRotating:
-		_, err = dyncache.RunRotatingOn(m, s.cfg.Policies.Rotating)
-	case EngineTwoStacks:
-		_, err = dyncache.RunTwoStacksOn(m, s.cfg.Policies.TwoStacks)
-	case EngineStatic:
-		p, perr := t.entry.Plan()
-		if perr != nil {
-			return nil, classified(ClassCompile, perr)
-		}
-		_, err = statcache.ExecuteOn(m, p)
-	default:
-		return nil, classified(ClassBadRequest, fmt.Errorf("service: invalid engine %d", int(t.engine)))
+	if err := m.ApplySpec(t.spec); err != nil {
+		// Unreachable after Run's validation; classify defensively.
+		return nil, classified(ClassBadRequest, err)
 	}
+
+	err := t.eng.Run(m)
 
 	// The engines' output check fires after the write that crossed the
 	// budget, so the buffer can overshoot by one instruction's worth;
@@ -414,12 +467,25 @@ func (s *Service) execute(t *task) (*Response, error) {
 	if len(out) > s.cfg.MaxOutputBytes {
 		out = out[:s.cfg.MaxOutputBytes]
 	}
+	// Same clamp for the final stack: MaxStackCells is a hard cap on
+	// the cells a response carries, and crossing it on an otherwise
+	// clean halt is a limit error, exactly like the output budget.
+	shipped := m.SP
+	if shipped > s.cfg.MaxStackCells {
+		shipped = s.cfg.MaxStackCells
+	}
 	resp := &Response{
-		Key:    t.entry.Key,
-		Engine: t.engine,
-		Output: string(out),
-		Stack:  append([]vm.Cell(nil), m.Stack[:m.SP]...),
-		Steps:  m.Steps,
+		Key:        t.entry.Key,
+		Engine:     t.eng.Name(),
+		Output:     string(out),
+		Stack:      append([]vm.Cell(nil), m.Stack[:shipped]...),
+		StackDepth: m.SP,
+		Steps:      m.Steps,
+	}
+	if err == nil && m.SP > s.cfg.MaxStackCells {
+		err = classified(ClassLimit,
+			fmt.Errorf("service: final stack depth %d exceeds the %d-cell response cap",
+				m.SP, s.cfg.MaxStackCells))
 	}
 	return resp, err
 }

@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"stackcache/internal/engine"
 	"stackcache/internal/workloads"
 )
 
@@ -35,7 +36,7 @@ func loadMix(b testing.TB) []Request {
 		if !ok {
 			b.Fatalf("workload %s missing", name)
 		}
-		for _, e := range Engines {
+		for _, e := range engine.Names() {
 			mix = append(mix, Request{Source: w.Source, Engine: e})
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"stackcache/internal/engine"
 	"stackcache/internal/interp"
 	"stackcache/internal/vm"
 	"stackcache/internal/workloads"
@@ -39,7 +40,7 @@ const spinSource = ": main 0 begin 1 + dup 0 < until drop ;"
 
 func TestRunBasicAllEngines(t *testing.T) {
 	s := mustService(t)
-	for _, e := range Engines {
+	for _, e := range s.Engines() {
 		resp, err := s.Run(context.Background(), Request{Source: addSource, Engine: e})
 		if err != nil {
 			t.Fatalf("%s: %v", e, err)
@@ -61,8 +62,8 @@ func TestRunBasicAllEngines(t *testing.T) {
 	if snap.CacheMisses != 1 {
 		t.Errorf("cache misses %d, want 1 (one source, compiled once)", snap.CacheMisses)
 	}
-	if snap.CacheHits != int64(len(Engines)-1) {
-		t.Errorf("cache hits %d, want %d", snap.CacheHits, len(Engines)-1)
+	if snap.CacheHits != int64(len(s.Engines())-1) {
+		t.Errorf("cache hits %d, want %d", snap.CacheHits, len(s.Engines())-1)
 	}
 }
 
@@ -84,7 +85,7 @@ func TestEnginesAgreeViaService(t *testing.T) {
 	}
 
 	s := mustService(t)
-	for _, e := range Engines {
+	for _, e := range s.Engines() {
 		resp, err := s.Run(context.Background(), Request{Source: w.Source, Engine: e})
 		if err != nil {
 			t.Fatalf("%s: %v", e, err)
@@ -111,8 +112,8 @@ func TestConcurrentMixedEngines(t *testing.T) {
 		": quad dup * dup * ; : main 7 quad . ;",
 		spinSource, // exhausts its budget: the limit class must show up
 	}
-	const perPair = 3 // 4 sources × 7 engines × 3 = 84 concurrent requests
-	total := perPair * len(sources) * len(Engines)
+	const perPair = 3 // 4 sources × 10 engines × 3 = 120 concurrent requests
+	total := perPair * len(sources) * len(s.Engines())
 	if total < 64 {
 		t.Fatalf("test misconfigured: only %d concurrent requests", total)
 	}
@@ -121,9 +122,9 @@ func TestConcurrentMixedEngines(t *testing.T) {
 	errs := make(chan error, total)
 	for i := 0; i < perPair; i++ {
 		for _, src := range sources {
-			for _, e := range Engines {
+			for _, e := range s.Engines() {
 				wg.Add(1)
-				go func(src string, e Engine) {
+				go func(src string, e string) {
 					defer wg.Done()
 					req := Request{Source: src, Engine: e}
 					if src == spinSource {
@@ -170,16 +171,16 @@ func TestConcurrentMixedEngines(t *testing.T) {
 	if snap.HitRate() < 0.9 {
 		t.Errorf("hit rate %.3f, want >= 0.9", snap.HitRate())
 	}
-	wantOK := int64(perPair * (len(sources) - 1) * len(Engines))
+	wantOK := int64(perPair * (len(sources) - 1) * len(s.Engines()))
 	if snap.Errors["ok"] != wantOK {
 		t.Errorf("ok count %d, want %d", snap.Errors["ok"], wantOK)
 	}
-	wantLimit := int64(perPair * len(Engines))
+	wantLimit := int64(perPair * len(s.Engines()))
 	if snap.Errors["limit"] != wantLimit {
 		t.Errorf("limit count %d, want %d", snap.Errors["limit"], wantLimit)
 	}
-	for _, e := range Engines {
-		es, ok := snap.Engines[e.String()]
+	for _, e := range s.Engines() {
+		es, ok := snap.Engines[e]
 		if !ok || es.Requests == 0 {
 			t.Errorf("engine %s: no executions recorded", e)
 			continue
@@ -197,11 +198,11 @@ func TestBadRequests(t *testing.T) {
 		req  Request
 		want ErrorClass
 	}{
-		{"empty source", Request{Engine: EngineSwitch}, ClassBadRequest},
-		{"bad engine", Request{Source: addSource, Engine: Engine(99)}, ClassBadRequest},
+		{"empty source", Request{Engine: "switch"}, ClassBadRequest},
+		{"bad engine", Request{Source: addSource, Engine: "jit"}, ClassBadRequest},
 		{"negative steps", Request{Source: addSource, MaxSteps: -1}, ClassBadRequest},
 		{"huge steps", Request{Source: addSource, MaxSteps: 1 << 40}, ClassBadRequest},
-		{"compile error", Request{Source: ": main undefined-word ;", Engine: EngineToken}, ClassCompile},
+		{"compile error", Request{Source: ": main undefined-word ;", Engine: "token"}, ClassCompile},
 		{"no main", Request{Source: ": other 1 ;"}, ClassCompile},
 		{"runtime error", Request{Source: ": main 1 0 / . ;"}, ClassRuntime},
 	}
@@ -309,7 +310,7 @@ func TestCompileWarmup(t *testing.T) {
 // get them reported bottom-first.
 func TestStackReturned(t *testing.T) {
 	s := mustService(t)
-	resp, err := s.Run(context.Background(), Request{Source: ": main 1 2 3 ;", Engine: EngineDynamic})
+	resp, err := s.Run(context.Background(), Request{Source: ": main 1 2 3 ;", Engine: "dynamic"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,17 +325,22 @@ func TestStackReturned(t *testing.T) {
 	}
 }
 
-func TestParseEngine(t *testing.T) {
-	for _, e := range Engines {
-		got, err := ParseEngine(e.String())
-		if err != nil || got != e {
-			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+// TestEngineSetFromRegistry checks the service's engine set is exactly
+// the registry's, in registry order — adding an engine to the registry
+// makes it servable with no service edits.
+func TestEngineSetFromRegistry(t *testing.T) {
+	s := mustService(t)
+	got := s.Engines()
+	want := engine.Names()
+	if len(got) != len(want) {
+		t.Fatalf("service engines %v, registry %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service engines %v, registry %v", got, want)
 		}
 	}
-	if e, err := ParseEngine(""); err != nil || e != EngineSwitch {
-		t.Errorf("ParseEngine(\"\") = %v, %v; want switch default", e, err)
-	}
-	if _, err := ParseEngine("jit"); err == nil {
-		t.Error("ParseEngine(\"jit\") succeeded, want error")
+	if got[0] != DefaultEngine {
+		t.Errorf("first engine %q, want the %q default", got[0], DefaultEngine)
 	}
 }

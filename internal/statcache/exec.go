@@ -25,17 +25,11 @@ type Result struct {
 	Counters core.Counters
 }
 
-// Execute runs a compiled plan with an explicit register file.
+// Execute runs a compiled plan with an explicit register file. Budgets
+// and program inputs come through the machine: callers needing them
+// configure a machine with interp.ExecSpec and use ExecuteOn.
 func Execute(plan *Plan) (*Result, error) {
-	return ExecuteWithLimit(plan, 0)
-}
-
-// ExecuteWithLimit is Execute with an instruction budget; maxSteps <= 0
-// means the default limit.
-func ExecuteWithLimit(plan *Plan, maxSteps int64) (*Result, error) {
-	m := interp.NewMachine(plan.Prog)
-	m.MaxSteps = maxSteps
-	return ExecuteOn(m, plan)
+	return ExecuteOn(interp.NewMachine(plan.Prog), plan)
 }
 
 // memPool recycles the guard-zone memory stacks across executions so
@@ -55,21 +49,43 @@ var memPool = sync.Pool{
 func ExecuteOn(m *interp.Machine, plan *Plan) (*Result, error) {
 	res := &Result{Machine: m}
 	regs := make([]vm.Cell, plan.Policy.NRegs)
-	mem := memPool.Get().([]vm.Cell)
-	defer func() {
-		// The executor reads guard-zone zeros below the logical stack
-		// bottom, so a recycled scratch must go back clean.
-		for i := range mem {
-			mem[i] = 0
-		}
-		memPool.Put(mem)
-	}()
+	d := m.SP // initial logical stack depth (ExecSpec args)
+	var mem []vm.Cell
+	if d <= interp.DefaultStackCap {
+		mem = memPool.Get().([]vm.Cell)
+		defer func() {
+			// The executor reads guard-zone zeros below the logical
+			// stack bottom, so a recycled scratch must go back clean.
+			for i := range mem {
+				mem[i] = 0
+			}
+			memPool.Put(mem)
+		}()
+	} else {
+		// A machine with an oversized stack seeds more initial cells
+		// than the fixed pool slices hold; give it its own scratch and
+		// keep the pool homogeneous.
+		mem = make([]vm.Cell, GuardCells+d+interp.DefaultStackCap)
+	}
 	// Execution starts in the canonical state; the cached items stand
-	// for the top of the (empty) stack, i.e. guard-zone items, so the
-	// memory stack pointer starts Canonical cells below the logical
-	// bottom. The flush at halt then reports exactly the logical
-	// stack.
-	msp := GuardCells - plan.Policy.Canonical
+	// for the top of the logical stack, so with an empty initial stack
+	// they are guard-zone items and the memory stack pointer starts
+	// Canonical cells below the logical bottom. The flush at halt then
+	// reports exactly the logical stack.
+	//
+	// An initial stack of depth d (machine cells seeded by ApplySpec)
+	// raises the start pointer by d; the top Canonical cells of it are
+	// seeded into the canonical registers and the rest onto the memory
+	// stack, the exact inverse of the halt flush below.
+	k := plan.Policy.Canonical
+	msp := GuardCells - k + d
+	for j := 0; j < d; j++ {
+		if ext := GuardCells + j; ext < msp {
+			mem[ext] = m.Stack[j]
+		} else {
+			regs[ext-msp] = m.Stack[j]
+		}
+	}
 
 	var args, outs [8]vm.Cell
 	var reconBuf [80]vm.Cell

@@ -63,6 +63,7 @@ type runResponse struct {
 	StackDepth int       `json:"stack_depth"`
 	Steps      int64     `json:"steps"`
 	CacheHit   bool      `json:"cache_hit"`
+	Analysis   string    `json:"analysis"` // "proved" or "unproven"
 }
 
 type compileResponse struct {
@@ -149,6 +150,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		StackDepth: resp.StackDepth,
 		Steps:      resp.Steps,
 		CacheHit:   resp.CacheHit,
+		Analysis:   resp.Analysis,
 	})
 }
 

@@ -1,0 +1,51 @@
+// Command vmlint runs the repository's invariant linter (package
+// internal/lint) over one or more source trees and fails when any
+// per-opcode table or dispatch switch has lost coverage of the
+// instruction set — the class of drift the Go compiler cannot catch.
+//
+// Usage:
+//
+//	vmlint [root ...]
+//
+// Each root is walked recursively (default "."). Exit status is 1 when
+// issues are found, 2 on parse errors.
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"stackcache/internal/lint"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fset := token.NewFileSet()
+	issues := 0
+	for _, root := range roots {
+		// Go-style "./..." patterns mean the tree rooted at the prefix.
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		tree, err := lint.LoadTree(fset, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmlint:", err)
+			os.Exit(2)
+		}
+		for _, issue := range lint.Check(fset, tree) {
+			fmt.Println(issue)
+			issues++
+		}
+	}
+	if issues > 0 {
+		fmt.Fprintf(os.Stderr, "vmlint: %d issue(s)\n", issues)
+		os.Exit(1)
+	}
+}

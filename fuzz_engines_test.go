@@ -110,6 +110,16 @@ func FuzzEngines(f *testing.F) {
 	// Deeper than any register file: 16 seeded cells through a popping loop.
 	f.Add([]byte{byte(vm.OpDrop), 0, byte(vm.OpHalt), 0},
 		[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	// Provable programs, so the corpus definitely exercises the
+	// check-elided fast paths (vm.Analyze proves them; the elision
+	// differential below compares them against the checked paths):
+	// straight-line arithmetic, a call/exit pair, and a counted loop.
+	f.Add([]byte{byte(vm.OpLit), 6, byte(vm.OpLit), 7, byte(vm.OpMul), 0,
+		byte(vm.OpDot), 0, byte(vm.OpHalt), 0}, []byte{})
+	f.Add([]byte{byte(vm.OpCall), 2, byte(vm.OpHalt), 0,
+		byte(vm.OpLit), 9, byte(vm.OpDot), 0, byte(vm.OpExit), 0}, []byte{})
+	f.Add([]byte{byte(vm.OpLit), 4, byte(vm.OpLit), 0, byte(vm.OpDo), 0,
+		byte(vm.OpI), 0, byte(vm.OpDot), 0, byte(vm.OpLoop), 3, byte(vm.OpHalt), 0}, []byte{})
 
 	f.Fuzz(func(t *testing.T, data, argBytes []byte) {
 		p := decodeFuzzProgram(data)
@@ -169,6 +179,38 @@ func FuzzEngines(f *testing.F) {
 			if re.Msg != baseMsg {
 				t.Errorf("engine %s: error class %q, switch baseline %q\nprogram:\n%s",
 					e.name, re.Msg, baseMsg, vm.Disassemble(p))
+			}
+		}
+
+		// Elision differential: every engine differenced against
+		// itself with the elision kill switch thrown. The runs above
+		// attach analysis facts (proved programs take each engine's
+		// check-elided fast path); pinning vm.NoFacts forces the
+		// checked path over the same program and spec, and the two
+		// must be observably identical — same snapshot or the same
+		// error — whatever the analysis concluded.
+		specNo := spec
+		specNo.Facts = vm.NoFacts
+		for _, e := range allEngines {
+			snapOn, errOn := e.runSpec(p, spec)
+			snapOff, errOff := e.runSpec(p, specNo)
+			if (errOn == nil) != (errOff == nil) {
+				t.Errorf("engine %s: elided err %v, checked err %v\nprogram:\n%s",
+					e.name, errOn, errOff, vm.Disassemble(p))
+				continue
+			}
+			if errOn != nil {
+				onRE, ok1 := errOn.(*interp.RuntimeError)
+				offRE, ok2 := errOff.(*interp.RuntimeError)
+				if ok1 && ok2 && onRE.Msg != offRE.Msg {
+					t.Errorf("engine %s: elided error class %q, checked %q\nprogram:\n%s",
+						e.name, onRE.Msg, offRE.Msg, vm.Disassemble(p))
+				}
+				continue
+			}
+			if !snapOn.Equal(snapOff) {
+				t.Errorf("engine %s: elided and checked runs diverge\nprogram:\n%s",
+					e.name, vm.Disassemble(p))
 			}
 		}
 	})

@@ -50,12 +50,16 @@ func RunRotatingOn(m *interp.Machine, pol core.RotatingPolicy) (*Result, error) 
 
 	at := func(off int) *vm.Cell { return &regs[(base+off)%n] }
 
+	// See RunOn: proved programs skip the loop's data-stack bounds
+	// branches.
+	checked := !m.ElideChecks()
+
 	// flush spills the cached items into the machine stack; see the
 	// comment in RunOn — a deep-stack halt can overflow here, and
 	// error paths ignore the returned error.
 	flush := func() error {
 		for i := 0; i < c; i++ {
-			if m.SP == len(m.Stack) {
+			if checked && m.SP == len(m.Stack) {
 				c = 0
 				return failAt(m, "stack overflow")
 			}
@@ -108,7 +112,7 @@ func RunRotatingOn(m *interp.Machine, pol core.RotatingPolicy) (*Result, error) 
 			fromMem = fromRegs - c
 			fromRegs = c
 		}
-		if fromMem > m.SP {
+		if checked && fromMem > m.SP {
 			flush()
 			return res, failAt(m, "stack underflow")
 		}
@@ -146,7 +150,7 @@ func RunRotatingOn(m *interp.Machine, pol core.RotatingPolicy) (*Result, error) 
 				spillOld = rem
 			}
 			for i := 0; i < spillOld; i++ {
-				if m.SP == len(m.Stack) {
+				if checked && m.SP == len(m.Stack) {
 					flush()
 					return res, failAt(m, "stack overflow")
 				}
@@ -155,7 +159,7 @@ func RunRotatingOn(m *interp.Machine, pol core.RotatingPolicy) (*Result, error) 
 			}
 			// Excess results beyond the register file (tiny caches).
 			for i := 0; i < spill-spillOld; i++ {
-				if m.SP == len(m.Stack) {
+				if checked && m.SP == len(m.Stack) {
 					flush()
 					return res, failAt(m, "stack overflow")
 				}

@@ -37,8 +37,12 @@ type runFunc struct {
 	run  func(*interp.Machine) error
 }
 
-func (r *runFunc) Name() string                { return r.name }
-func (r *runFunc) Run(m *interp.Machine) error { return r.run(m) }
+func (r *runFunc) Name() string { return r.name }
+
+func (r *runFunc) Run(m *interp.Machine) error {
+	attachFacts(m)
+	return r.run(m)
+}
 
 // tracedEngine is the token interpreter with a per-instruction visit
 // hook — the trace-capture engine behind internal/constcache and
@@ -56,8 +60,12 @@ func Traced(visit func(pc int, ins vm.Instr)) Engine {
 	return &tracedEngine{visit: visit}
 }
 
-func (t *tracedEngine) Name() string                { return "traced" }
-func (t *tracedEngine) Run(m *interp.Machine) error { return interp.RunTracedOn(m, t.visit) }
+func (t *tracedEngine) Name() string { return "traced" }
+
+func (t *tracedEngine) Run(m *interp.Machine) error {
+	attachFacts(m)
+	return interp.RunTracedOn(m, t.visit)
+}
 
 // dynamicEngine is dynamic stack caching, minimal organization.
 type dynamicEngine struct{ pol core.MinimalPolicy }
@@ -65,11 +73,13 @@ type dynamicEngine struct{ pol core.MinimalPolicy }
 func (e dynamicEngine) Name() string { return "dynamic" }
 
 func (e dynamicEngine) Run(m *interp.Machine) error {
+	attachFacts(m)
 	_, err := dyncache.RunOn(m, e.pol)
 	return err
 }
 
 func (e dynamicEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	attachFacts(m)
 	res, err := dyncache.RunOn(m, e.pol)
 	if res == nil {
 		return core.Counters{}, err
@@ -84,11 +94,13 @@ type rotatingEngine struct{ pol core.RotatingPolicy }
 func (e rotatingEngine) Name() string { return "rotating" }
 
 func (e rotatingEngine) Run(m *interp.Machine) error {
+	attachFacts(m)
 	_, err := dyncache.RunRotatingOn(m, e.pol)
 	return err
 }
 
 func (e rotatingEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	attachFacts(m)
 	res, err := dyncache.RunRotatingOn(m, e.pol)
 	if res == nil {
 		return core.Counters{}, err
@@ -103,11 +115,13 @@ type twoStacksEngine struct{ pol dyncache.TwoStackPolicy }
 func (e twoStacksEngine) Name() string { return "twostacks" }
 
 func (e twoStacksEngine) Run(m *interp.Machine) error {
+	attachFacts(m)
 	_, err := dyncache.RunTwoStacksOn(m, e.pol)
 	return err
 }
 
 func (e twoStacksEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	attachFacts(m)
 	res, err := dyncache.RunTwoStacksOn(m, e.pol)
 	if res == nil {
 		return core.Counters{}, err
@@ -164,6 +178,7 @@ func (e *staticEngine) Prepare(p *vm.Program) error {
 }
 
 func (e *staticEngine) Run(m *interp.Machine) error {
+	attachFacts(m)
 	plan, err := e.planFor(m.Prog)
 	if err != nil {
 		return err
@@ -173,6 +188,7 @@ func (e *staticEngine) Run(m *interp.Machine) error {
 }
 
 func (e *staticEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
+	attachFacts(m)
 	plan, err := e.planFor(m.Prog)
 	if err != nil {
 		return core.Counters{}, err

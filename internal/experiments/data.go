@@ -7,6 +7,7 @@ import (
 	"stackcache/internal/constcache"
 	"stackcache/internal/core"
 	"stackcache/internal/dyncache"
+	"stackcache/internal/engine"
 	"stackcache/internal/interp"
 	"stackcache/internal/statcache"
 	"stackcache/internal/trace"
@@ -14,35 +15,54 @@ import (
 
 // --- Fig. 7: dispatch technique timing ---
 
-// DispatchRow is one dispatch technique's measured speed.
+// DispatchRow is one engine's measured speed, keyed by registry wire
+// name.
 type DispatchRow struct {
-	Engine    interp.Engine
+	Engine    string
 	NsPerInst float64
-	Relative  float64 // relative to the fastest technique
+	Relative  float64 // relative to the fastest engine
 }
 
-// Fig7Data times the three dispatch techniques on the workload set.
-// Absolute numbers depend on the host; the paper-relevant output is
-// the ordering and rough ratios (switch slowest, threaded fastest).
+// Fig7Data times every registered engine on the workload set — the
+// paper's three dispatch techniques plus whatever else the engine
+// registry knows, so new engines appear in the table with no edits
+// here. Absolute numbers depend on the host; the paper-relevant output
+// is the ordering and rough ratios (switch slowest, threaded fastest
+// of the three baselines).
 func Fig7Data(opt Options) ([]DispatchRow, error) {
 	opt = opt.withDefaults()
 	c, err := compileAll(opt.Workloads)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]DispatchRow, 0, len(interp.Engines))
-	for _, e := range interp.Engines {
+	engines := engine.All()
+	rows := make([]DispatchRow, 0, len(engines))
+	for _, e := range engines {
+		// Per-program compile steps (static plans) and analyses run
+		// before the clock starts: the figure times dispatch, not
+		// one-time preparation.
+		if prep, ok := e.(engine.Preparer); ok {
+			for _, p := range c.progs {
+				if err := prep.Prepare(p); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, p := range c.progs {
+			engine.FactsFor(p)
+		}
 		var totalNs, totalInst float64
 		for _, p := range c.progs {
+			m := interp.NewMachine(p)
 			start := time.Now()
-			m, err := interp.Run(p, e)
+			err := e.Run(m)
 			if err != nil {
 				return nil, err
 			}
 			totalNs += float64(time.Since(start).Nanoseconds())
 			totalInst += float64(m.Steps)
 		}
-		rows = append(rows, DispatchRow{Engine: e, NsPerInst: totalNs / totalInst})
+		rows = append(rows, DispatchRow{Engine: e.Name(), NsPerInst: totalNs / totalInst})
 	}
 	best := rows[0].NsPerInst
 	for _, r := range rows {

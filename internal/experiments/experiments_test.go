@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"stackcache/internal/engine"
 	"stackcache/internal/workloads"
 )
 
@@ -281,12 +282,19 @@ func TestFig7Data(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("%d rows", len(rows))
+	if len(rows) != len(engine.All()) {
+		t.Fatalf("%d rows, want one per registered engine (%d)", len(rows), len(engine.All()))
 	}
+	seen := map[string]bool{}
 	for _, r := range rows {
+		seen[r.Engine] = true
 		if r.NsPerInst <= 0 || r.Relative < 1 {
 			t.Errorf("%v: implausible timing %+v", r.Engine, r)
+		}
+	}
+	for _, name := range []string{"switch", "token", "threaded"} {
+		if !seen[name] {
+			t.Errorf("baseline engine %q missing from Fig. 7 rows", name)
 		}
 	}
 }

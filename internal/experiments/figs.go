@@ -46,8 +46,9 @@ func Fig7(w io.Writer, opt Options) error {
 	}
 	fmt.Fprintln(w, "Fig. 7 analog: cost of instruction dispatch techniques")
 	fmt.Fprintln(w, "(paper, MIPS cycles: direct 3-4, call 9-10, switch 12-13;")
-	fmt.Fprintln(w, " Go has no computed goto, so ratios are compressed)")
-	fmt.Fprintf(w, "%-10s %12s %10s\n", "technique", "ns/inst", "relative")
+	fmt.Fprintln(w, " Go has no computed goto, so ratios are compressed;")
+	fmt.Fprintln(w, " rows beyond the first three are the registry's other engines)")
+	fmt.Fprintf(w, "%-10s %12s %10s\n", "engine", "ns/inst", "relative")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-10s %12.2f %10.2fx\n", r.Engine, r.NsPerInst, r.Relative)
 	}

@@ -91,17 +91,23 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 
 	case vm.OpToR:
 		args, rem := g.args(c, 1)
-		g.p("if rp == len(rs) { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack overflow", rem)
+		if !g.elide {
+			g.p("if rp == len(rs) { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack overflow", rem)
+		}
 		g.p("rs[rp] = %s", args[0])
 		g.p("rp++")
 		g.p("pc++")
 		g.gotoState(rem)
 	case vm.OpRFrom:
-		g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		if !g.elide {
+			g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		}
 		g.p("rp--")
 		g.push(c, "rs[rp]")
 	case vm.OpRFetch:
-		g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		if !g.elide {
+			g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		}
 		g.push(c, "rs[rp-1]")
 
 	case vm.OpFetch:
@@ -141,13 +147,17 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 		g.p("if %s == 0 { pc = int(ins.Arg) } else { pc++ }", args[0])
 		g.gotoState(rem)
 	case vm.OpCall:
-		g.p("if rp == len(rs) { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack overflow", c)
+		if !g.elide {
+			g.p("if rp == len(rs) { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack overflow", c)
+		}
 		g.p("rs[rp] = vm.Cell(pc + 1)")
 		g.p("rp++")
 		g.p("pc = int(ins.Arg)")
 		g.gotoState(c)
 	case vm.OpExit:
-		g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		if !g.elide {
+			g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		}
 		g.p("rp--")
 		g.p("pc = int(rs[rp])")
 		g.gotoState(c)
@@ -157,32 +167,44 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 	case vm.OpDo:
 		g.consume2(c, func(a, b string, rem int) string {
 			var sb strings.Builder
-			fmt.Fprintf(&sb, "if rp+2 > len(rs) { errOp, errMsg = ins.Op, %q; goto fail%d }\n",
-				"return stack overflow", rem)
+			if !g.elide {
+				fmt.Fprintf(&sb, "if rp+2 > len(rs) { errOp, errMsg = ins.Op, %q; goto fail%d }\n",
+					"return stack overflow", rem)
+			}
 			fmt.Fprintf(&sb, "rs[rp] = %s\nrs[rp+1] = %s\nrp += 2", a, b)
 			return sb.String()
 		})
 	case vm.OpLoop:
-		g.p("if rp < 2 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		if !g.elide {
+			g.p("if rp < 2 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		}
 		g.p("rs[rp-1]++")
 		g.p("if rs[rp-1] == rs[rp-2] { rp -= 2; pc++ } else { pc = int(ins.Arg) }")
 		g.gotoState(c)
 	case vm.OpPlusLoop:
 		args, rem := g.args(c, 1)
-		g.p("if rp < 2 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", rem)
+		if !g.elide {
+			g.p("if rp < 2 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", rem)
+		}
 		g.p("t0 = rs[rp-1] - rs[rp-2]")
 		g.p("rs[rp-1] += %s", args[0])
 		g.p("t1 = rs[rp-1] - rs[rp-2]")
 		g.p("if (t0 < 0) != (t1 < 0) { rp -= 2; pc++ } else { pc = int(ins.Arg) }")
 		g.gotoState(rem)
 	case vm.OpI:
-		g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		if !g.elide {
+			g.p("if rp < 1 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		}
 		g.push(c, "rs[rp-1]")
 	case vm.OpJ:
-		g.p("if rp < 3 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		if !g.elide {
+			g.p("if rp < 3 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		}
 		g.push(c, "rs[rp-3]")
 	case vm.OpUnloop:
-		g.p("if rp < 2 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		if !g.elide {
+			g.p("if rp < 2 { errOp, errMsg = ins.Op, %q; goto fail%d }", "return stack underflow", c)
+		}
 		g.p("rp -= 2")
 		g.p("pc++")
 		g.gotoState(c)
@@ -222,7 +244,9 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 		} else {
 			f := g.f
 			s := c + 1 - f
-			g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", c)
+			if !g.elide {
+				g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", c)
+			}
 			for i := 0; i < s; i++ {
 				g.p("st[sp+%d] = %s", i, reg(i))
 			}
@@ -262,7 +286,9 @@ func (g *generator) args(c, in int) ([]string, int) {
 		missing = 0
 	}
 	if missing > 0 {
-		g.p("if sp < %d { errOp, errMsg = ins.Op, %q; goto fail%d }", missing, "stack underflow", c)
+		if !g.elide {
+			g.p("if sp < %d { errOp, errMsg = ins.Op, %q; goto fail%d }", missing, "stack underflow", c)
+		}
 		g.p("sp -= %d", missing)
 	}
 	exprs := make([]string, in)
@@ -299,7 +325,9 @@ func (g *generator) place(rem int, outs []string) {
 		f = len(outs)
 	}
 	s := m - f
-	g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", rem)
+	if !g.elide {
+		g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", rem)
+	}
 	for i := 0; i < s; i++ {
 		g.p("st[sp+%d] = %s", i, reg(i))
 	}
@@ -328,7 +356,9 @@ func (g *generator) unary(c int, exprFmt string) {
 		g.gotoState(c)
 		return
 	}
-	g.p("if sp < 1 { errOp, errMsg = ins.Op, %q; goto fail0 }", "stack underflow")
+	if !g.elide {
+		g.p("if sp < 1 { errOp, errMsg = ins.Op, %q; goto fail0 }", "stack underflow")
+	}
 	g.p("sp--")
 	g.place(0, []string{fmt.Sprintf(exprFmt, "st[sp]")})
 }
@@ -343,7 +373,9 @@ func (g *generator) unaryStmt(c int, body func(r string) string) {
 		return
 	}
 	// Load the argument into r0 first; the result stays there.
-	g.p("if sp < 1 { errOp, errMsg = ins.Op, %q; goto fail0 }", "stack underflow")
+	if !g.elide {
+		g.p("if sp < 1 { errOp, errMsg = ins.Op, %q; goto fail0 }", "stack underflow")
+	}
 	g.p("sp--")
 	g.p("r0 = st[sp]")
 	g.p("%s", body("r0"))
@@ -414,7 +446,9 @@ func (g *generator) manip(c int, eff vm.Effect) {
 		f = eff.Out
 	}
 	s := m - f
-	g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", c)
+	if !g.elide {
+		g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", c)
+	}
 	for i := 0; i < s; i++ {
 		g.p("st[sp+%d] = %s", i, reg(i))
 	}
@@ -456,7 +490,9 @@ func (g *generator) failLabel(c int) {
 func (g *generator) haltLabel(c int) {
 	g.p("halt%d:", c)
 	if c > 0 {
-		g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail0 }", c, "stack overflow")
+		if !g.elide {
+			g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail0 }", c, "stack overflow")
+		}
 		for i := 0; i < c; i++ {
 			g.p("st[sp+%d] = %s", i, reg(i))
 		}

@@ -63,6 +63,13 @@ type Machine struct {
 
 	// Steps is the number of instructions executed so far.
 	Steps int64
+
+	// Facts, when non-nil, holds the abstract-interpretation result for
+	// Prog (vm.Analyze). Engines consult ElideChecks to decide whether
+	// the stack bounds checks may be skipped for this run. Setting
+	// Facts to vm.NoFacts (never Proved) pins an execution to the
+	// checked path regardless of what any engine-level cache knows.
+	Facts *vm.Facts
 }
 
 // NewMachine prepares a machine to run p from its entry point.
@@ -89,6 +96,23 @@ func (m *Machine) Reset() {
 		m.Mem[i] = 0
 	}
 	copy(m.Mem, m.Prog.Data)
+}
+
+// ElideChecks reports whether an engine may skip the per-dispatch
+// data- and return-stack underflow/overflow checks for this run. The
+// analysis proves depth bounds relative to the entry state (depth 0 at
+// Prog.Entry); seeding the stack with d0 initial args shifts every
+// reachable depth uniformly by +d0, so underflow proofs transfer
+// as-is, and the overflow bound is re-checked here against the actual
+// room left above the seeded cells. Runs that start anywhere else, or
+// on machines with too little headroom, keep the dynamic checks — the
+// gate degrades to the checked path, never to unsoundness. Only the
+// stack bounds checks are covered: pc-range, step-limit, invalid
+// opcode, division, memory, and output checks stay dynamic always.
+func (m *Machine) ElideChecks() bool {
+	f := m.Facts
+	return f != nil && f.Proved && m.PC == m.Prog.Entry &&
+		m.SP+f.MaxDepth <= len(m.Stack) && m.RP+f.MaxRDepth <= len(m.RSt)
 }
 
 // RuntimeError is an execution failure annotated with the program

@@ -33,5 +33,6 @@ func (m *Machine) Rebind(p *vm.Program) {
 	}
 	m.MaxSteps = 0
 	m.MaxOut = 0
+	m.Facts = nil // facts describe a program; this machine changed programs
 	m.Reset()
 }

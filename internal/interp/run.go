@@ -73,6 +73,10 @@ func RunTraced(p *vm.Program, visit func(pc int, ins vm.Instr)) (*Machine, error
 func RunTracedOn(m *Machine, visit func(pc int, ins vm.Instr)) error {
 	code := m.Prog.Code
 	limit := m.maxSteps()
+	tab := &handlers
+	if m.ElideChecks() {
+		tab = &handlersFast
+	}
 	for {
 		if m.PC < 0 || m.PC >= len(code) {
 			return PCError(m.PC)
@@ -88,7 +92,7 @@ func RunTracedOn(m *Machine, visit func(pc int, ins vm.Instr)) error {
 		if !ins.Op.Valid() {
 			return m.fail(ins.Op, "invalid opcode")
 		}
-		if err := handlers[ins.Op](m, ins.Arg); err != nil {
+		if err := tab[ins.Op](m, ins.Arg); err != nil {
 			if err == errHalt {
 				return nil
 			}

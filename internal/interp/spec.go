@@ -33,6 +33,13 @@ type ExecSpec struct {
 	// starting at address 0 (the rest of memory keeps the image). It
 	// must fit in the program's memory.
 	Mem []byte
+
+	// Facts, when non-nil, is the analysis result for the program this
+	// spec will run (vm.Analyze). Callers that analyze once per cached
+	// program (the service layer) pass it here so every engine sees it;
+	// when nil, engines fall back to their own per-program analysis
+	// cache. Pass vm.NoFacts to force the checked path.
+	Facts *vm.Facts
 }
 
 // ApplySpec configures a machine with the spec's budgets and inputs.
@@ -62,5 +69,8 @@ func (m *Machine) ApplySpec(s ExecSpec) error {
 	copy(m.Stack, s.Args)
 	m.SP = len(s.Args)
 	copy(m.Mem, s.Mem)
+	if s.Facts != nil {
+		m.Facts = s.Facts
+	}
 	return nil
 }

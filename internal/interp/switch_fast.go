@@ -1,0 +1,432 @@
+package interp
+
+import "stackcache/internal/vm"
+
+// runSwitchFast is the check-elided twin of RunSwitch, taken only when
+// the machine's ElideChecks gate holds: vm.Analyze proved that no
+// reachable instruction can underflow either stack and that the peak
+// depths fit the machine, so every sp/rp bounds branch of the checked
+// loop is provably dead and is simply not emitted here. Everything the
+// analysis does NOT prove stays: the pc-range dispatch check, the step
+// limit, division by zero, memory range checks, and the output budget.
+//
+// The two loops must stay semantically identical on proved programs —
+// the differential tests run every workload through both and compare
+// snapshots bit for bit.
+func runSwitchFast(m *Machine) error {
+	code := m.Prog.Code
+	st := m.Stack
+	rs := m.RSt
+	pc, sp, rp := m.PC, m.SP, m.RP
+	steps := m.Steps
+	limit := m.maxSteps()
+
+	sync := func() {
+		m.PC, m.SP, m.RP, m.Steps = pc, sp, rp, steps
+	}
+
+	for {
+		// A proved program's pc can still be sent out of range only by
+		// a bug in the analysis; the dispatch check is one predictable
+		// branch and keeps that failure mode a clean error instead of a
+		// slice panic.
+		if pc < 0 || pc >= len(code) {
+			sync()
+			return PCError(pc)
+		}
+		if steps >= limit {
+			sync()
+			return m.fail(code[pc].Op, "step limit exceeded")
+		}
+		ins := code[pc]
+		steps++
+		switch ins.Op {
+		case vm.OpNop:
+			pc++
+
+		case vm.OpLit:
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpAdd:
+			st[sp-2] += st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpSub:
+			st[sp-2] -= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpMul:
+			st[sp-2] *= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpDiv:
+			if st[sp-1] == 0 {
+				sync()
+				return m.fail(ins.Op, "division by zero")
+			}
+			st[sp-2] = FloorDiv(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpMod:
+			if st[sp-1] == 0 {
+				sync()
+				return m.fail(ins.Op, "division by zero")
+			}
+			st[sp-2] = FloorMod(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpNegate:
+			st[sp-1] = -st[sp-1]
+			pc++
+
+		case vm.OpAbs:
+			if st[sp-1] < 0 {
+				st[sp-1] = -st[sp-1]
+			}
+			pc++
+
+		case vm.OpMin:
+			if st[sp-1] < st[sp-2] {
+				st[sp-2] = st[sp-1]
+			}
+			sp--
+			pc++
+
+		case vm.OpMax:
+			if st[sp-1] > st[sp-2] {
+				st[sp-2] = st[sp-1]
+			}
+			sp--
+			pc++
+
+		case vm.OpAnd:
+			st[sp-2] &= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpOr:
+			st[sp-2] |= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpXor:
+			st[sp-2] ^= st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpInvert:
+			st[sp-1] = ^st[sp-1]
+			pc++
+
+		case vm.OpLshift:
+			st[sp-2] = ShiftLeft(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpRshift:
+			st[sp-2] = ShiftRight(st[sp-2], st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpOnePlus:
+			st[sp-1]++
+			pc++
+
+		case vm.OpOneMinus:
+			st[sp-1]--
+			pc++
+
+		case vm.OpTwoStar:
+			st[sp-1] <<= 1
+			pc++
+
+		case vm.OpTwoSlash:
+			st[sp-1] >>= 1
+			pc++
+
+		case vm.OpCells:
+			st[sp-1] *= vm.CellSize
+			pc++
+
+		case vm.OpLitAdd:
+			st[sp-1] += ins.Arg
+			pc++
+
+		case vm.OpEq:
+			st[sp-2] = Flag(st[sp-2] == st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpNe:
+			st[sp-2] = Flag(st[sp-2] != st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpLt:
+			st[sp-2] = Flag(st[sp-2] < st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpGt:
+			st[sp-2] = Flag(st[sp-2] > st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpLe:
+			st[sp-2] = Flag(st[sp-2] <= st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpGe:
+			st[sp-2] = Flag(st[sp-2] >= st[sp-1])
+			sp--
+			pc++
+
+		case vm.OpULt:
+			st[sp-2] = Flag(uint64(st[sp-2]) < uint64(st[sp-1]))
+			sp--
+			pc++
+
+		case vm.OpZeroEq:
+			st[sp-1] = Flag(st[sp-1] == 0)
+			pc++
+
+		case vm.OpZeroNe:
+			st[sp-1] = Flag(st[sp-1] != 0)
+			pc++
+
+		case vm.OpZeroLt:
+			st[sp-1] = Flag(st[sp-1] < 0)
+			pc++
+
+		case vm.OpZeroGt:
+			st[sp-1] = Flag(st[sp-1] > 0)
+			pc++
+
+		case vm.OpDup:
+			st[sp] = st[sp-1]
+			sp++
+			pc++
+
+		case vm.OpDrop:
+			sp--
+			pc++
+
+		case vm.OpSwap:
+			st[sp-1], st[sp-2] = st[sp-2], st[sp-1]
+			pc++
+
+		case vm.OpOver:
+			st[sp] = st[sp-2]
+			sp++
+			pc++
+
+		case vm.OpRot:
+			st[sp-3], st[sp-2], st[sp-1] = st[sp-2], st[sp-1], st[sp-3]
+			pc++
+
+		case vm.OpMinusRot:
+			st[sp-3], st[sp-2], st[sp-1] = st[sp-1], st[sp-3], st[sp-2]
+			pc++
+
+		case vm.OpNip:
+			st[sp-2] = st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpTuck:
+			st[sp] = st[sp-1]
+			st[sp-1] = st[sp-2]
+			st[sp-2] = st[sp]
+			sp++
+			pc++
+
+		case vm.OpTwoDup:
+			st[sp] = st[sp-2]
+			st[sp+1] = st[sp-1]
+			sp += 2
+			pc++
+
+		case vm.OpTwoDrop:
+			sp -= 2
+			pc++
+
+		case vm.OpToR:
+			rs[rp] = st[sp-1]
+			rp++
+			sp--
+			pc++
+
+		case vm.OpRFrom:
+			st[sp] = rs[rp-1]
+			sp++
+			rp--
+			pc++
+
+		case vm.OpRFetch:
+			st[sp] = rs[rp-1]
+			sp++
+			pc++
+
+		case vm.OpFetch:
+			addr := st[sp-1]
+			x, ok := m.CellAt(addr)
+			if !ok {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			st[sp-1] = x
+			pc++
+
+		case vm.OpStore:
+			if !m.SetCellAt(st[sp-1], st[sp-2]) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpCFetch:
+			c, ok := m.ByteAt(st[sp-1])
+			if !ok {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			st[sp-1] = vm.Cell(c)
+			pc++
+
+		case vm.OpCStore:
+			if !m.SetByteAt(st[sp-1], st[sp-2]) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpPlusStore:
+			addr := st[sp-1]
+			x, ok := m.CellAt(addr)
+			if !ok || !m.SetCellAt(addr, x+st[sp-2]) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpBranch:
+			pc = int(ins.Arg)
+
+		case vm.OpBranchZero:
+			sp--
+			if st[sp] == 0 {
+				pc = int(ins.Arg)
+			} else {
+				pc++
+			}
+
+		case vm.OpCall:
+			rs[rp] = vm.Cell(pc + 1)
+			rp++
+			pc = int(ins.Arg)
+
+		case vm.OpExit:
+			rp--
+			pc = int(rs[rp])
+
+		case vm.OpHalt:
+			sync()
+			return nil
+
+		case vm.OpDo:
+			rs[rp] = st[sp-2]   // limit
+			rs[rp+1] = st[sp-1] // index
+			rp += 2
+			sp -= 2
+			pc++
+
+		case vm.OpLoop:
+			rs[rp-1]++
+			if rs[rp-1] == rs[rp-2] {
+				rp -= 2
+				pc++
+			} else {
+				pc = int(ins.Arg)
+			}
+
+		case vm.OpPlusLoop:
+			n := st[sp-1]
+			sp--
+			old := rs[rp-1] - rs[rp-2]
+			rs[rp-1] += n
+			now := rs[rp-1] - rs[rp-2]
+			if (old < 0) != (now < 0) {
+				rp -= 2
+				pc++
+			} else {
+				pc = int(ins.Arg)
+			}
+
+		case vm.OpI:
+			st[sp] = rs[rp-1]
+			sp++
+			pc++
+
+		case vm.OpJ:
+			st[sp] = rs[rp-3]
+			sp++
+			pc++
+
+		case vm.OpUnloop:
+			rp -= 2
+			pc++
+
+		case vm.OpEmit:
+			m.Out.WriteByte(byte(st[sp-1]))
+			if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+				sync()
+				return m.fail(ins.Op, MsgOutputLimit)
+			}
+			sp--
+			pc++
+
+		case vm.OpDot:
+			m.writeDot(st[sp-1])
+			if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+				sync()
+				return m.fail(ins.Op, MsgOutputLimit)
+			}
+			sp--
+			pc++
+
+		case vm.OpType:
+			addr, n := st[sp-2], st[sp-1]
+			if !m.RangeOK(addr, n) {
+				sync()
+				return m.fail(ins.Op, "memory access out of range")
+			}
+			m.Out.Write(m.Mem[addr : addr+n])
+			if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+				sync()
+				return m.fail(ins.Op, MsgOutputLimit)
+			}
+			sp -= 2
+			pc++
+
+		case vm.OpDepth:
+			st[sp] = vm.Cell(sp)
+			sp++
+			pc++
+
+		default:
+			sync()
+			return m.fail(ins.Op, "invalid opcode")
+		}
+	}
+}

@@ -22,6 +22,13 @@ type handler func(m *Machine, arg vm.Cell) error
 func RunToken(m *Machine) error {
 	code := m.Prog.Code
 	limit := m.maxSteps()
+	// One table select up front: proved programs dispatch through the
+	// check-elided handler table, everything else through the checked
+	// one. The loop itself is identical.
+	tab := &handlers
+	if m.ElideChecks() {
+		tab = &handlersFast
+	}
 	for {
 		if m.PC < 0 || m.PC >= len(code) {
 			return PCError(m.PC)
@@ -34,7 +41,7 @@ func RunToken(m *Machine) error {
 		if !ins.Op.Valid() {
 			return m.fail(ins.Op, "invalid opcode")
 		}
-		if err := handlers[ins.Op](m, ins.Arg); err != nil {
+		if err := tab[ins.Op](m, ins.Arg); err != nil {
 			if err == errHalt {
 				return nil
 			}
@@ -67,15 +74,23 @@ func invalidOp(m *Machine, _ vm.Cell) error {
 	return m.fail(m.Prog.Code[m.PC].Op, "invalid opcode")
 }
 
-// NewThreaded translates p into threaded code for machine m.
+// NewThreaded translates p into threaded code for machine m. The
+// translation itself bakes in the check decision: when the machine's
+// ElideChecks gate holds at translation time, the threaded code is
+// built from the check-elided handlers and carries zero per-dispatch
+// overhead for the proof.
 func NewThreaded(m *Machine) *Threaded {
+	tab := &handlers
+	if m.ElideChecks() {
+		tab = &handlersFast
+	}
 	t := &Threaded{m: m, code: make([]threadedInstr, len(m.Prog.Code))}
 	for i, ins := range m.Prog.Code {
 		if !ins.Op.Valid() {
 			t.code[i] = threadedInstr{fn: invalidOp}
 			continue
 		}
-		t.code[i] = threadedInstr{fn: handlers[ins.Op], arg: ins.Arg}
+		t.code[i] = threadedInstr{fn: tab[ins.Op], arg: ins.Arg}
 	}
 	return t
 }

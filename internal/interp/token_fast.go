@@ -1,0 +1,360 @@
+package interp
+
+import "stackcache/internal/vm"
+
+// handlersFast is the check-elided twin of the handlers table: the
+// same opcode semantics with every sp/rp bounds branch removed. The
+// token, threaded, and traced engines switch to this table only when
+// the machine's ElideChecks gate holds (vm.Analyze proved the stack
+// depth bounds for the whole run). Division, memory, output, pc-range,
+// and step-limit checks are untouched — the analysis does not prove
+// those, so the corresponding handlers keep them.
+
+// Unchecked stack helpers. Callers exist only behind the ElideChecks
+// gate, so sp/rp stay inside the slices by the analysis's proof.
+
+func (m *Machine) pushF(x vm.Cell) {
+	m.Stack[m.SP] = x
+	m.SP++
+}
+
+func (m *Machine) popF() vm.Cell {
+	m.SP--
+	return m.Stack[m.SP]
+}
+
+func (m *Machine) pop2F() (second, top vm.Cell) {
+	m.SP -= 2
+	return m.Stack[m.SP], m.Stack[m.SP+1]
+}
+
+func (m *Machine) rpushF(x vm.Cell) {
+	m.RSt[m.RP] = x
+	m.RP++
+}
+
+func (m *Machine) rpopF() vm.Cell {
+	m.RP--
+	return m.RSt[m.RP]
+}
+
+func binOpF(f func(a, b vm.Cell) vm.Cell) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		b := m.popF()
+		a := m.popF()
+		m.pushF(f(a, b))
+		m.PC++
+		return nil
+	}
+}
+
+func unOpF(f func(a vm.Cell) vm.Cell) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		m.Stack[m.SP-1] = f(m.Stack[m.SP-1])
+		m.PC++
+		return nil
+	}
+}
+
+func divHandlerF(mod bool) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		b := m.popF()
+		a := m.popF()
+		if b == 0 {
+			return m.fail(m.Prog.Code[m.PC].Op, "division by zero")
+		}
+		if mod {
+			m.pushF(FloorMod(a, b))
+		} else {
+			m.pushF(FloorDiv(a, b))
+		}
+		m.PC++
+		return nil
+	}
+}
+
+var handlersFast = [vm.NumOpcodes]handler{
+	vm.OpNop: func(m *Machine, _ vm.Cell) error { m.PC++; return nil },
+	vm.OpLit: func(m *Machine, arg vm.Cell) error {
+		m.pushF(arg)
+		m.PC++
+		return nil
+	},
+
+	vm.OpAdd:    binOpF(func(a, b vm.Cell) vm.Cell { return a + b }),
+	vm.OpSub:    binOpF(func(a, b vm.Cell) vm.Cell { return a - b }),
+	vm.OpMul:    binOpF(func(a, b vm.Cell) vm.Cell { return a * b }),
+	vm.OpDiv:    divHandlerF(false),
+	vm.OpMod:    divHandlerF(true),
+	vm.OpNegate: unOpF(func(a vm.Cell) vm.Cell { return -a }),
+	vm.OpAbs: unOpF(func(a vm.Cell) vm.Cell {
+		if a < 0 {
+			return -a
+		}
+		return a
+	}),
+	vm.OpMin: binOpF(func(a, b vm.Cell) vm.Cell {
+		if a < b {
+			return a
+		}
+		return b
+	}),
+	vm.OpMax: binOpF(func(a, b vm.Cell) vm.Cell {
+		if a > b {
+			return a
+		}
+		return b
+	}),
+	vm.OpAnd:      binOpF(func(a, b vm.Cell) vm.Cell { return a & b }),
+	vm.OpOr:       binOpF(func(a, b vm.Cell) vm.Cell { return a | b }),
+	vm.OpXor:      binOpF(func(a, b vm.Cell) vm.Cell { return a ^ b }),
+	vm.OpInvert:   unOpF(func(a vm.Cell) vm.Cell { return ^a }),
+	vm.OpLshift:   binOpF(ShiftLeft),
+	vm.OpRshift:   binOpF(ShiftRight),
+	vm.OpOnePlus:  unOpF(func(a vm.Cell) vm.Cell { return a + 1 }),
+	vm.OpOneMinus: unOpF(func(a vm.Cell) vm.Cell { return a - 1 }),
+	vm.OpTwoStar:  unOpF(func(a vm.Cell) vm.Cell { return a << 1 }),
+	vm.OpTwoSlash: unOpF(func(a vm.Cell) vm.Cell { return a >> 1 }),
+	vm.OpCells:    unOpF(func(a vm.Cell) vm.Cell { return a * vm.CellSize }),
+	vm.OpLitAdd: func(m *Machine, arg vm.Cell) error {
+		m.Stack[m.SP-1] += arg
+		m.PC++
+		return nil
+	},
+
+	vm.OpEq:     binOpF(func(a, b vm.Cell) vm.Cell { return Flag(a == b) }),
+	vm.OpNe:     binOpF(func(a, b vm.Cell) vm.Cell { return Flag(a != b) }),
+	vm.OpLt:     binOpF(func(a, b vm.Cell) vm.Cell { return Flag(a < b) }),
+	vm.OpGt:     binOpF(func(a, b vm.Cell) vm.Cell { return Flag(a > b) }),
+	vm.OpLe:     binOpF(func(a, b vm.Cell) vm.Cell { return Flag(a <= b) }),
+	vm.OpGe:     binOpF(func(a, b vm.Cell) vm.Cell { return Flag(a >= b) }),
+	vm.OpULt:    binOpF(func(a, b vm.Cell) vm.Cell { return Flag(uint64(a) < uint64(b)) }),
+	vm.OpZeroEq: unOpF(func(a vm.Cell) vm.Cell { return Flag(a == 0) }),
+	vm.OpZeroNe: unOpF(func(a vm.Cell) vm.Cell { return Flag(a != 0) }),
+	vm.OpZeroLt: unOpF(func(a vm.Cell) vm.Cell { return Flag(a < 0) }),
+	vm.OpZeroGt: unOpF(func(a vm.Cell) vm.Cell { return Flag(a > 0) }),
+
+	vm.OpDup: func(m *Machine, _ vm.Cell) error {
+		m.pushF(m.Stack[m.SP-1])
+		m.PC++
+		return nil
+	},
+	vm.OpDrop: func(m *Machine, _ vm.Cell) error {
+		m.SP--
+		m.PC++
+		return nil
+	},
+	vm.OpSwap: func(m *Machine, _ vm.Cell) error {
+		m.Stack[m.SP-1], m.Stack[m.SP-2] = m.Stack[m.SP-2], m.Stack[m.SP-1]
+		m.PC++
+		return nil
+	},
+	vm.OpOver: func(m *Machine, _ vm.Cell) error {
+		m.pushF(m.Stack[m.SP-2])
+		m.PC++
+		return nil
+	},
+	vm.OpRot: func(m *Machine, _ vm.Cell) error {
+		s := m.Stack
+		s[m.SP-3], s[m.SP-2], s[m.SP-1] = s[m.SP-2], s[m.SP-1], s[m.SP-3]
+		m.PC++
+		return nil
+	},
+	vm.OpMinusRot: func(m *Machine, _ vm.Cell) error {
+		s := m.Stack
+		s[m.SP-3], s[m.SP-2], s[m.SP-1] = s[m.SP-1], s[m.SP-3], s[m.SP-2]
+		m.PC++
+		return nil
+	},
+	vm.OpNip: func(m *Machine, _ vm.Cell) error {
+		m.Stack[m.SP-2] = m.Stack[m.SP-1]
+		m.SP--
+		m.PC++
+		return nil
+	},
+	vm.OpTuck: func(m *Machine, _ vm.Cell) error {
+		s := m.Stack
+		s[m.SP] = s[m.SP-1]
+		s[m.SP-1] = s[m.SP-2]
+		s[m.SP-2] = s[m.SP]
+		m.SP++
+		m.PC++
+		return nil
+	},
+	vm.OpTwoDup: func(m *Machine, _ vm.Cell) error {
+		s := m.Stack
+		s[m.SP] = s[m.SP-2]
+		s[m.SP+1] = s[m.SP-1]
+		m.SP += 2
+		m.PC++
+		return nil
+	},
+	vm.OpTwoDrop: func(m *Machine, _ vm.Cell) error {
+		m.SP -= 2
+		m.PC++
+		return nil
+	},
+
+	vm.OpToR: func(m *Machine, _ vm.Cell) error {
+		m.rpushF(m.popF())
+		m.PC++
+		return nil
+	},
+	vm.OpRFrom: func(m *Machine, _ vm.Cell) error {
+		m.pushF(m.rpopF())
+		m.PC++
+		return nil
+	},
+	vm.OpRFetch: func(m *Machine, _ vm.Cell) error {
+		m.pushF(m.RSt[m.RP-1])
+		m.PC++
+		return nil
+	},
+
+	vm.OpFetch: func(m *Machine, _ vm.Cell) error {
+		x, ok := m.CellAt(m.Stack[m.SP-1])
+		if !ok {
+			return m.fail(vm.OpFetch, "memory access out of range")
+		}
+		m.Stack[m.SP-1] = x
+		m.PC++
+		return nil
+	},
+	vm.OpStore: func(m *Machine, _ vm.Cell) error {
+		x, addr := m.pop2F()
+		if !m.SetCellAt(addr, x) {
+			return m.fail(vm.OpStore, "memory access out of range")
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpCFetch: func(m *Machine, _ vm.Cell) error {
+		c, ok := m.ByteAt(m.Stack[m.SP-1])
+		if !ok {
+			return m.fail(vm.OpCFetch, "memory access out of range")
+		}
+		m.Stack[m.SP-1] = vm.Cell(c)
+		m.PC++
+		return nil
+	},
+	vm.OpCStore: func(m *Machine, _ vm.Cell) error {
+		x, addr := m.pop2F()
+		if !m.SetByteAt(addr, x) {
+			return m.fail(vm.OpCStore, "memory access out of range")
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpPlusStore: func(m *Machine, _ vm.Cell) error {
+		n, addr := m.pop2F()
+		x, ok := m.CellAt(addr)
+		if !ok || !m.SetCellAt(addr, x+n) {
+			return m.fail(vm.OpPlusStore, "memory access out of range")
+		}
+		m.PC++
+		return nil
+	},
+
+	vm.OpBranch: func(m *Machine, arg vm.Cell) error {
+		m.PC = int(arg)
+		return nil
+	},
+	vm.OpBranchZero: func(m *Machine, arg vm.Cell) error {
+		if m.popF() == 0 {
+			m.PC = int(arg)
+		} else {
+			m.PC++
+		}
+		return nil
+	},
+	vm.OpCall: func(m *Machine, arg vm.Cell) error {
+		m.rpushF(vm.Cell(m.PC + 1))
+		m.PC = int(arg)
+		return nil
+	},
+	vm.OpExit: func(m *Machine, _ vm.Cell) error {
+		m.PC = int(m.rpopF())
+		return nil
+	},
+	vm.OpHalt: func(m *Machine, _ vm.Cell) error { return errHalt },
+
+	vm.OpDo: func(m *Machine, _ vm.Cell) error {
+		limit, index := m.pop2F()
+		m.rpushF(limit)
+		m.rpushF(index)
+		m.PC++
+		return nil
+	},
+	vm.OpLoop: func(m *Machine, arg vm.Cell) error {
+		m.RSt[m.RP-1]++
+		if m.RSt[m.RP-1] == m.RSt[m.RP-2] {
+			m.RP -= 2
+			m.PC++
+		} else {
+			m.PC = int(arg)
+		}
+		return nil
+	},
+	vm.OpPlusLoop: func(m *Machine, arg vm.Cell) error {
+		n := m.popF()
+		old := m.RSt[m.RP-1] - m.RSt[m.RP-2]
+		m.RSt[m.RP-1] += n
+		now := m.RSt[m.RP-1] - m.RSt[m.RP-2]
+		if (old < 0) != (now < 0) {
+			m.RP -= 2
+			m.PC++
+		} else {
+			m.PC = int(arg)
+		}
+		return nil
+	},
+	vm.OpI: func(m *Machine, _ vm.Cell) error {
+		m.pushF(m.RSt[m.RP-1])
+		m.PC++
+		return nil
+	},
+	vm.OpJ: func(m *Machine, _ vm.Cell) error {
+		m.pushF(m.RSt[m.RP-3])
+		m.PC++
+		return nil
+	},
+	vm.OpUnloop: func(m *Machine, _ vm.Cell) error {
+		m.RP -= 2
+		m.PC++
+		return nil
+	},
+
+	vm.OpEmit: func(m *Machine, _ vm.Cell) error {
+		m.Out.WriteByte(byte(m.popF()))
+		if err := m.checkOut(vm.OpEmit); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpDot: func(m *Machine, _ vm.Cell) error {
+		m.writeDot(m.popF())
+		if err := m.checkOut(vm.OpDot); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpType: func(m *Machine, _ vm.Cell) error {
+		addr, n := m.pop2F()
+		if !m.RangeOK(addr, n) {
+			return m.fail(vm.OpType, "memory access out of range")
+		}
+		m.Out.Write(m.Mem[addr : addr+n])
+		if err := m.checkOut(vm.OpType); err != nil {
+			return err
+		}
+		m.PC++
+		return nil
+	},
+	vm.OpDepth: func(m *Machine, _ vm.Cell) error {
+		m.pushF(vm.Cell(m.SP))
+		m.PC++
+		return nil
+	},
+}

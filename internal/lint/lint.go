@@ -1,0 +1,375 @@
+// Package lint is the repository's invariant linter: a small,
+// stdlib-only static checker for the opcode-coverage invariants the
+// engines depend on. The VM's instruction set is mirrored in many
+// places — the effects table, the opcode name table, every
+// switch-dispatch engine's case arms, the token/threaded handler
+// tables, the generated per-state interpreters — and nothing in the
+// type system forces those mirrors to stay complete: a deleted case
+// arm compiles fine and surfaces as an "invalid opcode" error at run
+// time (or a skewed cost model) instead of a build failure.
+//
+// The linter enforces two rules over the parsed (not type-checked)
+// tree:
+//
+//   - Coverage tables. A composite literal whose array length is
+//     NumOpcodes declares itself a full per-opcode table; keyed
+//     literals must name every opcode, unkeyed literals must have
+//     exactly one element per opcode. Map literals keyed by opcode
+//     constants are held to full coverage once they name more than
+//     half the set (partial opcode maps below that are legitimate —
+//     peephole patterns, specializations).
+//
+//   - Dispatch switches. A switch whose case arms name more than half
+//     of an opcode set is a dispatch switch and must name all of it.
+//     Small switches over a handful of opcodes (control-flow special
+//     cases, last-instruction checks) stay untouched.
+//
+// Opcode sets are discovered, not hard-coded: any const block whose
+// first constant is typed and initialized with iota and which ends
+// with a NumOpcodes terminator defines one (the stack VM's Opcode and
+// the register VM's Opcode both match). The linter therefore keeps
+// working when opcodes are added — the new constant grows the set and
+// every table and dispatch switch must follow.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Issue is one invariant violation.
+type Issue struct {
+	Pos token.Position
+	Msg string
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s: %s", i.Pos, i.Msg) }
+
+// Enum is one discovered opcode enumeration.
+type Enum struct {
+	// Dir is the directory (package) declaring the enumeration.
+	Dir string
+	// Type is the constants' declared type name (e.g. "Opcode").
+	Type string
+	// Names lists the opcode constant names in declaration order,
+	// excluding the NumOpcodes terminator.
+	Names []string
+
+	set map[string]bool
+}
+
+// terminator is the conventional final constant counting an opcode
+// enumeration; it marks where the enumeration ends and is not itself
+// an opcode.
+const terminator = "NumOpcodes"
+
+// FindEnums discovers the opcode enumerations in the parsed packages,
+// keyed by directory.
+func FindEnums(dirs map[string][]*ast.File) []Enum {
+	var enums []Enum
+	for dir, files := range dirs {
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				e, ok := enumFromConst(dir, gd)
+				if ok {
+					enums = append(enums, e)
+				}
+			}
+		}
+	}
+	sort.Slice(enums, func(i, j int) bool { return enums[i].Dir < enums[j].Dir })
+	return enums
+}
+
+// enumFromConst recognizes a const block of the shape
+//
+//	const ( OpFoo T = iota; OpBar; ...; NumOpcodes )
+//
+// and extracts the opcode names before the terminator.
+func enumFromConst(dir string, gd *ast.GenDecl) (Enum, bool) {
+	if len(gd.Specs) < 2 {
+		return Enum{}, false
+	}
+	first, ok := gd.Specs[0].(*ast.ValueSpec)
+	if !ok || first.Type == nil || len(first.Values) != 1 {
+		return Enum{}, false
+	}
+	typ, ok := first.Type.(*ast.Ident)
+	if !ok {
+		return Enum{}, false
+	}
+	if id, ok := first.Values[0].(*ast.Ident); !ok || id.Name != "iota" {
+		return Enum{}, false
+	}
+	e := Enum{Dir: dir, Type: typ.Name, set: map[string]bool{}}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			return Enum{}, false
+		}
+		for _, name := range vs.Names {
+			if name.Name == terminator {
+				return e, len(e.Names) > 0
+			}
+			e.Names = append(e.Names, name.Name)
+			e.set[name.Name] = true
+		}
+	}
+	// No terminator: an iota block, but not an opcode enumeration.
+	return Enum{}, false
+}
+
+// Check runs both rules over the parsed packages (directory ->
+// files) and returns every violation, sorted by position.
+func Check(fset *token.FileSet, dirs map[string][]*ast.File) []Issue {
+	enums := FindEnums(dirs)
+	if len(enums) == 0 {
+		return nil
+	}
+	var issues []Issue
+	for dir, files := range dirs {
+		for _, f := range files {
+			c := &checker{fset: fset, dir: dir, file: f, enums: enums}
+			ast.Inspect(f, c.node)
+			issues = append(issues, c.issues...)
+		}
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		a, b := issues[i].Pos, issues[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return issues
+}
+
+type checker struct {
+	fset   *token.FileSet
+	dir    string
+	file   *ast.File
+	enums  []Enum
+	issues []Issue
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.issues = append(c.issues, Issue{
+		Pos: c.fset.Position(pos),
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) node(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		c.compositeLit(n)
+	case *ast.SwitchStmt:
+		c.switchStmt(n)
+	}
+	return true
+}
+
+// nameOf extracts the identifier a key or case expression names,
+// stripping any package qualifier ("vm.OpAdd" -> "OpAdd").
+func nameOf(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		return e.Sel.Name, true
+	}
+	return "", false
+}
+
+// qualifierOf returns the package qualifier of a selector expression
+// ("vm" for vm.NumOpcodes), or "" for a plain identifier.
+func qualifierOf(e ast.Expr) string {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// enumFor resolves which enumeration a NumOpcodes reference means:
+// unqualified references bind to the enumeration declared in the same
+// directory; qualified ones to the enumeration whose directory the
+// file imports under that name.
+func (c *checker) enumFor(lenExpr ast.Expr) *Enum {
+	q := qualifierOf(lenExpr)
+	if q == "" {
+		for i := range c.enums {
+			if c.enums[i].Dir == c.dir {
+				return &c.enums[i]
+			}
+		}
+		return nil
+	}
+	for _, imp := range c.file.Imports {
+		p0, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path.Base(p0)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != q {
+			continue
+		}
+		for i := range c.enums {
+			// Import paths are module-rooted, enum dirs filesystem
+			// paths; match on the trailing package path.
+			if strings.HasSuffix(filepathToSlash(c.enums[i].Dir), "/"+p0) ||
+				strings.HasSuffix(p0, "/"+path.Base(filepathToSlash(c.enums[i].Dir))) {
+				return &c.enums[i]
+			}
+		}
+	}
+	return nil
+}
+
+func filepathToSlash(p string) string { return strings.ReplaceAll(p, "\\", "/") }
+
+// bestOverlap picks the enumeration sharing the most names with the
+// given set, returning it and the overlap size.
+func (c *checker) bestOverlap(names map[string]bool) (*Enum, int) {
+	var best *Enum
+	bestN := 0
+	for i := range c.enums {
+		n := 0
+		for name := range names {
+			if c.enums[i].set[name] {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = &c.enums[i], n
+		}
+	}
+	return best, bestN
+}
+
+// missing lists the enumeration's names absent from have, in
+// declaration order.
+func missing(e *Enum, have map[string]bool) []string {
+	var out []string
+	for _, n := range e.Names {
+		if !have[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// isNumOpcodesLen reports whether an array length expression is a
+// NumOpcodes reference.
+func isNumOpcodesLen(e ast.Expr) bool {
+	n, ok := nameOf(e)
+	return ok && n == terminator
+}
+
+func (c *checker) compositeLit(lit *ast.CompositeLit) {
+	switch t := lit.Type.(type) {
+	case *ast.ArrayType:
+		if t.Len == nil || !isNumOpcodesLen(t.Len) {
+			return
+		}
+		c.opcodeArray(lit, t.Len)
+	case *ast.MapType:
+		if n, ok := nameOf(t.Key); ok {
+			c.opcodeMap(lit, n)
+		}
+	}
+}
+
+// opcodeArray checks a [NumOpcodes]T literal: declared full coverage.
+func (c *checker) opcodeArray(lit *ast.CompositeLit, lenExpr ast.Expr) {
+	e := c.enumFor(lenExpr)
+	if e == nil {
+		return
+	}
+	keys := map[string]bool{}
+	keyed := false
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if n, ok := nameOf(kv.Key); ok {
+				keys[n] = true
+			}
+		}
+	}
+	if !keyed {
+		if len(lit.Elts) != len(e.Names) {
+			c.report(lit.Pos(),
+				"[%s]T literal has %d elements, want one per opcode (%d)",
+				terminator, len(lit.Elts), len(e.Names))
+		}
+		return
+	}
+	if miss := missing(e, keys); len(miss) > 0 {
+		c.report(lit.Pos(),
+			"[%s]T table missing opcode entries: %s",
+			terminator, strings.Join(miss, ", "))
+	}
+}
+
+// opcodeMap checks a map literal whose key type names an opcode
+// enumeration's type: once it covers more than half the set it is a
+// per-opcode table and must cover all of it.
+func (c *checker) opcodeMap(lit *ast.CompositeLit, keyType string) {
+	keys := map[string]bool{}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if n, ok := nameOf(kv.Key); ok {
+				keys[n] = true
+			}
+		}
+	}
+	e, overlap := c.bestOverlap(keys)
+	if e == nil || e.Type != keyType || overlap*2 <= len(e.Names) {
+		return
+	}
+	if miss := missing(e, keys); len(miss) > 0 {
+		c.report(lit.Pos(),
+			"map[%s]T table missing opcode entries: %s",
+			keyType, strings.Join(miss, ", "))
+	}
+}
+
+// switchStmt checks dispatch switches: more than half an opcode set in
+// the case arms means this switch dispatches the instruction set and
+// must have an arm for every opcode.
+func (c *checker) switchStmt(sw *ast.SwitchStmt) {
+	cases := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if n, ok := nameOf(expr); ok {
+				cases[n] = true
+			}
+		}
+	}
+	e, overlap := c.bestOverlap(cases)
+	if e == nil || overlap*2 <= len(e.Names) {
+		return
+	}
+	if miss := missing(e, cases); len(miss) > 0 {
+		c.report(sw.Pos(),
+			"dispatch switch missing opcode cases: %s",
+			strings.Join(miss, ", "))
+	}
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc wraps a snippet into the dir-keyed shape Check consumes.
+func parseSrc(t *testing.T, fset *token.FileSet, dir, name, src string) map[string][]*ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]*ast.File{dir: {f}}
+}
+
+const enumSrc = `package toy
+
+type Opcode uint8
+
+const (
+	OpA Opcode = iota
+	OpB
+	OpC
+	OpD
+	NumOpcodes
+)
+`
+
+func checkToy(t *testing.T, extra string) []Issue {
+	t.Helper()
+	fset := token.NewFileSet()
+	dirs := parseSrc(t, fset, "toy", "enum.go", enumSrc)
+	f, err := parser.ParseFile(fset, "extra.go", "package toy\n"+extra, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs["toy"] = append(dirs["toy"], f)
+	return Check(fset, dirs)
+}
+
+func TestEnumDiscovery(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs := parseSrc(t, fset, "toy", "enum.go", enumSrc)
+	enums := FindEnums(dirs)
+	if len(enums) != 1 {
+		t.Fatalf("found %d enums, want 1", len(enums))
+	}
+	if got := enums[0].Names; len(got) != 4 || got[0] != "OpA" || got[3] != "OpD" {
+		t.Errorf("enum names %v, want [OpA OpB OpC OpD]", got)
+	}
+	if enums[0].Type != "Opcode" {
+		t.Errorf("enum type %q, want Opcode", enums[0].Type)
+	}
+}
+
+func TestKeyedTableMissingEntry(t *testing.T) {
+	issues := checkToy(t, `
+var tab = [NumOpcodes]int{OpA: 1, OpB: 2, OpD: 4}
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "OpC") {
+		t.Fatalf("issues = %v, want one mentioning OpC", issues)
+	}
+}
+
+func TestKeyedTableComplete(t *testing.T) {
+	if issues := checkToy(t, `
+var tab = [NumOpcodes]int{OpA: 1, OpB: 2, OpC: 3, OpD: 4}
+`); len(issues) != 0 {
+		t.Fatalf("complete table flagged: %v", issues)
+	}
+}
+
+func TestUnkeyedTableShort(t *testing.T) {
+	issues := checkToy(t, `
+var names = [NumOpcodes]string{"a", "b", "c"}
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "3 elements") {
+		t.Fatalf("issues = %v, want one element-count issue", issues)
+	}
+}
+
+func TestDispatchSwitchMissingCase(t *testing.T) {
+	issues := checkToy(t, `
+func dispatch(op Opcode) int {
+	switch op {
+	case OpA:
+		return 1
+	case OpB, OpC:
+		return 2
+	default:
+		return 0
+	}
+}
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "OpD") {
+		t.Fatalf("issues = %v, want one missing-OpD issue", issues)
+	}
+}
+
+func TestSmallSwitchAllowed(t *testing.T) {
+	if issues := checkToy(t, `
+func isA(op Opcode) bool {
+	switch op {
+	case OpA:
+		return true
+	}
+	return false
+}
+`); len(issues) != 0 {
+		t.Fatalf("small switch flagged: %v", issues)
+	}
+}
+
+func TestPartialOpcodeMapAllowed(t *testing.T) {
+	if issues := checkToy(t, `
+var peephole = map[Opcode]int{OpA: 1, OpB: 2}
+`); len(issues) != 0 {
+		t.Fatalf("half-coverage map flagged: %v", issues)
+	}
+}
+
+func TestLargeOpcodeMapMustBeFull(t *testing.T) {
+	issues := checkToy(t, `
+var names = map[Opcode]string{OpA: "a", OpB: "b", OpC: "c"}
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0].Msg, "OpD") {
+		t.Fatalf("issues = %v, want one missing-OpD issue", issues)
+	}
+}
+
+// TestRepositoryClean is the CI gate from inside the test suite: the
+// real tree must have no coverage violations, and the linter must see
+// both opcode enumerations (the stack VM's and the register VM's).
+func TestRepositoryClean(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs, err := LoadTree(fset, "../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enums := FindEnums(dirs)
+	if len(enums) != 2 {
+		t.Fatalf("found %d opcode enums, want 2 (vm, regvm): %+v", len(enums), enums)
+	}
+	for _, issue := range Check(fset, dirs) {
+		t.Error(issue)
+	}
+}
+
+// TestDeletedEngineCaseFails proves the linter's reason to exist:
+// removing one opcode's case arm from a real engine's dispatch switch
+// (here the baseline switch interpreter) turns the build red.
+func TestDeletedEngineCaseFails(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs, err := LoadTree(fset, "../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	removed := 0
+	for dir, files := range dirs {
+		if !strings.HasSuffix(strings.ReplaceAll(dir, "\\", "/"), "internal/interp") {
+			continue
+		}
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				var kept []ast.Stmt
+				for _, stmt := range sw.Body.List {
+					if cc, ok := stmt.(*ast.CaseClause); ok && caseNames(cc)["OpAdd"] && len(cc.List) == 1 {
+						removed++
+						continue
+					}
+					kept = append(kept, stmt)
+				}
+				sw.Body.List = kept
+				return true
+			})
+		}
+	}
+	if removed == 0 {
+		t.Fatal("found no OpAdd case arm to delete in internal/interp")
+	}
+
+	issues := Check(fset, dirs)
+	found := false
+	for _, issue := range issues {
+		if strings.Contains(issue.Msg, "OpAdd") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deleting %d OpAdd case arm(s) produced no OpAdd issue; got %v", removed, issues)
+	}
+}
+
+func caseNames(cc *ast.CaseClause) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range cc.List {
+		switch e := e.(type) {
+		case *ast.Ident:
+			out[e.Name] = true
+		case *ast.SelectorExpr:
+			out[e.Sel.Name] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadTree parses every non-test Go file under root (recursively,
+// skipping hidden directories, testdata and vendor) into the
+// directory-keyed shape Check consumes. Test files are excluded on
+// purpose: partial opcode switches and tables are legitimate in tests
+// (including this linter's own).
+func LoadTree(fset *token.FileSet, root string) (map[string][]*ast.File, error) {
+	dirs := map[string][]*ast.File{}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, p, src, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(p)
+		dirs[dir] = append(dirs[dir], f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}

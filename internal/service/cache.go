@@ -22,6 +22,13 @@ type Entry struct {
 
 	// Prog is the compiled, verified program.
 	Prog *vm.Program
+
+	// Facts is the abstract-interpretation result for Prog, computed
+	// once at compile time and shared by every execution of the entry.
+	// Proved facts let engines elide per-instruction stack bounds
+	// checks; unproven facts keep the dynamic checks. Never nil for a
+	// published entry.
+	Facts *vm.Facts
 }
 
 // CacheKey computes the content address the program cache uses for a
@@ -159,7 +166,9 @@ func (c *ProgramCache) compile(key, src string) (*Entry, error) {
 	if err := vm.Verify(prog); err != nil {
 		return nil, err
 	}
-	return &Entry{Key: key, Prog: prog}, nil
+	// Analyze alongside compile — once per cached program, off the lock —
+	// so every execution of the entry gets the depth proof for free.
+	return &Entry{Key: key, Prog: prog, Facts: vm.Analyze(prog)}, nil
 }
 
 // insert publishes the entry and evicts beyond the bound. Caller holds

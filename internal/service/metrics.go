@@ -98,9 +98,23 @@ type Metrics struct {
 	cacheCoalesced atomic.Int64 // waited on another request's compile
 	cacheEvictions atomic.Int64
 
+	analysisProved   atomic.Int64 // executions of depth-proved programs
+	analysisUnproven atomic.Int64 // executions that kept dynamic checks
+
 	errors [NumErrorClasses]atomic.Int64
 
 	engines sync.Map // engine name -> *engineMetrics
+}
+
+// observeAnalysis records one execution by the abstract interpreter's
+// verdict for its program: proved programs ran check-elided, unproven
+// ones kept every dynamic check.
+func (m *Metrics) observeAnalysis(proved bool) {
+	if proved {
+		m.analysisProved.Add(1)
+	} else {
+		m.analysisUnproven.Add(1)
+	}
 }
 
 // observeDone records one finished request of any class.
@@ -154,6 +168,12 @@ type Snapshot struct {
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheSize      int   `json:"cache_size"`
 
+	// AnalysisProved and AnalysisUnproven count executions by the
+	// abstract interpreter's verdict for their program (proved
+	// executions ran with stack bounds checks elided).
+	AnalysisProved   int64 `json:"analysis_proved"`
+	AnalysisUnproven int64 `json:"analysis_unproven"`
+
 	// Errors counts finished requests by class wire name, including
 	// "ok".
 	Errors map[string]int64 `json:"errors"`
@@ -184,6 +204,8 @@ func (m *Metrics) snapshot() Snapshot {
 		CacheMisses:         m.cacheMisses.Load(),
 		CacheCoalesced:      m.cacheCoalesced.Load(),
 		CacheEvictions:      m.cacheEvictions.Load(),
+		AnalysisProved:      m.analysisProved.Load(),
+		AnalysisUnproven:    m.analysisUnproven.Load(),
 		Errors:              make(map[string]int64, NumErrorClasses),
 		Engines:             make(map[string]EngineSnapshot),
 		LatencyBucketBounds: BucketBounds(),

@@ -49,6 +49,10 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("vmd_cache_evictions_total", "Programs evicted from the cache.", s.CacheEvictions)
 	p("# HELP vmd_cache_size Programs currently cached.\n# TYPE vmd_cache_size gauge\nvmd_cache_size %d\n", s.CacheSize)
 
+	p("# HELP vmd_analysis_total Executions by the abstract interpreter's verdict for their program.\n# TYPE vmd_analysis_total counter\n")
+	p("vmd_analysis_total{outcome=\"proved\"} %d\n", s.AnalysisProved)
+	p("vmd_analysis_total{outcome=\"unproven\"} %d\n", s.AnalysisUnproven)
+
 	p("# HELP vmd_results_total Finished requests by error class.\n# TYPE vmd_results_total counter\n")
 	for _, c := range classes {
 		p("vmd_results_total{class=%q} %d\n", c, s.Errors[c])

@@ -169,6 +169,12 @@ type Response struct {
 	// CacheHit reports whether the program was served from the cache
 	// (including coalescing onto another request's in-flight compile).
 	CacheHit bool
+
+	// Analysis reports the abstract interpreter's verdict for the
+	// program: "proved" when per-pc stack-depth bounds were established
+	// (the execution ran with stack bounds checks elided), "unproven"
+	// when they were not (the execution kept every dynamic check).
+	Analysis string
 }
 
 // Error is a classified service failure.
@@ -369,6 +375,7 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 			MaxOut:   s.cfg.MaxOutputBytes,
 			Args:     req.Args,
 			Mem:      req.Mem,
+			Facts:    entry.Facts,
 		},
 		done: make(chan result, 1),
 	}
@@ -481,7 +488,9 @@ func (s *Service) execute(t *task) (*Response, error) {
 		Stack:      append([]vm.Cell(nil), m.Stack[:shipped]...),
 		StackDepth: m.SP,
 		Steps:      m.Steps,
+		Analysis:   t.entry.Facts.Outcome(),
 	}
+	s.metrics.observeAnalysis(t.entry.Facts.Proved)
 	if err == nil && m.SP > s.cfg.MaxStackCells {
 		err = classified(ClassLimit,
 			fmt.Errorf("service: final stack depth %d exceeds the %d-cell response cap",

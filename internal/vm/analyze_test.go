@@ -1,0 +1,333 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// prog assembles instructions into a validated program for analysis
+// tests; targets are absolute and the caller keeps them in range.
+func prog(t *testing.T, code ...Instr) *Program {
+	t.Helper()
+	p := &Program{Code: code, Entry: 0, MemSize: 64}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("test program invalid: %v", err)
+	}
+	return p
+}
+
+func violAt(f *Facts, pc int, substr string) bool {
+	for _, v := range f.Violations {
+		if v.PC == pc && strings.Contains(v.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeProvesStraightLine(t *testing.T) {
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 1},
+		Instr{Op: OpLit, Arg: 2},
+		Instr{Op: OpAdd},
+		Instr{Op: OpDrop},
+		Instr{Op: OpHalt},
+	)
+	f := Analyze(p)
+	if !f.Proved {
+		t.Fatalf("not proved: %v", f.Violations)
+	}
+	if f.MaxDepth != 2 || f.MaxRDepth != 0 {
+		t.Fatalf("MaxDepth=%d MaxRDepth=%d, want 2,0", f.MaxDepth, f.MaxRDepth)
+	}
+	// Per-pc entry depths: 0,1,2,1,0.
+	want := []int{0, 1, 2, 1, 0}
+	for pc, w := range want {
+		got := f.PCs[pc]
+		if !got.Reachable || got.Depth != (Interval{w, w}) {
+			t.Errorf("pc %d: fact %+v, want exact depth %d", pc, got, w)
+		}
+	}
+	if err := VerifyStrict(p); err != nil {
+		t.Fatalf("VerifyStrict: %v", err)
+	}
+}
+
+func TestAnalyzeRejectsUnderflow(t *testing.T) {
+	// OpAdd on an empty stack at pc 0: the classic program every
+	// engine currently rejects only at run time.
+	p := prog(t, Instr{Op: OpAdd}, Instr{Op: OpHalt})
+	f := Analyze(p)
+	if f.Proved {
+		t.Fatal("underflowing program proved")
+	}
+	if !violAt(f, 0, "data stack may underflow") {
+		t.Fatalf("no pc-0 underflow violation: %v", f.Violations)
+	}
+	err := VerifyStrict(p)
+	if err == nil || !strings.Contains(err.Error(), "pc 0") {
+		t.Fatalf("VerifyStrict error %q lacks pc precision", err)
+	}
+}
+
+func TestAnalyzeRejectsDeepUnderflow(t *testing.T) {
+	// The underflow is only on one branch and three instructions in;
+	// the violation must name the popping pc, not the branch.
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 1},        // 0: depth 1
+		Instr{Op: OpBranchZero, Arg: 4}, // 1: depth 0 both ways
+		Instr{Op: OpDrop},               // 2: pops at depth 0 -> violation
+		Instr{Op: OpHalt},               // 3
+		Instr{Op: OpHalt},               // 4
+	)
+	f := Analyze(p)
+	if f.Proved {
+		t.Fatal("proved")
+	}
+	if !violAt(f, 2, "data stack may underflow") {
+		t.Fatalf("want underflow at pc 2, got %v", f.Violations)
+	}
+}
+
+func TestAnalyzeJoinIntervals(t *testing.T) {
+	// Two paths reach pc 6 with depths 2 and 1: interval [1,2]. The
+	// drop at pc 6 is safe (min 1); a second drop is not.
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 0},        // 0: -> depth 1
+		Instr{Op: OpBranchZero, Arg: 5}, // 1: pops flag, depth 0 both ways
+		Instr{Op: OpLit, Arg: 1},        // 2: fall-through path
+		Instr{Op: OpLit, Arg: 2},        // 3: -> depth 2
+		Instr{Op: OpBranch, Arg: 6},     // 4
+		Instr{Op: OpLit, Arg: 3},        // 5: taken path -> depth 1
+		Instr{Op: OpDrop},               // 6: depth [1,2]
+		Instr{Op: OpDrop},               // 7: depth [0,1] -> may underflow
+		Instr{Op: OpHalt},               // 8
+	)
+	f := Analyze(p)
+	if got := f.PCs[6].Depth; got != (Interval{1, 2}) {
+		t.Fatalf("pc 6 depth %v, want 1..2", got)
+	}
+	if !violAt(f, 7, "data stack may underflow") {
+		t.Fatalf("want underflow at pc 7, got %v", f.Violations)
+	}
+}
+
+func TestAnalyzeCallExitProved(t *testing.T) {
+	// main: lit 7; call sq; drop; halt   sq: dup; *; exit
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 7},  // 0
+		Instr{Op: OpCall, Arg: 4}, // 1
+		Instr{Op: OpDrop},         // 2
+		Instr{Op: OpHalt},         // 3
+		Instr{Op: OpDup},          // 4: sq
+		Instr{Op: OpMul},          // 5
+		Instr{Op: OpExit},         // 6
+	)
+	f := Analyze(p)
+	if !f.Proved {
+		t.Fatalf("not proved: %v", f.Violations)
+	}
+	if f.MaxDepth != 2 || f.MaxRDepth != 1 {
+		t.Fatalf("MaxDepth=%d MaxRDepth=%d, want 2,1", f.MaxDepth, f.MaxRDepth)
+	}
+}
+
+func TestAnalyzeSharedHelperAtManyDepths(t *testing.T) {
+	// The shape the Forth front end emits constantly: one helper
+	// called from two different absolute depths (directly from main
+	// and from inside another word). Summary-based analysis must
+	// still prove it.
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 1},  // 0
+		Instr{Op: OpCall, Arg: 6}, // 1: helper at depth 1
+		Instr{Op: OpLit, Arg: 2},  // 2
+		Instr{Op: OpCall, Arg: 9}, // 3: outer at depth 2
+		Instr{Op: OpDrop},         // 4 (helper net -1, outer net -1: depth 1->... )
+		Instr{Op: OpHalt},         // 5
+		Instr{Op: OpDup},          // 6: helper ( a -- a' ), net 0
+		Instr{Op: OpAdd},          // 7
+		Instr{Op: OpExit},         // 8
+		Instr{Op: OpCall, Arg: 6}, // 9: outer calls helper (depth now 2 -> helper at rstack 2)
+		Instr{Op: OpDrop},         // 10: outer net -1
+		Instr{Op: OpExit},         // 11
+	)
+	f := Analyze(p)
+	if !f.Proved {
+		t.Fatalf("not proved: %v", f.Violations)
+	}
+	if f.MaxRDepth != 2 {
+		t.Fatalf("MaxRDepth=%d, want 2", f.MaxRDepth)
+	}
+}
+
+func TestAnalyzeExitOutsideCall(t *testing.T) {
+	// An exit reachable at top level pops an empty return stack.
+	p := prog(t, Instr{Op: OpExit}, Instr{Op: OpHalt})
+	f := Analyze(p)
+	if f.Proved || !violAt(f, 0, "return stack may underflow") {
+		t.Fatalf("want rstack underflow at pc 0, got %v", f.Violations)
+	}
+
+	// An exit inside a counted loop would pop the loop controls.
+	p = prog(t,
+		Instr{Op: OpLit, Arg: 3},  // 0
+		Instr{Op: OpLit, Arg: 0},  // 1
+		Instr{Op: OpCall, Arg: 4}, // 2
+		Instr{Op: OpHalt},         // 3
+		Instr{Op: OpDo},           // 4: word body: do ... exit (missing unloop)
+		Instr{Op: OpExit},         // 5: frame height 2
+		Instr{Op: OpHalt},         // 6
+	)
+	f = Analyze(p)
+	if f.Proved || !violAt(f, 5, "not provably a call return") {
+		t.Fatalf("want unproven exit at pc 5, got %v", f.Violations)
+	}
+}
+
+func TestAnalyzeLoopProved(t *testing.T) {
+	// 10 0 do i drop loop halt
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 10}, // 0
+		Instr{Op: OpLit, Arg: 0},  // 1
+		Instr{Op: OpDo},           // 2
+		Instr{Op: OpI},            // 3
+		Instr{Op: OpDrop},         // 4
+		Instr{Op: OpLoop, Arg: 3}, // 5
+		Instr{Op: OpHalt},         // 6
+	)
+	f := Analyze(p)
+	if !f.Proved {
+		t.Fatalf("not proved: %v", f.Violations)
+	}
+	if f.MaxRDepth != 2 {
+		t.Fatalf("MaxRDepth=%d, want 2", f.MaxRDepth)
+	}
+	if got := f.PCs[6].RDepth; got != (Interval{0, 0}) {
+		t.Fatalf("pc 6 rdepth %v, want 0", got)
+	}
+}
+
+func TestAnalyzeUnboundedLoopDepth(t *testing.T) {
+	// A loop that pushes one cell per iteration: depth genuinely
+	// unbounded; widening must reach "may overflow" quickly.
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 1},    // 0
+		Instr{Op: OpBranch, Arg: 0}, // 1
+	)
+	f := Analyze(p)
+	if f.Proved {
+		t.Fatal("unbounded-depth loop proved")
+	}
+	if !violAt(f, 0, "data stack may overflow") {
+		t.Fatalf("want overflow at pc 0, got %v", f.Violations)
+	}
+}
+
+func TestAnalyzeRecursionUnproven(t *testing.T) {
+	// f: call f; exit — unbounded return stack. The analysis cannot
+	// bound recursion and must say so rather than prove it.
+	p := prog(t,
+		Instr{Op: OpCall, Arg: 2}, // 0: main calls f
+		Instr{Op: OpHalt},         // 1
+		Instr{Op: OpCall, Arg: 2}, // 2: f calls itself
+		Instr{Op: OpExit},         // 3
+	)
+	f := Analyze(p)
+	if f.Proved {
+		t.Fatal("recursive program proved")
+	}
+	if !violAt(f, 0, "return stack may overflow") && !violAt(f, 2, "return stack may overflow") {
+		t.Fatalf("want rstack overflow violation, got %v", f.Violations)
+	}
+}
+
+func TestAnalyzeRFrameDiscipline(t *testing.T) {
+	// Balanced >r ... r> inside a word: proven.
+	p := prog(t,
+		Instr{Op: OpLit, Arg: 5},  // 0
+		Instr{Op: OpCall, Arg: 3}, // 1
+		Instr{Op: OpHalt},         // 2
+		Instr{Op: OpToR},          // 3: word ( a -- a )
+		Instr{Op: OpRFrom},        // 4
+		Instr{Op: OpExit},         // 5
+	)
+	if f := Analyze(p); !f.Proved {
+		t.Fatalf("balanced >r r> not proved: %v", f.Violations)
+	}
+
+	// r> at frame base pops the word's own return address: unproven.
+	p = prog(t,
+		Instr{Op: OpCall, Arg: 2}, // 0
+		Instr{Op: OpHalt},         // 1
+		Instr{Op: OpRFrom},        // 2: pops the return address
+		Instr{Op: OpDrop},         // 3
+		Instr{Op: OpExit},         // 4
+	)
+	f := Analyze(p)
+	if f.Proved || !violAt(f, 2, "return address") {
+		t.Fatalf("want frame violation at pc 2, got %v", f.Violations)
+	}
+}
+
+func TestAnalyzeUnreachable(t *testing.T) {
+	p := prog(t,
+		Instr{Op: OpBranch, Arg: 3}, // 0
+		Instr{Op: OpAdd},            // 1: dead (would otherwise underflow)
+		Instr{Op: OpAdd},            // 2: dead
+		Instr{Op: OpHalt},           // 3
+	)
+	f := Analyze(p)
+	if !f.Proved {
+		t.Fatalf("not proved: %v", f.Violations)
+	}
+	un := f.Unreachable()
+	if len(un) != 2 || un[0] != 1 || un[1] != 2 {
+		t.Fatalf("Unreachable() = %v, want [1 2]", un)
+	}
+}
+
+func TestAnalyzeFallOffEnd(t *testing.T) {
+	p := prog(t, Instr{Op: OpLit, Arg: 1}, Instr{Op: OpDrop})
+	f := Analyze(p)
+	if f.Proved || !violAt(f, 1, "fall off the end") {
+		t.Fatalf("want fall-off at pc 1, got %v", f.Violations)
+	}
+}
+
+func TestAnalyzeInvalidProgram(t *testing.T) {
+	p := &Program{Code: []Instr{{Op: Opcode(200)}}, Entry: 0}
+	f := Analyze(p)
+	if f.Proved || len(f.Violations) != 1 || f.Violations[0].PC != -1 {
+		t.Fatalf("invalid program: %+v", f)
+	}
+}
+
+func TestNoFactsDisablesProof(t *testing.T) {
+	if NoFacts.Proved {
+		t.Fatal("NoFacts must be unproven")
+	}
+	if NoFacts.Outcome() != "unproven" {
+		t.Fatalf("NoFacts outcome %q", NoFacts.Outcome())
+	}
+}
+
+func TestAnalyzeHaltOnlyCallee(t *testing.T) {
+	// A called word that halts and never exits: the call's
+	// continuation is dead, and that is a proof, not an error.
+	p := prog(t,
+		Instr{Op: OpCall, Arg: 3}, // 0
+		Instr{Op: OpAdd},          // 1: dead
+		Instr{Op: OpHalt},         // 2
+		Instr{Op: OpHalt},         // 3: the word
+	)
+	f := Analyze(p)
+	if !f.Proved {
+		t.Fatalf("not proved: %v", f.Violations)
+	}
+	if f.PCs[1].Reachable {
+		t.Fatal("continuation of a non-returning call marked reachable")
+	}
+	if f.MaxRDepth != 1 {
+		t.Fatalf("MaxRDepth=%d, want 1 (the unpopped return address)", f.MaxRDepth)
+	}
+}

@@ -8,6 +8,18 @@ import (
 // Disassemble renders the whole program, annotating word starts and
 // branch targets.
 func Disassemble(p *Program) string {
+	return DisassembleWith(p, nil)
+}
+
+// DisassembleWith renders the program like Disassemble and, when f is
+// non-nil, annotates each instruction with the analysis's inferred
+// entry depth intervals (data stack, then return stack when it can be
+// nonzero) and flags instructions no abstract path reaches. Facts for
+// a different program (wrong length) are ignored rather than misread.
+func DisassembleWith(p *Program, f *Facts) string {
+	if f != nil && len(f.PCs) != len(p.Code) {
+		f = nil
+	}
 	var sb strings.Builder
 	targets := p.BranchTargets()
 	for pc, ins := range p.Code {
@@ -16,7 +28,21 @@ func Disassemble(p *Program) string {
 		} else if targets[pc] {
 			fmt.Fprintf(&sb, "L%d:\n", pc)
 		}
-		fmt.Fprintf(&sb, "%5d  %s\n", pc, disasmInstr(p, ins))
+		text := disasmInstr(p, ins)
+		if f == nil {
+			fmt.Fprintf(&sb, "%5d  %s\n", pc, text)
+			continue
+		}
+		fact := f.PCs[pc]
+		switch {
+		case !fact.Reachable:
+			fmt.Fprintf(&sb, "%5d  %-24s ; unreachable\n", pc, text)
+		case fact.RDepth.Lo == 0 && fact.RDepth.Hi == 0:
+			fmt.Fprintf(&sb, "%5d  %-24s ; depth %s\n", pc, text, fact.Depth)
+		default:
+			fmt.Fprintf(&sb, "%5d  %-24s ; depth %s rdepth %s\n",
+				pc, text, fact.Depth, fact.RDepth)
+		}
 	}
 	return sb.String()
 }

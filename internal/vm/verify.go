@@ -24,11 +24,18 @@ import "fmt"
 // What Verify deliberately does NOT guarantee: stack balance, return
 // addresses popped by OpExit (they are data, pushed at run time), or
 // memory addresses used by fetch/store — those remain dynamic checks
-// in every engine. The execution contract is therefore: a verified
-// program either halts, exceeds its step limit, or fails with a
-// RuntimeError; an unverified program may additionally fail with a
-// "program counter out of range" or "invalid opcode" error — but no
-// program, verified or not, may panic an engine.
+// in every engine. Analyze goes further for the first two: its
+// abstract interpretation can prove per-pc stack-depth bounds and exit
+// return-address discipline, and when it succeeds (Facts.Proved)
+// engines elide the corresponding dynamic checks; when it cannot, or
+// for programs that skipped it, the checks stay. VerifyStrict is
+// Verify plus that proof as a requirement. Memory addresses are
+// data-dependent and always checked dynamically. The execution
+// contract is therefore: a verified program either halts, exceeds its
+// step limit, or fails with a RuntimeError; an unverified program may
+// additionally fail with a "program counter out of range" or "invalid
+// opcode" error — but no program, verified or not, may panic an
+// engine.
 func Verify(p *Program) error {
 	if err := p.Validate(); err != nil {
 		return err

@@ -380,3 +380,29 @@ func TestBuilderPropertyTargetsAlwaysValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDisassembleWithFacts(t *testing.T) {
+	b := NewBuilder()
+	b.Word("main")
+	b.Lit(2)
+	b.Lit(3)
+	b.Emit(OpAdd)
+	b.Emit(OpHalt)
+	b.Emit(OpDrop) // after halt: unreachable
+	b.SetEntry("word:main")
+	p := b.MustBuild()
+	f := Analyze(p)
+	if !f.Proved {
+		t.Fatalf("straight-line program unproven: %v", f.Violations)
+	}
+	out := DisassembleWith(p, f)
+	for _, want := range []string{"; depth 0", "; depth 1", "; depth 2", "; unreachable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotated disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Facts for a different program are ignored, not misapplied.
+	if got := DisassembleWith(p, &Facts{}); got != Disassemble(p) {
+		t.Errorf("mismatched facts not ignored:\n%s", got)
+	}
+}

@@ -9,6 +9,7 @@
 // Endpoints:
 //
 //	POST /run      {"source": ": main + . ;", "engine": "static", "args": [30, 12], "max_steps": 100000}
+//	POST /run      {"source": ": main + . ;", "inputs": [{"args": [1, 2]}, {"args": [40, 2]}]}   # batch
 //	POST /compile  {"source": ": main 1 2 + . ;"}   # warm the program cache
 //	GET  /stats    # metrics registry snapshot (JSON)
 //	GET  /metrics  # the same registry in Prometheus text format
@@ -18,10 +19,14 @@
 // default switch). "args" seeds the program's initial data stack and
 // "mem" (base64 bytes in JSON) overlays its data memory, so one cached
 // program serves many computations — the cache key covers only the
-// source. Errors come back as JSON with a stable "class" drawn from
-// the service's error vocabulary, mapped onto HTTP status codes (400
-// bad_request/compile, 422 runtime, 429 queue_full, 504
-// limit/canceled).
+// source. "inputs" batches many argument/memory sets into one request:
+// the program runs once per input on a single worker pass, and the
+// response carries per-input "results" (each with its own output,
+// stack, steps and error class — one failing input does not fail the
+// batch). Batch size is capped by -maxbatch. Errors come back as JSON
+// with a stable "class" drawn from the service's error vocabulary,
+// mapped onto HTTP status codes (400 bad_request/compile, 422
+// runtime/limit, 429 queue_full, 503 shutdown, 504 canceled).
 package main
 
 import (
@@ -48,22 +53,43 @@ import (
 const maxBodyBytes = 1 << 20
 
 type runRequest struct {
-	Source   string    `json:"source"`
-	Engine   string    `json:"engine"`
-	MaxSteps int64     `json:"max_steps"`
-	Args     []vm.Cell `json:"args"` // initial data stack, bottom first
-	Mem      []byte    `json:"mem"`  // data-memory overlay (base64 in JSON)
+	Source   string     `json:"source"`
+	Engine   string     `json:"engine"`
+	MaxSteps int64      `json:"max_steps"`
+	Args     []vm.Cell  `json:"args"`   // initial data stack, bottom first
+	Mem      []byte     `json:"mem"`    // data-memory overlay (base64 in JSON)
+	Inputs   []runInput `json:"inputs"` // batch: one execution per input
+}
+
+// runInput is one input set of a batch request; mutually exclusive
+// with the singleton args/mem fields.
+type runInput struct {
+	Args []vm.Cell `json:"args"`
+	Mem  []byte    `json:"mem"`
 }
 
 type runResponse struct {
-	Key        string    `json:"key"`
-	Engine     string    `json:"engine"`
+	Key        string        `json:"key"`
+	Engine     string        `json:"engine"`
+	Output     string        `json:"output"`
+	Stack      []vm.Cell     `json:"stack"`
+	StackDepth int           `json:"stack_depth"`
+	Steps      int64         `json:"steps"`
+	CacheHit   bool          `json:"cache_hit"`
+	Analysis   string        `json:"analysis"`          // "proved" or "unproven"
+	Results    []inputResult `json:"results,omitempty"` // batch requests only, in input order
+}
+
+// inputResult is one input's outcome within a batch response. Inputs
+// are isolated: "class" is "ok" on success, and a failing input's
+// class/error ride here while the rest of the batch still executes.
+type inputResult struct {
 	Output     string    `json:"output"`
 	Stack      []vm.Cell `json:"stack"`
 	StackDepth int       `json:"stack_depth"`
 	Steps      int64     `json:"steps"`
-	CacheHit   bool      `json:"cache_hit"`
-	Analysis   string    `json:"analysis"` // "proved" or "unproven"
+	Class      string    `json:"class"`
+	Error      string    `json:"error,omitempty"`
 }
 
 type compileResponse struct {
@@ -76,16 +102,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// statusFor maps error classes onto HTTP status codes.
+// statusFor maps error classes onto HTTP status codes. Limit errors
+// are 422, not 504: an exhausted step/output/stack budget is the
+// request's own doing (the program was executed and judged), not a
+// timeout in the serving path — 504 is reserved for requests whose
+// context was canceled or expired before a verdict.
 func statusFor(class service.ErrorClass) int {
 	switch class {
 	case service.ClassBadRequest, service.ClassCompile:
 		return http.StatusBadRequest
-	case service.ClassRuntime:
+	case service.ClassRuntime, service.ClassLimit:
 		return http.StatusUnprocessableEntity
 	case service.ClassQueueFull:
 		return http.StatusTooManyRequests
-	case service.ClassLimit, service.ClassCanceled:
+	case service.ClassCanceled:
 		return http.StatusGatewayTimeout
 	case service.ClassShutdown:
 		return http.StatusServiceUnavailable
@@ -131,18 +161,22 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	resp, err := s.svc.Run(r.Context(), service.Request{
+	sreq := service.Request{
 		Source:   req.Source,
 		Engine:   req.Engine,
 		MaxSteps: req.MaxSteps,
 		Args:     req.Args,
 		Mem:      req.Mem,
-	})
+	}
+	for _, in := range req.Inputs {
+		sreq.Inputs = append(sreq.Inputs, service.Input{Args: in.Args, Mem: in.Mem})
+	}
+	resp, err := s.svc.Run(r.Context(), sreq)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{
+	out := runResponse{
 		Key:        resp.Key,
 		Engine:     resp.Engine,
 		Output:     resp.Output,
@@ -151,7 +185,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Steps:      resp.Steps,
 		CacheHit:   resp.CacheHit,
 		Analysis:   resp.Analysis,
-	})
+	}
+	// A batch that was executed is 200 whatever its inputs did:
+	// per-input failures are results, reported input by input.
+	for _, ir := range resp.Results {
+		res := inputResult{
+			Output:     ir.Output,
+			Stack:      ir.Stack,
+			StackDepth: ir.StackDepth,
+			Steps:      ir.Steps,
+			Class:      ir.Class().String(),
+		}
+		if ir.Err != nil {
+			res.Error = ir.Err.Error()
+		}
+		out.Results = append(out.Results, res)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -193,6 +243,7 @@ func main() {
 		ceiling  = flag.Int64("ceiling", 1<<30, "largest step budget a request may ask for")
 		maxOut   = flag.Int("maxout", 1<<20, "per-request output budget in bytes")
 		maxStack = flag.Int("maxstack", 1024, "largest final stack a response may carry, in cells")
+		maxBatch = flag.Int("maxbatch", 64, "largest number of inputs a batch /run may carry")
 		superins = flag.Bool("super", false, "compile with superinstruction fusion")
 	)
 	flag.Usage = func() {
@@ -210,6 +261,7 @@ func main() {
 		MaxStepCeiling:  *ceiling,
 		MaxOutputBytes:  *maxOut,
 		MaxStackCells:   *maxStack,
+		MaxBatchInputs:  *maxBatch,
 		CompileOptions:  forth.Options{Superinstructions: *superins},
 	})
 	if err != nil {

@@ -247,10 +247,7 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 			if !g.elide {
 				g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", c)
 			}
-			for i := 0; i < s; i++ {
-				g.p("st[sp+%d] = %s", i, reg(i))
-			}
-			g.p("sp += %d", s)
+			g.spill(s)
 			for i := 0; i < c-s; i++ {
 				g.p("%s = %s", reg(i), reg(i+s))
 			}
@@ -265,6 +262,32 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 
 // gotoState emits the jump to the interpreter copy for the new state.
 func (g *generator) gotoState(c int) { g.p("goto state%d", c) }
+
+// spill emits the copy of the s deepest cached registers to the memory
+// stack. In the checked variant the writes are inline, guarded by the
+// overflow check the caller just emitted. In the check-elided variant
+// the same inline writes miscompile under the Go 1.24 optimizer — with
+// the guarding branch gone, sp itself gets clobbered with a jump-table
+// address across the spill+goto, the same bug family documented at
+// OpDepth (verified against -gcflags='-N -l'). The workaround is to
+// outline the spill into a //go:noinline helper: the call boundary
+// pins sp's value, and it sits only on overflow transitions, never in
+// a state's steady-state path.
+func (g *generator) spill(s int) {
+	if g.elide {
+		args := make([]string, s)
+		for i := range args {
+			args[i] = reg(i)
+		}
+		g.spills[s] = true
+		g.p("sp = spill%d(st, sp, %s)", s, strings.Join(args, ", "))
+		return
+	}
+	for i := 0; i < s; i++ {
+		g.p("st[sp+%d] = %s", i, reg(i))
+	}
+	g.p("sp += %d", s)
+}
 
 // checkOut emits the Machine.MaxOut budget check after an
 // output-writing instruction; rem is the cache state whose fail label
@@ -328,10 +351,7 @@ func (g *generator) place(rem int, outs []string) {
 	if !g.elide {
 		g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", rem)
 	}
-	for i := 0; i < s; i++ {
-		g.p("st[sp+%d] = %s", i, reg(i))
-	}
-	g.p("sp += %d", s)
+	g.spill(s)
 	for i := 0; i < rem-s; i++ {
 		g.p("%s = %s", reg(i), reg(i+s))
 	}
@@ -449,10 +469,7 @@ func (g *generator) manip(c int, eff vm.Effect) {
 	if !g.elide {
 		g.p("if sp+%d > len(st) { errOp, errMsg = ins.Op, %q; goto fail%d }", s, "stack overflow", c)
 	}
-	for i := 0; i < s; i++ {
-		g.p("st[sp+%d] = %s", i, reg(i))
-	}
-	g.p("sp += %d", s)
+	g.spill(s)
 	for i := 0; i < c-s; i++ {
 		g.p("%s = %s", reg(i), reg(i+s))
 	}

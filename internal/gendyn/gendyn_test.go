@@ -47,6 +47,27 @@ func TestMatchesBaselineOnAllWorkloads(t *testing.T) {
 			t.Errorf("%s: generated interpreter disagrees with baseline\nwant %q\ngot  %q",
 				w.Name, ref.Out.String(), m.Out.String())
 		}
+		// The check-elided copy must agree too, on the full-size
+		// workloads especially: deep stacks drive the overflow spill
+		// transitions, where a Go 1.24 optimizer bug once corrupted sp
+		// in the elided variant (caught only by the big workloads — the
+		// micros never spill; see the generator's spill method).
+		facts := vm.Analyze(p)
+		if !facts.Proved {
+			continue
+		}
+		fm := interp.NewMachine(p)
+		fm.ApplySpec(interp.ExecSpec{Facts: facts})
+		if !fm.ElideChecks() {
+			t.Fatalf("%s: proved program did not enable elision", w.Name)
+		}
+		if err := Run(fm); err != nil {
+			t.Fatalf("%s gendyn elided: %v", w.Name, err)
+		}
+		if !ref.Snapshot().Equal(fm.Snapshot()) {
+			t.Errorf("%s: check-elided generated interpreter disagrees with baseline\nwant %q\ngot  %q",
+				w.Name, ref.Out.String(), fm.Out.String())
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"stackcache/internal/gen"
 	"stackcache/internal/interp"
+	"stackcache/internal/vm"
 	"stackcache/internal/workloads"
 )
 
@@ -41,6 +42,25 @@ func TestMatchesBaselineOnAllWorkloads(t *testing.T) {
 		}
 		if !ref.Snapshot().Equal(m.Snapshot()) {
 			t.Errorf("%s: 4-register generated interpreter disagrees with baseline", w.Name)
+		}
+		// The check-elided copy must agree too; the full-size workloads
+		// drive the overflow spill transitions where a Go 1.24 optimizer
+		// bug once corrupted sp in the elided variant (see the
+		// generator's spill method).
+		facts := vm.Analyze(p)
+		if !facts.Proved {
+			continue
+		}
+		fm := interp.NewMachine(p)
+		fm.ApplySpec(interp.ExecSpec{Facts: facts})
+		if !fm.ElideChecks() {
+			t.Fatalf("%s: proved program did not enable elision", w.Name)
+		}
+		if err := Run(fm); err != nil {
+			t.Fatalf("%s gendyn4 elided: %v", w.Name, err)
+		}
+		if !ref.Snapshot().Equal(fm.Snapshot()) {
+			t.Errorf("%s: check-elided 4-register interpreter disagrees with baseline", w.Name)
 		}
 	}
 }

@@ -188,7 +188,7 @@ func TestPrometheusExposition(t *testing.T) {
 		if _, err := fmt.Sscanf(rest, "%g", &value); err != nil {
 			t.Fatalf("line %d: unparseable sample %q: %v", ln+1, line, err)
 		}
-		base := strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_count")
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_count"), "_sum")
 		if _, ok := types[name]; !ok {
 			if _, ok := types[base]; !ok {
 				t.Fatalf("line %d: sample %q precedes its TYPE", ln+1, name)
@@ -202,6 +202,7 @@ func TestPrometheusExposition(t *testing.T) {
 		"vmd_cache_hits_total", "vmd_cache_misses_total",
 		"vmd_results_total", "vmd_engine_requests_total",
 		"vmd_engine_steps_total", "vmd_exec_latency_seconds",
+		"vmd_batch_inputs_total", "vmd_batch_size",
 	} {
 		if !seen[want] && !seen[strings.TrimSuffix(want, "_total")] {
 			t.Errorf("metric family %s missing from exposition:\n%s", want, text)

@@ -74,6 +74,22 @@ func BucketBounds() [NumLatencyBuckets]string {
 	return out
 }
 
+// NumBatchBuckets is the number of exponential batch-size buckets:
+// bucket i counts batches of at most 2^i inputs, the last bucket
+// catching everything larger.
+const NumBatchBuckets = 8
+
+// BatchBucketBounds returns the human-readable upper bounds of the
+// batch-size histogram, in inputs per batch.
+func BatchBucketBounds() [NumBatchBuckets]string {
+	var out [NumBatchBuckets]string
+	for i := 0; i < NumBatchBuckets-1; i++ {
+		out[i] = "<=" + strconv.Itoa(1<<i)
+	}
+	out[NumBatchBuckets-1] = ">" + strconv.Itoa(1<<(NumBatchBuckets-2))
+	return out
+}
+
 // engineMetrics is the per-engine slice of the registry: request count,
 // cumulative executed steps, and a latency histogram. All fields are
 // updated with atomics; the struct is never copied while live.
@@ -101,6 +117,10 @@ type Metrics struct {
 	analysisProved   atomic.Int64 // executions of depth-proved programs
 	analysisUnproven atomic.Int64 // executions that kept dynamic checks
 
+	batchInputs       atomic.Int64                  // inputs executed via batch requests
+	batchSizes        [NumBatchBuckets]atomic.Int64 // batch executions by input count
+	batchInputResults [NumErrorClasses]atomic.Int64 // per-input outcomes within batches
+
 	errors [NumErrorClasses]atomic.Int64
 
 	engines sync.Map // engine name -> *engineMetrics
@@ -115,6 +135,27 @@ func (m *Metrics) observeAnalysis(proved bool) {
 	} else {
 		m.analysisUnproven.Add(1)
 	}
+}
+
+// observeBatch records one executed batch of n inputs.
+func (m *Metrics) observeBatch(n int) {
+	m.batchInputs.Add(int64(n))
+	b := 0
+	if n > 1 {
+		b = bits.Len(uint(n - 1)) // n <= 2^b
+	}
+	if b >= NumBatchBuckets {
+		b = NumBatchBuckets - 1
+	}
+	m.batchSizes[b].Add(1)
+}
+
+// observeBatchInput records one input's outcome within a batch. These
+// are deliberately separate from the request-level error counters:
+// completed-by-class keeps summing to requests (a batch is one
+// request), while per-input failures stay visible here.
+func (m *Metrics) observeBatchInput(class ErrorClass) {
+	m.batchInputResults[class].Add(1)
 }
 
 // observeDone records one finished request of any class.
@@ -174,6 +215,16 @@ type Snapshot struct {
 	AnalysisProved   int64 `json:"analysis_proved"`
 	AnalysisUnproven int64 `json:"analysis_unproven"`
 
+	// BatchInputs counts inputs executed via batch requests;
+	// BatchSizes is the batch-size histogram (one count per executed
+	// batch), labeled by BatchSizeBounds. BatchInputResults counts
+	// per-input outcomes within batches by class wire name — these are
+	// not in Errors, which counts whole requests.
+	BatchInputs       int64                   `json:"batch_inputs"`
+	BatchSizes        [NumBatchBuckets]int64  `json:"batch_size_buckets"`
+	BatchSizeBounds   [NumBatchBuckets]string `json:"batch_size_bucket_bounds"`
+	BatchInputResults map[string]int64        `json:"batch_input_results"`
+
 	// Errors counts finished requests by class wire name, including
 	// "ok".
 	Errors map[string]int64 `json:"errors"`
@@ -206,13 +257,22 @@ func (m *Metrics) snapshot() Snapshot {
 		CacheEvictions:      m.cacheEvictions.Load(),
 		AnalysisProved:      m.analysisProved.Load(),
 		AnalysisUnproven:    m.analysisUnproven.Load(),
+		BatchInputs:         m.batchInputs.Load(),
+		BatchSizeBounds:     BatchBucketBounds(),
+		BatchInputResults:   make(map[string]int64, NumErrorClasses),
 		Errors:              make(map[string]int64, NumErrorClasses),
 		Engines:             make(map[string]EngineSnapshot),
 		LatencyBucketBounds: BucketBounds(),
 	}
+	for b := range s.BatchSizes {
+		s.BatchSizes[b] = m.batchSizes[b].Load()
+	}
 	for c := 0; c < NumErrorClasses; c++ {
 		if n := m.errors[c].Load(); n != 0 {
 			s.Errors[ErrorClass(c).String()] = n
+		}
+		if n := m.batchInputResults[c].Load(); n != 0 {
+			s.BatchInputResults[ErrorClass(c).String()] = n
 		}
 	}
 	m.engines.Range(func(key, value any) bool {

@@ -58,6 +58,30 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		p("vmd_results_total{class=%q} %d\n", c, s.Errors[c])
 	}
 
+	counter("vmd_batch_inputs_total", "Inputs executed via batch requests.", s.BatchInputs)
+	inputClasses := make([]string, 0, len(s.BatchInputResults))
+	for c := range s.BatchInputResults {
+		inputClasses = append(inputClasses, c)
+	}
+	sort.Strings(inputClasses)
+	p("# HELP vmd_batch_input_results_total Per-input outcomes within batch requests, by error class.\n# TYPE vmd_batch_input_results_total counter\n")
+	for _, c := range inputClasses {
+		p("vmd_batch_input_results_total{class=%q} %d\n", c, s.BatchInputResults[c])
+	}
+	p("# HELP vmd_batch_size Inputs per executed batch request.\n# TYPE vmd_batch_size histogram\n")
+	// Bucket i counts batches of at most 2^i inputs; the Prometheus
+	// encoding wants cumulative counts. The sum of sizes is exactly
+	// the total input count the registry already tracks.
+	cumBatches := int64(0)
+	for i := 0; i < NumBatchBuckets-1; i++ {
+		cumBatches += s.BatchSizes[i]
+		p("vmd_batch_size_bucket{le=%q} %d\n", strconv.Itoa(1<<i), cumBatches)
+	}
+	cumBatches += s.BatchSizes[NumBatchBuckets-1]
+	p("vmd_batch_size_bucket{le=\"+Inf\"} %d\n", cumBatches)
+	p("vmd_batch_size_sum %d\n", s.BatchInputs)
+	p("vmd_batch_size_count %d\n", cumBatches)
+
 	p("# HELP vmd_engine_requests_total Executions per engine.\n# TYPE vmd_engine_requests_total counter\n")
 	for _, e := range engines {
 		p("vmd_engine_requests_total{engine=%q} %d\n", e, s.Engines[e].Requests)

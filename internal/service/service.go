@@ -82,6 +82,13 @@ type Config struct {
 	// cap, so a reply can never balloon on Response.Stack.
 	MaxStackCells int
 
+	// MaxBatchInputs bounds the inputs one batch request may carry
+	// (default 64). Oversized batches are rejected with
+	// ClassBadRequest before compilation, like the other request
+	// budgets — the cap bounds how long a batch can monopolize one
+	// worker, since a batch runs on a single worker pass.
+	MaxBatchInputs int
+
 	// CompileOptions configures the Forth compiler for every program
 	// entering the cache (options are part of the cache key).
 	CompileOptions forth.Options
@@ -113,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStackCells <= 0 {
 		c.MaxStackCells = 1024
 	}
+	if c.MaxBatchInputs <= 0 {
+		c.MaxBatchInputs = 64
+	}
 	if c.Policies == (engine.Policies{}) {
 		c.Policies = engine.DefaultPolicies()
 	}
@@ -136,6 +146,28 @@ type Request struct {
 	// compile-once/execute-many payoff: the cache key covers only
 	// (options, source), so one cached program serves any number of
 	// argument sets without recompiling.
+	Args []vm.Cell
+
+	// Mem, when non-empty, is overlaid over the program's data image
+	// starting at address 0. It must fit the program's memory.
+	Mem []byte
+
+	// Inputs, when non-empty, makes this a batch request: the program
+	// is executed once per input, all on one worker pass with one
+	// pooled machine re-seeded between inputs, and the response
+	// carries one InputResult per input. Batching amortizes the
+	// per-request overhead (queue hand-off, machine setup, response
+	// framing) that dominates small programs. Mutually exclusive with
+	// the singleton Args/Mem fields; bounded by Config.MaxBatchInputs.
+	Inputs []Input
+}
+
+// Input is one execution's inputs within a batch request: its own
+// initial data stack and memory overlay, with the same semantics as
+// the singleton Request.Args/Mem. The program, engine and budgets are
+// shared by the whole batch.
+type Input struct {
+	// Args is this input's initial data stack, bottom first.
 	Args []vm.Cell
 
 	// Mem, when non-empty, is overlaid over the program's data image
@@ -175,6 +207,38 @@ type Response struct {
 	// (the execution ran with stack bounds checks elided), "unproven"
 	// when they were not (the execution kept every dynamic check).
 	Analysis string
+
+	// Results holds the per-input outcomes of a batch request, in
+	// input order; nil for singleton requests. A batch response's
+	// singleton Output/Stack fields stay empty — each input's state is
+	// in its own result — and Steps is the total across inputs.
+	Results []InputResult
+}
+
+// InputResult is one input's outcome within a batch response. Inputs
+// are isolated: a failing input reports its classified error here and
+// the rest of the batch still executes, so Run returns a nil error for
+// a batch whose every input was at least attempted.
+type InputResult struct {
+	// Output, Stack, StackDepth and Steps have the singleton
+	// Response field semantics, clamped to the same response budgets.
+	Output     string
+	Stack      []vm.Cell
+	StackDepth int
+	Steps      int64
+
+	// Err is this input's classified execution failure, nil on
+	// success. Like a singleton limit/runtime error, a failed input
+	// still carries its partial output and step count for diagnosis.
+	Err *Error
+}
+
+// Class returns the input's error class (ClassOK on success).
+func (r InputResult) Class() ErrorClass {
+	if r.Err == nil {
+		return ClassOK
+	}
+	return r.Err.Class
 }
 
 // Error is a classified service failure.
@@ -216,12 +280,15 @@ func Classify(err error) ErrorClass {
 // task is one queued execution: a ready-to-run (compiled, verified,
 // prepared) program, the engine to run it under, and the per-request
 // ExecSpec. No per-engine plumbing — the engine seam is the interface.
+// For batch requests, inputs is non-nil and spec's Args/Mem are
+// per-input (the spec carries the shared budgets and facts).
 type task struct {
-	ctx   context.Context
-	entry *Entry
-	eng   engine.Engine
-	spec  interp.ExecSpec
-	done  chan result
+	ctx    context.Context
+	entry  *Entry
+	eng    engine.Engine
+	spec   interp.ExecSpec
+	inputs []Input // non-nil for batch requests
+	done   chan result
 }
 
 type result struct {
@@ -319,6 +386,12 @@ func (s *Service) Compile(src string) (key string, cacheHit bool, err error) {
 // *Error values; Classify recovers the class.
 func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 	s.metrics.requests.Add(1)
+	// Callers that do not care pass nil; normalize it here so neither
+	// the final select nor the worker's queued-cancellation check ever
+	// sees a nil context.
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	maxSteps := req.MaxSteps
 	switch {
@@ -344,6 +417,27 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 		return s.fail(ClassBadRequest,
 			fmt.Errorf("service: %d args exceed the %d-cell stack", len(req.Args), interp.DefaultStackCap))
 	}
+	if len(req.Inputs) > 0 {
+		// A batch carries its inputs in Inputs, nothing in the
+		// singleton fields: silently merging the two would make "which
+		// execution got Args?" ambiguous.
+		if len(req.Args) > 0 || len(req.Mem) > 0 {
+			return s.fail(ClassBadRequest,
+				fmt.Errorf("service: batch inputs are mutually exclusive with singleton args/mem"))
+		}
+		if len(req.Inputs) > s.cfg.MaxBatchInputs {
+			return s.fail(ClassBadRequest,
+				fmt.Errorf("service: %d batch inputs exceed the %d-input cap",
+					len(req.Inputs), s.cfg.MaxBatchInputs))
+		}
+		for i, in := range req.Inputs {
+			if len(in.Args) > interp.DefaultStackCap {
+				return s.fail(ClassBadRequest,
+					fmt.Errorf("service: input %d: %d args exceed the %d-cell stack",
+						i, len(in.Args), interp.DefaultStackCap))
+			}
+		}
+	}
 
 	// Compile (or join an in-flight compile) before queueing, so the
 	// bounded queue holds only ready-to-run work and compile storms
@@ -356,6 +450,13 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 		return s.fail(ClassBadRequest,
 			fmt.Errorf("service: %d-byte memory overlay exceeds the program's %d-byte memory",
 				len(req.Mem), entry.Prog.MemSize))
+	}
+	for i, in := range req.Inputs {
+		if len(in.Mem) > entry.Prog.MemSize {
+			return s.fail(ClassBadRequest,
+				fmt.Errorf("service: input %d: %d-byte memory overlay exceeds the program's %d-byte memory",
+					i, len(in.Mem), entry.Prog.MemSize))
+		}
 	}
 	// Engines with a per-program compile step (static plans) run it
 	// here for the same reason; the engine caches the result, so this
@@ -377,7 +478,8 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 			Mem:      req.Mem,
 			Facts:    entry.Facts,
 		},
-		done: make(chan result, 1),
+		inputs: req.Inputs,
+		done:   make(chan result, 1),
 	}
 
 	s.mu.RLock()
@@ -394,17 +496,36 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 			fmt.Errorf("service: queue full (%d queued)", s.cfg.QueueDepth))
 	}
 
-	select {
-	case r := <-t.done:
-		// The submitter is the sole recorder of per-request
-		// completion, so completed-by-class sums to requests even
-		// when a canceled task is still executed by a worker.
+	return s.await(ctx, t, kind)
+}
+
+// await blocks on the task's result or the caller's context. It is
+// the sole recorder of per-request completion, so completed-by-class
+// sums to requests even when a canceled task is still executed by a
+// worker.
+func (s *Service) await(ctx context.Context, t *task, kind lookupKind) (*Response, error) {
+	deliver := func(r result) (*Response, error) {
 		s.metrics.observeDone(Classify(r.err))
 		if r.resp != nil {
 			r.resp.CacheHit = kind != lookupMiss
 		}
 		return r.resp, r.err
+	}
+	select {
+	case r := <-t.done:
+		return deliver(r)
 	case <-ctx.Done():
+		// Both the buffered done channel and ctx.Done() can be ready
+		// at once (the execution finished just as the deadline hit),
+		// and select picks between ready cases at random — so re-check
+		// done before reporting cancellation, preferring the delivered
+		// result: a finished execution must never be misreported as
+		// ClassCanceled to the caller or the metrics.
+		select {
+		case r := <-t.done:
+			return deliver(r)
+		default:
+		}
 		// The worker will observe the canceled context and drop the
 		// task; the buffered done channel lets it finish either way.
 		return s.fail(ClassCanceled, ctx.Err())
@@ -422,22 +543,39 @@ func (s *Service) fail(class ErrorClass, err error) (*Response, error) {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for t := range s.tasks {
-		if t.ctx != nil && t.ctx.Err() != nil {
+		// Run normalizes nil contexts at entry, so t.ctx is never nil.
+		if t.ctx.Err() != nil {
 			t.done <- result{err: classified(ClassCanceled, t.ctx.Err())}
 			continue
 		}
 		start := time.Now()
-		resp, err := s.execute(t)
+		var resp *Response
+		var err error
+		if t.inputs != nil {
+			resp = s.executeBatch(t)
+		} else {
+			resp, err = s.execute(t)
+		}
 		steps := int64(0)
 		if resp != nil {
 			steps = resp.Steps
 		}
 		s.metrics.observeExec(t.eng.Name(), steps, time.Since(start))
 		if err != nil {
-			err = classified(Classify(err), err)
+			err = toError(err)
 		}
 		t.done <- result{resp: resp, err: err}
 	}
+}
+
+// toError wraps err in a classified *Error; errors that already carry
+// a class pass through unchanged.
+func toError(err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	return classified(Classify(err), err)
 }
 
 // maxRetainedMemBytes bounds the data-memory allocation a machine may
@@ -445,24 +583,27 @@ func (s *Service) worker() {
 // memory for the daemon's lifetime.
 const maxRetainedMemBytes = 1 << 20
 
-// execute runs one task on a pooled machine. The machine is fully
-// re-initialized by Rebind and ApplySpec, so state left over from a
-// failed or limit-expired run can never leak into the next request.
-func (s *Service) execute(t *task) (*Response, error) {
-	m := s.machines.Get().(*interp.Machine)
-	defer func() {
-		// Machines whose output buffer or data memory grew past the
-		// retention caps are dropped rather than recycled, so one
-		// pathological request cannot pin large allocations in the
-		// pool.
-		if m.Out.Cap() <= s.cfg.MaxOutputBytes && cap(m.Mem) <= maxRetainedMemBytes {
-			s.machines.Put(m)
-		}
-	}()
+// recycle returns a machine to the pool unless its output buffer or
+// data memory grew past the retention caps, in which case it is
+// dropped — one pathological request cannot pin large allocations in
+// the pool.
+func (s *Service) recycle(m *interp.Machine) {
+	if m.Out.Cap() <= s.cfg.MaxOutputBytes && cap(m.Mem) <= maxRetainedMemBytes {
+		s.machines.Put(m)
+	}
+}
+
+// runInput executes one input set on m under the task's engine and
+// captures its observable outcome, clamped to the response budgets.
+// Rebind fully re-initializes the machine first — stacks, memory,
+// steps, output — so back-to-back inputs on one machine (a batch, or
+// consecutive pooled requests) are exactly as isolated as runs on
+// fresh machines.
+func (s *Service) runInput(m *interp.Machine, t *task, spec interp.ExecSpec) InputResult {
 	m.Rebind(t.entry.Prog)
-	if err := m.ApplySpec(t.spec); err != nil {
+	if err := m.ApplySpec(spec); err != nil {
 		// Unreachable after Run's validation; classify defensively.
-		return nil, classified(ClassBadRequest, err)
+		return InputResult{Err: classified(ClassBadRequest, err)}
 	}
 
 	err := t.eng.Run(m)
@@ -481,20 +622,68 @@ func (s *Service) execute(t *task) (*Response, error) {
 	if shipped > s.cfg.MaxStackCells {
 		shipped = s.cfg.MaxStackCells
 	}
-	resp := &Response{
-		Key:        t.entry.Key,
-		Engine:     t.eng.Name(),
-		Output:     string(out),
-		Stack:      append([]vm.Cell(nil), m.Stack[:shipped]...),
-		StackDepth: m.SP,
-		Steps:      m.Steps,
-		Analysis:   t.entry.Facts.Outcome(),
-	}
-	s.metrics.observeAnalysis(t.entry.Facts.Proved)
 	if err == nil && m.SP > s.cfg.MaxStackCells {
 		err = classified(ClassLimit,
 			fmt.Errorf("service: final stack depth %d exceeds the %d-cell response cap",
 				m.SP, s.cfg.MaxStackCells))
 	}
-	return resp, err
+	s.metrics.observeAnalysis(t.entry.Facts.Proved)
+	r := InputResult{
+		Output:     string(out),
+		Stack:      append([]vm.Cell(nil), m.Stack[:shipped]...),
+		StackDepth: m.SP,
+		Steps:      m.Steps,
+	}
+	if err != nil {
+		r.Err = toError(err)
+	}
+	return r
+}
+
+// execute runs one singleton task on a pooled machine.
+func (s *Service) execute(t *task) (*Response, error) {
+	m := s.machines.Get().(*interp.Machine)
+	defer s.recycle(m)
+	r := s.runInput(m, t, t.spec)
+	resp := &Response{
+		Key:        t.entry.Key,
+		Engine:     t.eng.Name(),
+		Output:     r.Output,
+		Stack:      r.Stack,
+		StackDepth: r.StackDepth,
+		Steps:      r.Steps,
+		Analysis:   t.entry.Facts.Outcome(),
+	}
+	if r.Err != nil {
+		// A failed execution still returns the partial response for
+		// diagnosis.
+		return resp, r.Err
+	}
+	return resp, nil
+}
+
+// executeBatch runs every input of a batch task on one pooled machine,
+// re-seeded per input (Rebind + ApplySpec). Inputs are isolated: a
+// failing input records its classified error in its own result and the
+// rest of the batch still runs, so the batch itself never fails after
+// dispatch — per-input errors are data, not control flow.
+func (s *Service) executeBatch(t *task) *Response {
+	m := s.machines.Get().(*interp.Machine)
+	defer s.recycle(m)
+	resp := &Response{
+		Key:      t.entry.Key,
+		Engine:   t.eng.Name(),
+		Analysis: t.entry.Facts.Outcome(),
+		Results:  make([]InputResult, len(t.inputs)),
+	}
+	for i, in := range t.inputs {
+		spec := t.spec
+		spec.Args, spec.Mem = in.Args, in.Mem
+		r := s.runInput(m, t, spec)
+		resp.Results[i] = r
+		resp.Steps += r.Steps
+		s.metrics.observeBatchInput(r.Class())
+	}
+	s.metrics.observeBatch(len(t.inputs))
+	return resp
 }

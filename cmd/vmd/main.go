@@ -11,6 +11,7 @@
 //	POST /run      {"source": ": main + . ;", "engine": "static", "args": [30, 12], "max_steps": 100000}
 //	POST /run      {"source": ": main + . ;", "inputs": [{"args": [1, 2]}, {"args": [40, 2]}]}   # batch
 //	POST /compile  {"source": ": main 1 2 + . ;"}   # warm the program cache
+//	GET  /engines  # registered engines with their contract traits
 //	GET  /stats    # metrics registry snapshot (JSON)
 //	GET  /metrics  # the same registry in Prometheus text format
 //	GET  /healthz  # liveness
@@ -217,6 +218,32 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, compileResponse{Key: key, CacheHit: hit})
 }
 
+// engineInfo is one row of the /engines listing: the wire name plus
+// the contract traits differential clients key on.
+type engineInfo struct {
+	Name        string `json:"name"`
+	Exact       bool   `json:"exact"`
+	NeedsVerify bool   `json:"needs_verify"`
+}
+
+// handleEngines lists the registry in its canonical order (switch
+// baseline first, rest alphabetical), so clients can discover the
+// valid /run "engine" values and which of them promise bit-identical
+// results to the baseline.
+func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Class: service.ClassBadRequest.String(), Error: "GET only"})
+		return
+	}
+	out := make([]engineInfo, 0, 16)
+	for _, e := range engine.All() {
+		tr := engine.TraitsOf(e)
+		out = append(out, engineInfo{Name: e.Name(), Exact: tr.Exact, NeedsVerify: tr.NeedsVerify})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
@@ -272,6 +299,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/engines", s.handleEngines)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)

@@ -120,6 +120,17 @@ func FuzzEngines(f *testing.F) {
 		byte(vm.OpLit), 9, byte(vm.OpDot), 0, byte(vm.OpExit), 0}, []byte{})
 	f.Add([]byte{byte(vm.OpLit), 4, byte(vm.OpLit), 0, byte(vm.OpDo), 0,
 		byte(vm.OpI), 0, byte(vm.OpDot), 0, byte(vm.OpLoop), 3, byte(vm.OpHalt), 0}, []byte{})
+	// The compiled engine's fused superinstruction shapes: the indexed
+	// byte-table load [lit; lit; @; +; c@] (one proved, one whose huge
+	// literal fails at the fetch mid-fusion) and the return-stack test
+	// feeding a 0branch, which it folds into its transfer loop.
+	f.Add([]byte{byte(vm.OpLit), 5, byte(vm.OpLit), 2, byte(vm.OpFetch), 0,
+		byte(vm.OpAdd), 0, byte(vm.OpCFetch), 0, byte(vm.OpDot), 0, byte(vm.OpHalt), 0}, []byte{})
+	f.Add([]byte{byte(vm.OpLit), 5, byte(vm.OpLit), 127, byte(vm.OpFetch), 0,
+		byte(vm.OpAdd), 0, byte(vm.OpCFetch), 0, byte(vm.OpDot), 0, byte(vm.OpHalt), 0}, []byte{})
+	f.Add([]byte{byte(vm.OpLit), 2, byte(vm.OpToR), 0,
+		byte(vm.OpRFetch), 0, byte(vm.OpZeroEq), 0, byte(vm.OpBranchZero), 0,
+		byte(vm.OpHalt), 0}, []byte{3})
 
 	f.Fuzz(func(t *testing.T, data, argBytes []byte) {
 		p := decodeFuzzProgram(data)

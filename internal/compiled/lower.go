@@ -1,0 +1,998 @@
+package compiled
+
+// Lowering: program → basic blocks → closures. This file holds the
+// block discovery, the per-variant scaffolding, and the fully checked
+// single-step closures that back every pc. The fused fast paths are
+// built in fuse.go; they bail to the single-step closures whenever a
+// block's entry precheck cannot promise the whole block will execute
+// without a stack or step-budget error, and dynamic jumps into the
+// middle of a block (a corrupt return address popped by OpExit) land on
+// them directly. The single-step semantics are an exact port of the
+// switch interpreter — the baseline every engine is differenced
+// against — one instruction per closure call.
+
+import (
+	"strconv"
+
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+)
+
+type buildMode int
+
+const (
+	// buildChecked emits block-entry depth prechecks computed from the
+	// instructions' static effects; blocks that cannot prove headroom
+	// for this run fall back to per-instruction checked execution.
+	buildChecked buildMode = iota
+	// buildElided emits no stack-depth checks anywhere on the fast
+	// path: the program's vm.Analyze facts proved every reachable depth
+	// in bounds, so codegen deletes the checks instead of gating them.
+	buildElided
+)
+
+// variant is one compiled code body: a continuation table with an entry
+// closure for every pc (fused block code at block leaders, single-step
+// closures elsewhere), plus the one-past-the-end slot that reports the
+// baseline's "program counter out of range".
+type variant struct {
+	code []vm.Instr
+	cont []op // len n+1; cont[n] reports PCError(n)
+	g    []guard
+	gc   []guardConsts // parallel to g: each guard's immediate slots
+	n    int
+
+	// elided mirrors the build mode: in the elided variant every
+	// guard's depth bounds are zero, so the transfer loop skips
+	// evaluating them — vm.Analyze already proved the depths fit.
+	elided bool
+
+	stats Stats
+}
+
+// guard is the block-entry fast path of a lowered block, tabulated per
+// leader pc so a predecessor's control transfer can run the entry
+// precheck inline and either jump straight to the block's first
+// fast-path closure (kFirst) or — for the control-transfer block
+// shapes that dominate Forth-style code — execute the whole block
+// right inside the transfer loop (kCall..kDup0Br) with no dispatch at
+// all. kNone marks pcs with no fast entry (non-leaders); transfers
+// then fall back to the cont table, whose guarded entry closures
+// handle bail-out and mid-block entry exactly. In the elided variant
+// the depth fields are zero — vacuously true — leaving only the
+// step-budget charge.
+// The struct is deliberately packed small: the transfer loop loads one
+// guard per executed block, so the table's footprint is hot-path
+// footprint. Blocks whose depth needs overflow uint8, whose static
+// targets fall outside [0, n], or whose constant memory addresses
+// don't fit uint16 simply stay kNone or kFirst — the cont table
+// handles them exactly, including the out-of-range pc error with the
+// original target value.
+type guard struct {
+	first                      op     // kFirst only
+	k                          int32  // block step count
+	a, b                       int32  // transfer targets (shape-specific)
+	memHi                      uint16 // bytes of memory the pre-ops touch
+	needLow, hi, rneedLow, rhi uint8
+	kind                       guardKind
+	opc                        vm.Opcode // comparison/test op for k*0Br kinds
+	hasPre                     uint8     // count of gc.preF* slots to run before the terminator
+	spAdj, rpAdj               int8      // leading pure stack motion, applied before the pres
+}
+
+// guardConsts is the cold half of a guard: the composed prefix
+// closure (hasPre) and the kLitCmp0Br comparison constant. It lives
+// in a parallel array so the hot guard stays 32 bytes — two per cache
+// line; only transfers that run a prefix or a lit-compare touch this
+// table.
+type guardConsts struct {
+	// preF..preF3 are the block's prefix closures; hasPre says how many
+	// are set. Direct slots instead of one composed wrapper: the
+	// transfer loop calls each in turn, so a two-closure prefix costs
+	// two indirect calls, not three.
+	preF, preF2, preF3 preOp
+	c                  vm.Cell
+}
+
+// preOp is one composed inline-prefix closure: the infallible leading
+// instructions of a guard-form block, fused at build time. Entry
+// gating (depth bounds, memHi, step budget) has already passed when
+// it runs, so bodies carry no checks; constants are captured, so the
+// hot path re-reads nothing.
+type preOp func(s *state, sp, rp int) (int, int)
+
+type guardKind uint8
+
+const (
+	kNone      guardKind = iota // no fast entry; use cont[t]
+	kFirst                      // generic block: check, charge, run first
+	kCall                       // [call a], b = return pc
+	kExit                       // [exit]
+	kBranch                     // [branch a]; also "charge and fall to a"
+	k0Branch                    // [0branch a], b = fall-through
+	kLoop                       // [loop a], b = fall-through
+	kHalt                       // [halt], a = its pc
+	kCmp0Br                     // [opc; 0branch a], b = fall-through
+	kTest0Br                    // [opc; 0branch a], b = fall-through
+	kDup0Br                     // [dup; 0branch a], b = fall-through
+	kLitCmp0Br                  // [lit c; opc; 0branch a], b = fall-through
+	kDupTest0Br                 // [dup; opc; 0branch a], b = fall-through
+	kDupLitCmp0Br               // [dup; lit c; opc; 0branch a], b = fall-through
+	kRFetchTest0Br              // [r@; opc; 0branch a], b = fall-through
+)
+
+// build lowers p into one code variant.
+func build(p *vm.Program, mode buildMode) *variant {
+	n := len(p.Code)
+	v := &variant{code: p.Code, cont: make([]op, n+1),
+		g: make([]guard, n+1), gc: make([]guardConsts, n+1), n: n,
+		elided: mode == buildElided}
+	v.cont[n] = endOfCode(n)
+	for pc := 0; pc < n; pc++ {
+		v.cont[pc] = v.stepAt(pc)
+	}
+	leaders := findLeaders(p)
+	for pc := 0; pc < n; pc++ {
+		if !leaders[pc] {
+			continue
+		}
+		end := blockEnd(p.Code, leaders, pc)
+		v.cont[pc] = v.lowerBlock(pc, end, mode)
+		v.stats.Blocks++
+	}
+	return v
+}
+
+// findLeaders marks every pc a basic block starts at: the entry, every
+// static branch/call/loop target, and the fall-through successor of
+// every control (or invalid, hence block-ending) instruction.
+func findLeaders(p *vm.Program) []bool {
+	n := len(p.Code)
+	leaders := make([]bool, n)
+	mark := func(pc int) {
+		if pc >= 0 && pc < n {
+			leaders[pc] = true
+		}
+	}
+	mark(p.Entry)
+	for pc, ins := range p.Code {
+		if !ins.Op.Valid() {
+			mark(pc + 1)
+			continue
+		}
+		e := vm.EffectOf(ins.Op)
+		if e.Control {
+			mark(pc + 1)
+		}
+		if e.Arg == vm.ArgTarget {
+			mark(int(ins.Arg))
+		}
+	}
+	return leaders
+}
+
+// blockEnd returns the exclusive end of the straight-line block that
+// starts at leader L: past the first control or invalid instruction, or
+// at the next leader / end of code.
+func blockEnd(code []vm.Instr, leaders []bool, L int) int {
+	pc := L
+	for {
+		ins := code[pc]
+		if !ins.Op.Valid() || vm.EffectOf(ins.Op).Control {
+			return pc + 1
+		}
+		pc++
+		if pc >= len(code) || leaders[pc] {
+			return pc
+		}
+	}
+}
+
+// blockNeeds computes, from the static effects of a block's
+// instructions, the exact conditions under which the switch baseline
+// executes the whole block without a stack underflow or overflow:
+// entry sp >= needLow, sp+hi <= cap, and likewise for the return
+// stack. The running depth d is relative to block entry; an
+// instruction's underflow check is sp+d >= In and its overflow check
+// is sp+d' <= cap for the post-instruction depth d'. An invalid opcode
+// ends the scan — it unconditionally errors, so nothing after it runs.
+func blockNeeds(code []vm.Instr) (needLow, hi, rneedLow, rhi int) {
+	d, r := 0, 0
+	for _, ins := range code {
+		if !ins.Op.Valid() {
+			break
+		}
+		e := vm.EffectOf(ins.Op)
+		if need := e.In - d; need > needLow {
+			needLow = need
+		}
+		d += e.Out - e.In
+		if d > hi {
+			hi = d
+		}
+		if need := e.RIn - r; need > rneedLow {
+			rneedLow = need
+		}
+		r += e.ROut - e.RIn
+		if r > rhi {
+			rhi = r
+		}
+	}
+	return
+}
+
+// endOfCode is the continuation for pc == len(code): the baseline's
+// dispatch bounds check fires before any step is counted.
+func endOfCode(n int) op {
+	return func(s *state, sp, rp int) (op, int, int) {
+		s.pc = n
+		s.err = interp.PCError(n)
+		return nil, sp, rp
+	}
+}
+
+// failAt records a runtime error with the baseline's pc/opcode/message
+// and stops the trampoline. Stack pointers pass through unchanged: the
+// caller hands in exactly the partial state the baseline would leave.
+func (s *state) failAt(pc int, failOp vm.Opcode, msg string, sp, rp int) (op, int, int) {
+	s.pc = pc
+	s.err = &interp.RuntimeError{PC: pc, Op: failOp, Msg: msg}
+	return nil, sp, rp
+}
+
+// goTo dispatches a control transfer to an arbitrary pc, mirroring the
+// baseline's loop-top bounds check: in-range targets continue at that
+// pc's entry closure (cont[n] reports the end-of-code error), anything
+// else is "program counter out of range" at the target.
+//
+// Transfers return the continuation to Run's trampoline rather than
+// calling it: nested direct calls measured several times slower here —
+// the accumulated frames defeat the return-address predictor and walk
+// the goroutine stack limit — while the trampoline's single dispatch
+// site stays cheap.
+// In-range targets consult the guard table: when the target block's
+// entry precheck passes on the current state, the transfer charges the
+// block's steps here and either returns the unguarded first closure
+// (generic blocks) or executes the whole block inline and chases the
+// next transfer — call/exit/branch/test-and-branch blocks run entirely
+// inside this loop, paying zero dispatches. The precheck is the same
+// deterministic predicate the block's entry closure would evaluate, so
+// falling back to cont[t] whenever it fails (or the pc has no fast
+// entry) reproduces the bail-out and mid-block-entry paths exactly.
+// The loop cannot spin: every iteration charges the target block's
+// full step count, so the budget check eventually fails and hands the
+// remainder to the single-step fallback.
+func (v *variant) goTo(s *state, t, sp, rp int) (op, int, int) {
+	// The step budget rides through the loop as a register-resident
+	// fuel counter so chasing a chain of blocks stores nothing; it is
+	// folded back into s.steps at every exit. The elided variant — all
+	// depth bounds zero by construction — skips the depth terms.
+	//
+	// The precheck compares are folded into sign tests over OR-ed
+	// differences: one branch per gate instead of one per term. That is
+	// exact here because every term is small — fuel stays in [0, limit],
+	// the guard bounds fit in 16 bits, and sp/rp stay within their
+	// slices on every path that reaches a guard — so no difference can
+	// wrap. The pc range check runs once at entry and again only where
+	// an unvalidated target can appear (an exit block popping a corrupt
+	// return address); every compile-time target was validated into
+	// [0, n] when its guard was built.
+	fuel := s.limit - s.steps
+	nmem := int64(s.nmem)
+	nst, nrs := len(s.st), len(s.rs)
+	chk := !v.elided
+	if uint(t) > uint(v.n) {
+		s.steps = s.limit - fuel
+		s.pc = t
+		s.err = interp.PCError(t)
+		return nil, sp, rp
+	}
+	for {
+		g := &v.g[t]
+		if g.kind == kNone {
+			s.steps = s.limit - fuel
+			return v.cont[t], sp, rp
+		}
+		left := fuel - int64(g.k)
+		if left|(nmem-int64(g.memHi)) < 0 {
+			s.steps = s.limit - fuel
+			return v.cont[t], sp, rp
+		}
+		if chk &&
+			(sp-int(g.needLow))|(nst-sp-int(g.hi))|
+				(rp-int(g.rneedLow))|(nrs-rp-int(g.rhi)) < 0 {
+			s.steps = s.limit - fuel
+			return v.cont[t], sp, rp
+		}
+		fuel = left
+		sp += int(g.spAdj)
+		rp += int(g.rpAdj)
+		if g.hasPre != 0 {
+			gcs := &v.gc[t]
+			sp, rp = gcs.preF(s, sp, rp)
+			if g.hasPre > 1 {
+				sp, rp = gcs.preF2(s, sp, rp)
+				if g.hasPre > 2 {
+					sp, rp = gcs.preF3(s, sp, rp)
+				}
+			}
+		}
+		switch g.kind {
+		case kFirst:
+			s.steps = s.limit - fuel
+			return g.first, sp, rp
+		case kCall:
+			s.rs[rp] = vm.Cell(g.b)
+			rp++
+			t = int(g.a)
+		case kExit:
+			rp--
+			t = int(s.rs[rp])
+			if uint(t) > uint(v.n) {
+				s.steps = s.limit - fuel
+				s.pc = t
+				s.err = interp.PCError(t)
+				return nil, sp, rp
+			}
+			continue
+		case kBranch:
+			t = int(g.a)
+		case k0Branch:
+			sp--
+			if s.st[sp] == 0 {
+				t = int(g.a)
+			} else {
+				t = int(g.b)
+			}
+		case kLoop:
+			rs := s.rs
+			rs[rp-1]++
+			if rs[rp-1] == rs[rp-2] {
+				rp -= 2
+				t = int(g.b)
+			} else {
+				t = int(g.a)
+			}
+		case kHalt:
+			s.steps = s.limit - fuel
+			s.pc = int(g.a)
+			return nil, sp, rp
+		case kCmp0Br:
+			x, y := s.st[sp-2], s.st[sp-1]
+			sp -= 2
+			if cmpTrue(g.opc, x, y) {
+				t = int(g.b)
+			} else {
+				t = int(g.a)
+			}
+		case kTest0Br:
+			x := s.st[sp-1]
+			sp--
+			if testTrue(g.opc, x) {
+				t = int(g.b)
+			} else {
+				t = int(g.a)
+			}
+		case kDup0Br:
+			if s.st[sp-1] == 0 {
+				t = int(g.a)
+			} else {
+				t = int(g.b)
+			}
+		case kDupTest0Br:
+			if testTrue(g.opc, s.st[sp-1]) {
+				t = int(g.b)
+			} else {
+				t = int(g.a)
+			}
+		case kLitCmp0Br:
+			x := s.st[sp-1]
+			sp--
+			if cmpTrue(g.opc, x, v.gc[t].c) {
+				t = int(g.b)
+			} else {
+				t = int(g.a)
+			}
+		case kDupLitCmp0Br:
+			if cmpTrue(g.opc, s.st[sp-1], v.gc[t].c) {
+				t = int(g.b)
+			} else {
+				t = int(g.a)
+			}
+		case kRFetchTest0Br:
+			if testTrue(g.opc, s.rs[rp-1]) {
+				t = int(g.b)
+			} else {
+				t = int(g.a)
+			}
+		}
+	}
+}
+
+// fallTo is the control transfer for targets known in-range at compile
+// time (a block's fall-through successor). The guard loop may still
+// chase into arbitrary targets (an exit block pops a computed pc), so
+// it shares goTo's full logic.
+func (v *variant) fallTo(s *state, t, sp, rp int) (op, int, int) {
+	return v.goTo(s, t, sp, rp)
+}
+
+// stepAt wraps the single-step executor as this pc's addressable entry
+// closure.
+func (v *variant) stepAt(pc int) op {
+	return func(s *state, sp, rp int) (op, int, int) {
+		return v.step(s, pc, sp, rp)
+	}
+}
+
+// step executes exactly one instruction with full checks — a
+// one-iteration port of the switch interpreter's loop body. It is the
+// fallback the fused paths bail to, so its semantics (check order,
+// partial state on error, step accounting) must match the baseline
+// bit for bit.
+func (v *variant) step(s *state, pc, sp, rp int) (op, int, int) {
+	ins := v.code[pc]
+	if s.steps >= s.limit {
+		return s.failAt(pc, ins.Op, interp.MsgStepLimit, sp, rp)
+	}
+	s.steps++
+	st, rs := s.st, s.rs
+	m := s.m
+	switch ins.Op {
+	case vm.OpNop:
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpLit:
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = ins.Arg
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpAdd:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] += st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpSub:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] -= st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpMul:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] *= st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpDiv:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if st[sp-1] == 0 {
+			return s.failAt(pc, ins.Op, "division by zero", sp, rp)
+		}
+		st[sp-2] = interp.FloorDiv(st[sp-2], st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpMod:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if st[sp-1] == 0 {
+			return s.failAt(pc, ins.Op, "division by zero", sp, rp)
+		}
+		st[sp-2] = interp.FloorMod(st[sp-2], st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpNegate:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] = -st[sp-1]
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpAbs:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if st[sp-1] < 0 {
+			st[sp-1] = -st[sp-1]
+		}
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpMin:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if st[sp-1] < st[sp-2] {
+			st[sp-2] = st[sp-1]
+		}
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpMax:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if st[sp-1] > st[sp-2] {
+			st[sp-2] = st[sp-1]
+		}
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpAnd:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] &= st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpOr:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] |= st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpXor:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] ^= st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpInvert:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] = ^st[sp-1]
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpLshift:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.ShiftLeft(st[sp-2], st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpRshift:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.ShiftRight(st[sp-2], st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpOnePlus:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1]++
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpOneMinus:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1]--
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpTwoStar:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] <<= 1
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpTwoSlash:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] >>= 1
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpCells:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] *= vm.CellSize
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpLitAdd:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] += ins.Arg
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpEq:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.Flag(st[sp-2] == st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpNe:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.Flag(st[sp-2] != st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpLt:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.Flag(st[sp-2] < st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpGt:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.Flag(st[sp-2] > st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpLe:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.Flag(st[sp-2] <= st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpGe:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.Flag(st[sp-2] >= st[sp-1])
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpULt:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = interp.Flag(uint64(st[sp-2]) < uint64(st[sp-1]))
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpZeroEq:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] = interp.Flag(st[sp-1] == 0)
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpZeroNe:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] = interp.Flag(st[sp-1] != 0)
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpZeroLt:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] = interp.Flag(st[sp-1] < 0)
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpZeroGt:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1] = interp.Flag(st[sp-1] > 0)
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpDup:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = st[sp-1]
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpDrop:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpSwap:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-1], st[sp-2] = st[sp-2], st[sp-1]
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpOver:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = st[sp-2]
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpRot:
+		if sp < 3 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-3], st[sp-2], st[sp-1] = st[sp-2], st[sp-1], st[sp-3]
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpMinusRot:
+		if sp < 3 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-3], st[sp-2], st[sp-1] = st[sp-1], st[sp-3], st[sp-2]
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpNip:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		st[sp-2] = st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpTuck:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = st[sp-1]
+		st[sp-1] = st[sp-2]
+		st[sp-2] = st[sp]
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpTwoDup:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if sp+2 > len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = st[sp-2]
+		st[sp+1] = st[sp-1]
+		return v.cont[pc+1], sp + 2, rp
+
+	case vm.OpTwoDrop:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		return v.cont[pc+1], sp - 2, rp
+
+	case vm.OpToR:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if rp == len(rs) {
+			return s.failAt(pc, ins.Op, "return stack overflow", sp, rp)
+		}
+		rs[rp] = st[sp-1]
+		return v.cont[pc+1], sp - 1, rp + 1
+
+	case vm.OpRFrom:
+		if rp < 1 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = rs[rp-1]
+		return v.cont[pc+1], sp + 1, rp - 1
+
+	case vm.OpRFetch:
+		if rp < 1 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = rs[rp-1]
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpFetch:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		x, ok := m.CellAt(st[sp-1])
+		if !ok {
+			return s.failAt(pc, ins.Op, "memory access out of range", sp, rp)
+		}
+		st[sp-1] = x
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpStore:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if !m.SetCellAt(st[sp-1], st[sp-2]) {
+			return s.failAt(pc, ins.Op, "memory access out of range", sp, rp)
+		}
+		return v.cont[pc+1], sp - 2, rp
+
+	case vm.OpCFetch:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		c, ok := m.ByteAt(st[sp-1])
+		if !ok {
+			return s.failAt(pc, ins.Op, "memory access out of range", sp, rp)
+		}
+		st[sp-1] = vm.Cell(c)
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpCStore:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if !m.SetByteAt(st[sp-1], st[sp-2]) {
+			return s.failAt(pc, ins.Op, "memory access out of range", sp, rp)
+		}
+		return v.cont[pc+1], sp - 2, rp
+
+	case vm.OpPlusStore:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		addr := st[sp-1]
+		x, ok := m.CellAt(addr)
+		if !ok || !m.SetCellAt(addr, x+st[sp-2]) {
+			return s.failAt(pc, ins.Op, "memory access out of range", sp, rp)
+		}
+		return v.cont[pc+1], sp - 2, rp
+
+	case vm.OpBranch:
+		return v.goTo(s, int(ins.Arg), sp, rp)
+
+	case vm.OpBranchZero:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		sp--
+		if st[sp] == 0 {
+			return v.goTo(s, int(ins.Arg), sp, rp)
+		}
+		return v.cont[pc+1], sp, rp
+
+	case vm.OpCall:
+		if rp == len(rs) {
+			return s.failAt(pc, ins.Op, "return stack overflow", sp, rp)
+		}
+		rs[rp] = vm.Cell(pc + 1)
+		return v.goTo(s, int(ins.Arg), sp, rp+1)
+
+	case vm.OpExit:
+		if rp < 1 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		rp--
+		return v.goTo(s, int(rs[rp]), sp, rp)
+
+	case vm.OpHalt:
+		s.pc = pc
+		return nil, sp, rp
+
+	case vm.OpDo:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if rp+2 > len(rs) {
+			return s.failAt(pc, ins.Op, "return stack overflow", sp, rp)
+		}
+		rs[rp] = st[sp-2]   // limit
+		rs[rp+1] = st[sp-1] // index
+		return v.cont[pc+1], sp - 2, rp + 2
+
+	case vm.OpLoop:
+		if rp < 2 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		rs[rp-1]++
+		if rs[rp-1] == rs[rp-2] {
+			return v.cont[pc+1], sp, rp - 2
+		}
+		return v.goTo(s, int(ins.Arg), sp, rp)
+
+	case vm.OpPlusLoop:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		if rp < 2 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		n := st[sp-1]
+		sp--
+		old := rs[rp-1] - rs[rp-2]
+		rs[rp-1] += n
+		now := rs[rp-1] - rs[rp-2]
+		if (old < 0) != (now < 0) {
+			return v.cont[pc+1], sp, rp - 2
+		}
+		return v.goTo(s, int(ins.Arg), sp, rp)
+
+	case vm.OpI:
+		if rp < 1 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = rs[rp-1]
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpJ:
+		if rp < 3 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = rs[rp-3]
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpUnloop:
+		if rp < 2 {
+			return s.failAt(pc, ins.Op, "return stack underflow", sp, rp)
+		}
+		return v.cont[pc+1], sp, rp - 2
+
+	case vm.OpEmit:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		m.Out.WriteByte(byte(st[sp-1]))
+		if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+			return s.failAt(pc, ins.Op, interp.MsgOutputLimit, sp, rp)
+		}
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpDot:
+		if sp < 1 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		writeDot(m, st[sp-1])
+		if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+			return s.failAt(pc, ins.Op, interp.MsgOutputLimit, sp, rp)
+		}
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpType:
+		if sp < 2 {
+			return s.failAt(pc, ins.Op, "stack underflow", sp, rp)
+		}
+		addr, n := st[sp-2], st[sp-1]
+		if !m.RangeOK(addr, n) {
+			return s.failAt(pc, ins.Op, "memory access out of range", sp, rp)
+		}
+		m.Out.Write(m.Mem[addr : addr+n])
+		if m.MaxOut > 0 && m.Out.Len() > m.MaxOut {
+			return s.failAt(pc, ins.Op, interp.MsgOutputLimit, sp, rp)
+		}
+		return v.cont[pc+1], sp - 2, rp
+
+	case vm.OpDepth:
+		if sp == len(st) {
+			return s.failAt(pc, ins.Op, "stack overflow", sp, rp)
+		}
+		st[sp] = vm.Cell(sp)
+		return v.cont[pc+1], sp + 1, rp
+
+	default:
+		return s.failAt(pc, ins.Op, "invalid opcode", sp, rp)
+	}
+}
+
+// writeDot prints n in Forth's ". " format, byte-identical to the
+// baseline's output path.
+func writeDot(m *interp.Machine, n vm.Cell) {
+	m.Out.WriteString(strconv.FormatInt(n, 10))
+	m.Out.WriteByte(' ')
+}

@@ -21,6 +21,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"stackcache/internal/core"
@@ -140,7 +141,6 @@ type Builder func(pol Policies) Engine
 var registry = struct {
 	sync.RWMutex
 	builders map[string]Builder
-	order    []string // registration order; "switch" first (baseline)
 
 	defaults map[string]Engine // lazily built DefaultPolicies instances
 }{
@@ -163,15 +163,34 @@ func Register(name string, b Builder) {
 		panic(fmt.Sprintf("engine: duplicate Register(%q)", name))
 	}
 	registry.builders[name] = b
-	registry.order = append(registry.order, name)
 }
 
-// Names returns every registered engine name in registration order
-// (the switch baseline first).
+// namesLocked computes the canonical engine order: the "switch"
+// baseline first (it is the reference every differential sweep
+// compares against), then every other name sorted alphabetically. The
+// order is a pure function of the registered set — independent of init
+// order — so endpoint listings and test sweeps are stable across
+// refactors that shuffle registration.
+func namesLocked() []string {
+	out := make([]string, 0, len(registry.builders))
+	for name := range registry.builders {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i] == "switch" || out[j] == "switch" {
+			return out[i] == "switch"
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Names returns every registered engine name in canonical order: the
+// switch baseline first, the rest sorted alphabetically.
 func Names() []string {
 	registry.RLock()
 	defer registry.RUnlock()
-	return append([]string(nil), registry.order...)
+	return namesLocked()
 }
 
 // Lookup returns the default-policy instance of the named engine.
@@ -193,7 +212,7 @@ func Lookup(name string) (Engine, bool) {
 }
 
 // All returns the default-policy instance of every registered engine,
-// in registration order. The switch baseline is first: differential
+// in canonical order. The switch baseline is first: differential
 // tests use it as the reference the others are compared against.
 func All() []Engine {
 	names := Names()
@@ -206,7 +225,7 @@ func All() []Engine {
 }
 
 // AllWith validates pol and builds a fresh instance of every
-// registered engine configured by it, in registration order. Services
+// registered engine configured by it, in canonical order. Services
 // with non-default policies build their private engine set this way.
 func AllWith(pol Policies) ([]Engine, error) {
 	if err := pol.Validate(); err != nil {
@@ -214,8 +233,8 @@ func AllWith(pol Policies) ([]Engine, error) {
 	}
 	registry.RLock()
 	defer registry.RUnlock()
-	out := make([]Engine, 0, len(registry.order))
-	for _, name := range registry.order {
+	out := make([]Engine, 0, len(registry.builders))
+	for _, name := range namesLocked() {
 		out = append(out, registry.builders[name](pol))
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 	"testing"
 
@@ -19,14 +20,15 @@ func compile(t *testing.T, src string) *vm.Program {
 	return p
 }
 
-// TestRegistryCompleteness pins the engine set: every variant the
-// repository implements is registered, the switch baseline first (the
-// differential tests' reference).
+// TestRegistryCompleteness pins the engine set and its canonical
+// order: every variant the repository implements is registered, the
+// switch baseline first (the differential tests' reference), the rest
+// alphabetical.
 func TestRegistryCompleteness(t *testing.T) {
 	want := []string{
-		"switch", "token", "threaded", "traced",
-		"dynamic", "rotating", "twostacks", "static",
-		"gendyn", "gendyn4",
+		"switch",
+		"compiled", "dynamic", "gendyn", "gendyn4", "rotating",
+		"static", "threaded", "token", "traced", "twostacks",
 	}
 	got := Names()
 	if len(got) != len(want) {
@@ -35,6 +37,26 @@ func TestRegistryCompleteness(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("registered engines %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNamesDeterministic: the canonical order is a function of the
+// registered set alone — switch first, everything else sorted — so
+// endpoint listings and test sweeps cannot silently reorder when
+// registration order changes.
+func TestNamesDeterministic(t *testing.T) {
+	got := Names()
+	if len(got) == 0 || got[0] != "switch" {
+		t.Fatalf("Names() = %v, want switch first", got)
+	}
+	if !sort.StringsAreSorted(got[1:]) {
+		t.Fatalf("Names()[1:] not sorted: %v", got[1:])
+	}
+	again := Names()
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("Names() unstable: %v vs %v", got, again)
 		}
 	}
 }

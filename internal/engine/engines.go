@@ -1,12 +1,13 @@
 package engine
 
-// The repository's engine set. Each variant is one Register call; the
-// order fixes Names()/All() order, with the switch baseline first
-// because the differential tests compare everything against it.
+// The repository's engine set. Each variant is one Register call;
+// Names()/All() order is canonical (switch baseline first, rest
+// alphabetical) regardless of registration order here.
 
 import (
 	"sync"
 
+	"stackcache/internal/compiled"
 	"stackcache/internal/core"
 	"stackcache/internal/dyncache"
 	"stackcache/internal/gendyn"
@@ -18,6 +19,7 @@ import (
 
 func init() {
 	Register("switch", func(Policies) Engine { return &runFunc{"switch", interp.RunSwitch} })
+	Register("compiled", func(Policies) Engine { return &compiledEngine{} })
 	Register("token", func(Policies) Engine { return &runFunc{"token", interp.RunToken} })
 	Register("threaded", func(Policies) Engine { return &runFunc{"threaded", interp.RunThreaded} })
 	Register("traced", func(Policies) Engine { return Traced(nil) })
@@ -204,4 +206,58 @@ func (e *staticEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
 // reads of zero, and its compiler requires verified input.
 func (e *staticEngine) Traits() Traits {
 	return Traits{Exact: false, NeedsVerify: true}
+}
+
+// compiledEngine is the AOT closure compiler: per-program artifacts of
+// fused continuation-threaded closures (internal/compiled), cached
+// with single-flight compilation like the static engine's plans. The
+// artifact is compiled against the program's analysis facts, so proved
+// programs carry a check-elided code variant selected at run time by
+// the standard ElideChecks gate.
+type compiledEngine struct {
+	mu   sync.Mutex
+	arts map[*vm.Program]*artifactEntry
+}
+
+type artifactEntry struct {
+	once sync.Once
+	art  *compiled.Artifact
+	err  error
+}
+
+// artifactFor returns the program's compile-once artifact, compiling
+// at most once per program even under concurrent callers. Keyed by
+// identity for the same reason as staticEngine.planFor: programs are
+// immutable, and the services in front deduplicate by content.
+func (e *compiledEngine) artifactFor(p *vm.Program) (*compiled.Artifact, error) {
+	e.mu.Lock()
+	ae, ok := e.arts[p]
+	if !ok {
+		if e.arts == nil || len(e.arts) >= maxCachedPlans {
+			e.arts = make(map[*vm.Program]*artifactEntry)
+		}
+		ae = &artifactEntry{}
+		e.arts[p] = ae
+	}
+	e.mu.Unlock()
+	ae.once.Do(func() { ae.art, ae.err = compiled.Compile(p, FactsFor(p)) })
+	return ae.art, ae.err
+}
+
+func (e *compiledEngine) Name() string { return "compiled" }
+
+// Prepare compiles (or finds) the program's artifact, so services can
+// front-load compile failures before queueing the execution.
+func (e *compiledEngine) Prepare(p *vm.Program) error {
+	_, err := e.artifactFor(p)
+	return err
+}
+
+func (e *compiledEngine) Run(m *interp.Machine) error {
+	attachFacts(m)
+	art, err := e.artifactFor(m.Prog)
+	if err != nil {
+		return err
+	}
+	return art.Run(m)
 }

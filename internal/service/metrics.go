@@ -215,6 +215,14 @@ type Snapshot struct {
 	AnalysisProved   int64 `json:"analysis_proved"`
 	AnalysisUnproven int64 `json:"analysis_unproven"`
 
+	// CompiledPrograms and CompiledProved are the AOT closure
+	// compiler's process-wide artifact counters: programs lowered to
+	// closure artifacts, and the subset whose vm.Analyze proof earned a
+	// check-elided code variant. Process-wide (not per-service) because
+	// artifacts are cached inside the shared "compiled" engine.
+	CompiledPrograms int64 `json:"compiled_programs"`
+	CompiledProved   int64 `json:"compiled_proved"`
+
 	// BatchInputs counts inputs executed via batch requests;
 	// BatchSizes is the batch-size histogram (one count per executed
 	// batch), labeled by BatchSizeBounds. BatchInputResults counts

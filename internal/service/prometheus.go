@@ -53,6 +53,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p("vmd_analysis_total{outcome=\"proved\"} %d\n", s.AnalysisProved)
 	p("vmd_analysis_total{outcome=\"unproven\"} %d\n", s.AnalysisUnproven)
 
+	counter("vmd_compiled_programs_total", "Programs lowered to AOT closure artifacts by the compiled engine.", s.CompiledPrograms)
+	counter("vmd_compiled_proved_total", "AOT artifacts carrying a proof-elided code variant.", s.CompiledProved)
+
 	p("# HELP vmd_results_total Finished requests by error class.\n# TYPE vmd_results_total counter\n")
 	for _, c := range classes {
 		p("vmd_results_total{class=%q} %d\n", c, s.Errors[c])

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"stackcache/internal/compiled"
 	"stackcache/internal/engine"
 	"stackcache/internal/forth"
 	"stackcache/internal/interp"
@@ -364,6 +365,7 @@ func (s *Service) Close() {
 func (s *Service) Stats() Snapshot {
 	snap := s.metrics.snapshot()
 	snap.CacheSize = s.cache.Len()
+	snap.CompiledPrograms, snap.CompiledProved = compiled.Counters()
 	return snap
 }
 

@@ -15,6 +15,22 @@
 //
 // The engine set comes from the engine registry; -engine accepts any
 // registered name (forthvm -h lists them).
+//
+// Superinstruction flags compose, and neither changes observable
+// behavior (output, stack, step count, error class):
+//
+//   - -super is the front-end peephole: "literal +" compiles to the
+//     standalone lit-add opcode and the program shrinks by one
+//     instruction per site (visible in -disasm and -stats).
+//   - -quicken is the cache-time rewrite vmd applies: after
+//     verification the program is re-written in place to the
+//     profile-mined superinstructions of vm.Fusions and re-verified.
+//     Code length and step counts are unchanged — a fused sequence
+//     still counts one step per constituent — so -stats matches the
+//     unquickened run instruction for instruction.
+//
+// The two passes share the vm.Fusions table: a pair the peephole
+// consumed is gone before quickening, and nothing fuses twice.
 package main
 
 import (
@@ -45,7 +61,8 @@ func main() {
 		disasm    = flag.Bool("disasm", false, "print disassembly instead of running")
 		workload  = flag.String("workload", "", "run a built-in workload by name")
 		argList   = flag.String("args", "", "comma-separated initial data stack, bottom first")
-		super     = flag.Bool("super", false, "enable superinstruction fusion")
+		super     = flag.Bool("super", false, "compile with front-end superinstruction fusion (lit-add)")
+		quicken   = flag.Bool("quicken", false, "quicken the verified program to profile-mined superinstructions")
 	)
 	flag.Parse()
 
@@ -65,6 +82,16 @@ func main() {
 	// unverified program to an execution engine, whatever produced it.
 	if err := vm.Verify(prog); err != nil {
 		fail(fmt.Errorf("program rejected by verifier: %w", err))
+	}
+	if *quicken {
+		// Quicken only verified bytecode, and re-verify the rewrite —
+		// the same gate vmd's program cache applies at insert time.
+		if q, n := vm.Quicken(prog); n > 0 {
+			if err := vm.Verify(q); err != nil {
+				fail(fmt.Errorf("quickened program rejected by verifier: %w", err))
+			}
+			prog = q
+		}
 	}
 	if *disasm {
 		if *engineName == "static" {

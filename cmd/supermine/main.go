@@ -1,0 +1,189 @@
+// Command supermine mines executed opcode n-grams from the paper's
+// four workloads: the profile that selects the superinstruction set
+// checked into internal/vm (vm.Fusions). It runs each workload under
+// the traced engine and counts every dynamically executed sequence of
+// 2..4 consecutive, fusible, straight-line instructions — windows
+// reset at control transfers and at branch targets, exactly the
+// constraint vm.Quicken honours — and ranks the grams by saved
+// dispatches (count x (len-1)).
+//
+// Usage:
+//
+//	supermine              # four paper workloads, top 40
+//	supermine -top 20 -n 3
+//	supermine -workloads compile,gray
+//	supermine -json        # machine-readable census
+//
+// The table in internal/vm/super.go records the grams this census
+// selected; re-run supermine after changing the workloads or the
+// front end to check the table is still the right one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"stackcache/internal/engine"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+	"stackcache/internal/workloads"
+)
+
+// gram is one counted opcode sequence.
+type gram struct {
+	Ops   []vm.Opcode
+	Count int64
+	Per   map[string]int64 // per-workload counts
+}
+
+// Saved is the dispatch-reduction value of fusing the gram everywhere
+// it executed: each execution of an n-gram as one superinstruction
+// saves n-1 dispatches.
+func (g *gram) Saved() int64 { return g.Count * int64(len(g.Ops)-1) }
+
+func (g *gram) Name() string {
+	parts := make([]string, len(g.Ops))
+	for i, op := range g.Ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+func key(ops []vm.Opcode) string {
+	b := make([]byte, len(ops))
+	for i, op := range ops {
+		b[i] = byte(op)
+	}
+	return string(b)
+}
+
+func main() {
+	var (
+		maxN    = flag.Int("n", 4, "largest gram length (2..4)")
+		top     = flag.Int("top", 40, "rows to print")
+		names   = flag.String("workloads", "", "comma-separated workload subset (default: the four paper workloads)")
+		asJSON  = flag.Bool("json", false, "emit the full census as JSON")
+		quickok = flag.Bool("fusible-only", true, "count only grams every constituent of which vm.Fusible admits")
+	)
+	flag.Parse()
+	if *maxN < 2 || *maxN > 4 {
+		fmt.Fprintln(os.Stderr, "supermine: -n must be in 2..4")
+		os.Exit(2)
+	}
+
+	suite := workloads.Suite()
+	if *names != "" {
+		var sel []workloads.Workload
+		for _, n := range strings.Split(*names, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(n))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "supermine: unknown workload %q\n", n)
+				os.Exit(2)
+			}
+			sel = append(sel, w)
+		}
+		suite = sel
+	}
+
+	counts := make(map[string]*gram)
+	for _, w := range suite {
+		p, err := w.Compile()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermine: %v\n", err)
+			os.Exit(1)
+		}
+		targets := p.BranchTargets()
+
+		// The window holds the pcs/ops of the current run of
+		// consecutive fusible instructions; every executed suffix of
+		// length 2..maxN is one gram occurrence, which is exactly the
+		// set of fusion opportunities a quickener scanning this trace
+		// position could take.
+		var window []vm.Opcode
+		lastPC := -2
+		visit := func(pc int, ins vm.Instr) {
+			if pc != lastPC+1 || targets[pc] {
+				window = window[:0]
+			}
+			lastPC = pc
+			if *quickok && !vm.Fusible(ins.Op) {
+				window = window[:0]
+				return
+			}
+			window = append(window, ins.Op)
+			if len(window) > *maxN {
+				window = window[1:]
+			}
+			for n := 2; n <= len(window); n++ {
+				ops := window[len(window)-n:]
+				k := key(ops)
+				g := counts[k]
+				if g == nil {
+					g = &gram{Ops: append([]vm.Opcode(nil), ops...), Per: make(map[string]int64)}
+					counts[k] = g
+				}
+				g.Count++
+				g.Per[w.Name]++
+			}
+		}
+
+		m := interp.NewMachine(p)
+		if err := engine.Traced(visit).Run(m); err != nil {
+			fmt.Fprintf(os.Stderr, "supermine: %s: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+	}
+
+	grams := make([]*gram, 0, len(counts))
+	for _, g := range counts {
+		grams = append(grams, g)
+	}
+	sort.Slice(grams, func(i, j int) bool {
+		if grams[i].Saved() != grams[j].Saved() {
+			return grams[i].Saved() > grams[j].Saved()
+		}
+		return grams[i].Name() < grams[j].Name()
+	})
+
+	if *asJSON {
+		type row struct {
+			Gram  string           `json:"gram"`
+			Len   int              `json:"len"`
+			Count int64            `json:"count"`
+			Saved int64            `json:"saved_dispatches"`
+			Per   map[string]int64 `json:"per_workload"`
+		}
+		out := make([]row, 0, *top)
+		for i, g := range grams {
+			if i >= *top {
+				break
+			}
+			out = append(out, row{Gram: g.Name(), Len: len(g.Ops), Count: g.Count, Saved: g.Saved(), Per: g.Per})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "supermine: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%-4s %-28s %12s %14s  %s\n", "#", "gram", "count", "saved", "per-workload")
+	for i, g := range grams {
+		if i >= *top {
+			break
+		}
+		var per []string
+		for _, w := range suite {
+			if c := g.Per[w.Name]; c > 0 {
+				per = append(per, fmt.Sprintf("%s=%d", w.Name, c))
+			}
+		}
+		fmt.Printf("%-4d %-28s %12d %14d  %s\n", i+1, g.Name(), g.Count, g.Saved(), strings.Join(per, " "))
+	}
+}

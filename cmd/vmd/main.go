@@ -24,7 +24,10 @@
 // the program runs once per input on a single worker pass, and the
 // response carries per-input "results" (each with its own output,
 // stack, steps and error class — one failing input does not fail the
-// batch). Batch size is capped by -maxbatch. Errors come back as JSON
+// batch). Batch size is capped by -maxbatch. With -quicken (the
+// default) programs are rewritten to profile-mined superinstructions
+// when they enter the cache ("quickened": true in responses) — see the
+// -h text for how -super and -quicken compose. Errors come back as JSON
 // with a stable "class" drawn from the service's error vocabulary,
 // mapped onto HTTP status codes (400 bad_request/compile, 422
 // runtime/limit, 429 queue_full, 503 shutdown, 504 canceled).
@@ -78,6 +81,7 @@ type runResponse struct {
 	Steps      int64         `json:"steps"`
 	CacheHit   bool          `json:"cache_hit"`
 	Analysis   string        `json:"analysis"`          // "proved" or "unproven"
+	Quickened  bool          `json:"quickened"`         // program was rewritten to superinstruction form at cache time
 	Results    []inputResult `json:"results,omitempty"` // batch requests only, in input order
 }
 
@@ -186,6 +190,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Steps:      resp.Steps,
 		CacheHit:   resp.CacheHit,
 		Analysis:   resp.Analysis,
+		Quickened:  resp.Quickened,
 	}
 	// A batch that was executed is 200 whatever its inputs did:
 	// per-input failures are results, reported input by input.
@@ -272,11 +277,27 @@ func main() {
 		maxStack = flag.Int("maxstack", 1024, "largest final stack a response may carry, in cells")
 		maxBatch = flag.Int("maxbatch", 64, "largest number of inputs a batch /run may carry")
 		superins = flag.Bool("super", false, "compile with superinstruction fusion")
+		quicken  = flag.Bool("quicken", true, "quicken cached programs to profile-mined superinstructions")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of vmd:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), "\nEngines (POST /run \"engine\" field): %v\n", engine.Names())
+		fmt.Fprintf(flag.CommandLine.Output(), `
+Superinstruction flags compose; both leave observable behavior (output,
+stack, step counts, error classes) identical to plain execution:
+
+  -super    front-end peephole: "literal +" compiles to the standalone
+            lit-add opcode and the program shrinks. Changes the cache
+            key (it is a compile option).
+  -quicken  cache-time rewrite: verified programs are re-written in
+            place to profile-mined superinstructions (vm.Fusions) when
+            inserted into the program cache, then re-verified. The two
+            passes share one fusion table, so a pair the peephole
+            consumed is gone before quickening and nothing fuses twice.
+            Responses report "quickened": true; /metrics exposes
+            vmd_quickened_programs_total and vmd_quickened_ops_total.
+`)
 	}
 	flag.Parse()
 
@@ -290,6 +311,7 @@ func main() {
 		MaxStackCells:   *maxStack,
 		MaxBatchInputs:  *maxBatch,
 		CompileOptions:  forth.Options{Superinstructions: *superins},
+		Quicken:         *quicken,
 	})
 	if err != nil {
 		log.Fatalf("vmd: %v", err)

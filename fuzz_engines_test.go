@@ -193,6 +193,45 @@ func FuzzEngines(f *testing.F) {
 			}
 		}
 
+		// Quickening differential: when the decoded program verifies
+		// and the fusion table plants anything in it, every engine's
+		// run of the QUICKENED program must reproduce the baseline's
+		// run of the original — snapshot on success, error class on
+		// failure. (Decoded programs also plant super opcodes directly,
+		// with garbage tails; that de-fuse path is covered by the main
+		// loop above. This covers the tails vm.Quicken actually
+		// produces, over fuzzed programs and fuzzed initial stacks.)
+		if verified {
+			if q, n := vm.Quicken(p); n > 0 {
+				for _, e := range allEngines {
+					snap, err := e.runSpec(q, spec)
+					if e.needsVerify {
+						if baseErr == nil && err == nil && !baseSnap.Equal(snap) {
+							t.Errorf("engine %s: quickened snapshot diverges from unquickened switch\nprogram:\n%s",
+								e.name, vm.Disassemble(q))
+						}
+						continue
+					}
+					if (baseErr == nil) != (err == nil) {
+						t.Errorf("engine %s: quickened err %v, unquickened switch err %v\nprogram:\n%s",
+							e.name, err, baseErr, vm.Disassemble(q))
+						continue
+					}
+					if err != nil {
+						if re, ok := err.(*interp.RuntimeError); ok && re.Msg != baseMsg {
+							t.Errorf("engine %s: quickened error class %q, unquickened switch %q\nprogram:\n%s",
+								e.name, re.Msg, baseMsg, vm.Disassemble(q))
+						}
+						continue
+					}
+					if !baseSnap.Equal(snap) || baseSnap.Steps != snap.Steps {
+						t.Errorf("engine %s: quickened run diverges from unquickened switch (steps %d vs %d)\nprogram:\n%s",
+							e.name, snap.Steps, baseSnap.Steps, vm.Disassemble(q))
+					}
+				}
+			}
+		}
+
 		// Elision differential: every engine differenced against
 		// itself with the elision kill switch thrown. The runs above
 		// attach analysis facts (proved programs take each engine's

@@ -118,6 +118,12 @@ func Compile(p *vm.Program, facts *vm.Facts) (*Artifact, error) {
 	if p == nil {
 		return nil, errNilProgram
 	}
+	// Quickened programs compile from their constituent instructions:
+	// this engine applies its own fusion pass over basic blocks, which
+	// subsumes the quickener's sequences, and Unquicken is a pure
+	// opcode rewrite (same code length, same pcs, same effects) so the
+	// caller's facts and the machine's pc numbering stay valid.
+	p = vm.Unquicken(p)
 	a := &Artifact{prog: p}
 	a.checked = build(p, buildChecked)
 	a.stats = a.checked.stats

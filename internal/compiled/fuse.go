@@ -1894,6 +1894,17 @@ func (v *variant) singleNode(fi fInst, back int64, next op) op {
 			s.st[sp] = vm.Cell(sp)
 			return next(s, sp+1, rp)
 		}
+	case vm.OpQLitFetch, vm.OpQLitFetchAdd, vm.OpQLitLitFetchAdd,
+		vm.OpQLitFetchAddCFetch, vm.OpQLitFetchLitGe, vm.OpQLitPlusStore,
+		vm.OpQLitLitPlusStore, vm.OpQAddCFetch, vm.OpQLitEq, vm.OpQDupLitEq,
+		vm.OpQSwapLitRshiftSwap, vm.OpQLitLshiftOverLit:
+		// Unreachable: Compile unquickens before lowering, so the fuser
+		// never sees a superinstruction. Kept total by de-fusing to the
+		// first constituent's lowering (a superinstruction's observable
+		// semantics are exactly its first constituent's).
+		v.stats.Nodes-- // the recursive call counts this node
+		fi.op = vm.Expansion(fi.op)[0]
+		return v.singleNode(fi, back, next)
 	default:
 		// Invalid opcode: the baseline counts its step (the block
 		// preamble already did) and reports it at this pc.
@@ -2265,6 +2276,13 @@ func preOpFor(opc vm.Opcode) preOp {
 		vm.OpBranch, vm.OpBranchZero, vm.OpCall, vm.OpExit, vm.OpHalt,
 		vm.OpLoop, vm.OpPlusLoop,
 		vm.OpEmit, vm.OpDot, vm.OpType, vm.OpDepth:
+		return nil
+	case vm.OpQLitFetch, vm.OpQLitFetchAdd, vm.OpQLitLitFetchAdd,
+		vm.OpQLitFetchAddCFetch, vm.OpQLitFetchLitGe, vm.OpQLitPlusStore,
+		vm.OpQLitLitPlusStore, vm.OpQAddCFetch, vm.OpQLitEq, vm.OpQDupLitEq,
+		vm.OpQSwapLitRshiftSwap, vm.OpQLitLshiftOverLit:
+		// Superinstructions never reach the fuser: Compile unquickens
+		// first, and this engine refuses them in any other position too.
 		return nil
 	}
 	return nil

@@ -104,21 +104,21 @@ type preOp func(s *state, sp, rp int) (int, int)
 type guardKind uint8
 
 const (
-	kNone      guardKind = iota // no fast entry; use cont[t]
-	kFirst                      // generic block: check, charge, run first
-	kCall                       // [call a], b = return pc
-	kExit                       // [exit]
-	kBranch                     // [branch a]; also "charge and fall to a"
-	k0Branch                    // [0branch a], b = fall-through
-	kLoop                       // [loop a], b = fall-through
-	kHalt                       // [halt], a = its pc
-	kCmp0Br                     // [opc; 0branch a], b = fall-through
-	kTest0Br                    // [opc; 0branch a], b = fall-through
-	kDup0Br                     // [dup; 0branch a], b = fall-through
-	kLitCmp0Br                  // [lit c; opc; 0branch a], b = fall-through
-	kDupTest0Br                 // [dup; opc; 0branch a], b = fall-through
-	kDupLitCmp0Br               // [dup; lit c; opc; 0branch a], b = fall-through
-	kRFetchTest0Br              // [r@; opc; 0branch a], b = fall-through
+	kNone          guardKind = iota // no fast entry; use cont[t]
+	kFirst                          // generic block: check, charge, run first
+	kCall                           // [call a], b = return pc
+	kExit                           // [exit]
+	kBranch                         // [branch a]; also "charge and fall to a"
+	k0Branch                        // [0branch a], b = fall-through
+	kLoop                           // [loop a], b = fall-through
+	kHalt                           // [halt], a = its pc
+	kCmp0Br                         // [opc; 0branch a], b = fall-through
+	kTest0Br                        // [opc; 0branch a], b = fall-through
+	kDup0Br                         // [dup; 0branch a], b = fall-through
+	kLitCmp0Br                      // [lit c; opc; 0branch a], b = fall-through
+	kDupTest0Br                     // [dup; opc; 0branch a], b = fall-through
+	kDupLitCmp0Br                   // [dup; lit c; opc; 0branch a], b = fall-through
+	kRFetchTest0Br                  // [r@; opc; 0branch a], b = fall-through
 )
 
 // build lowers p into one code variant.
@@ -433,7 +433,7 @@ func (v *variant) stepAt(pc int) op {
 func (v *variant) step(s *state, pc, sp, rp int) (op, int, int) {
 	ins := v.code[pc]
 	if s.steps >= s.limit {
-		return s.failAt(pc, ins.Op, interp.MsgStepLimit, sp, rp)
+		return s.failAt(pc, vm.CanonicalInstr(ins).Op, interp.MsgStepLimit, sp, rp)
 	}
 	s.steps++
 	st, rs := s.st, s.rs
@@ -984,6 +984,42 @@ func (v *variant) step(s *state, pc, sp, rp int) (op, int, int) {
 		}
 		st[sp] = vm.Cell(sp)
 		return v.cont[pc+1], sp + 1, rp
+
+	// Unreachable: Compile unquickens, so v.code holds no
+	// superinstructions. The arms keep this switch total and de-fuse to
+	// the first constituent (which also names the reported error op).
+	case vm.OpQLitFetch, vm.OpQLitFetchAdd, vm.OpQLitLitFetchAdd,
+		vm.OpQLitFetchAddCFetch, vm.OpQLitFetchLitGe, vm.OpQLitPlusStore,
+		vm.OpQLitLitPlusStore, vm.OpQLitEq, vm.OpQLitLshiftOverLit:
+		if sp == len(st) {
+			return s.failAt(pc, vm.OpLit, "stack overflow", sp, rp)
+		}
+		st[sp] = ins.Arg
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpQAddCFetch:
+		if sp < 2 {
+			return s.failAt(pc, vm.OpAdd, "stack underflow", sp, rp)
+		}
+		st[sp-2] += st[sp-1]
+		return v.cont[pc+1], sp - 1, rp
+
+	case vm.OpQDupLitEq:
+		if sp < 1 {
+			return s.failAt(pc, vm.OpDup, "stack underflow", sp, rp)
+		}
+		if sp == len(st) {
+			return s.failAt(pc, vm.OpDup, "stack overflow", sp, rp)
+		}
+		st[sp] = st[sp-1]
+		return v.cont[pc+1], sp + 1, rp
+
+	case vm.OpQSwapLitRshiftSwap:
+		if sp < 2 {
+			return s.failAt(pc, vm.OpSwap, "stack underflow", sp, rp)
+		}
+		st[sp-1], st[sp-2] = st[sp-2], st[sp-1]
+		return v.cont[pc+1], sp, rp
 
 	default:
 		return s.failAt(pc, ins.Op, "invalid opcode", sp, rp)

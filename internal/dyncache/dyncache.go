@@ -213,7 +213,9 @@ func failAt(m *interp.Machine, msg string) error {
 	// the error constructor must not index Code with it.
 	op := vm.OpNop
 	if m.PC >= 0 && m.PC < len(m.Prog.Code) {
-		op = m.Prog.Code[m.PC].Op
+		// A super opcode canonicalizes to its first constituent — the
+		// opcode the unquickened baseline reports at this pc.
+		op = vm.CanonicalInstr(m.Prog.Code[m.PC]).Op
 	}
 	return &interp.RuntimeError{PC: m.PC, Op: op, Msg: msg}
 }

@@ -258,16 +258,22 @@ func (c *compiler) recordInlineBody() {
 // emit appends an instruction in compile mode, maintaining the
 // superinstruction peephole state.
 func (c *compiler) emit(op vm.Opcode) {
-	if c.opt.Superinstructions && op == vm.OpAdd && c.lastLit >= 0 {
-		// Rewrite `lit n +` to the single superinstruction `lit+ n`,
-		// in place of the literal (paper §2.2: combining often-used
-		// sequences increases semantic content and saves a dispatch).
-		// lastLit is reset at every label, so no branch target can
-		// point between the two instructions being fused.
-		arg := c.b.InstrAt(c.lastLit).Arg
-		c.b.ReplaceAt(c.lastLit, vm.Instr{Op: vm.OpLitAdd, Arg: arg})
-		c.lastLit = -1
-		return
+	if c.opt.Superinstructions && c.lastLit >= 0 {
+		// Rewrite `lit n <op>` per the Shrink rules of the shared
+		// vm.Fusions table (currently `lit +` → `lit+ n`), in place of
+		// the literal (paper §2.2: combining often-used sequences
+		// increases semantic content and saves a dispatch). Consulting
+		// the same table vm.Quicken matches against keeps the two fusion
+		// passes from drifting or double-fusing: a pair shrunk here no
+		// longer exists for the quickener, and Quicken never applies
+		// Shrink rules itself. lastLit is reset at every label, so no
+		// branch target can point between the two instructions fused.
+		if super, ok := vm.ShrinkPair(vm.OpLit, op); ok {
+			arg := c.b.InstrAt(c.lastLit).Arg
+			c.b.ReplaceAt(c.lastLit, vm.Instr{Op: super, Arg: arg})
+			c.lastLit = -1
+			return
+		}
 	}
 	c.b.Emit(op)
 	c.lastLit = -1

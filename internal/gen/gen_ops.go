@@ -12,6 +12,11 @@ import (
 func (g *generator) opcode(c int, op vm.Opcode) {
 	eff := vm.EffectOf(op)
 	switch op {
+	case vm.OpQLitFetch, vm.OpQLitFetchAdd, vm.OpQLitLitFetchAdd,
+		vm.OpQLitFetchAddCFetch, vm.OpQLitFetchLitGe, vm.OpQLitPlusStore,
+		vm.OpQLitLitPlusStore, vm.OpQAddCFetch, vm.OpQLitEq, vm.OpQDupLitEq,
+		vm.OpQSwapLitRshiftSwap, vm.OpQLitLshiftOverLit:
+		g.super(c, op)
 	case vm.OpNop:
 		g.p("pc++")
 		g.gotoState(c)
@@ -257,6 +262,127 @@ func (g *generator) opcode(c int, op vm.Opcode) {
 		}
 	default:
 		g.p("errOp, errMsg = ins.Op, %q; goto fail%d", "unhandled opcode", c)
+	}
+}
+
+// super emits the body of one (state, superinstruction) case. The
+// fused fast path is emitted only in cache states where the whole
+// sequence runs register-resident: entry depth covers the combined
+// borrow and the combined rise fits the register file. In exactly
+// those states the baseline constituent-by-constituent execution never
+// touches the memory stack either, so the fused path needs no stack
+// bounds checks even in the checked variant — the guards that remain
+// are the step budget (one step per constituent), the code tail
+// matching the expansion, and memory-range pre-checks before any
+// commit. In every other state, or when any guard fails, the case
+// de-fuses: ins is canonicalized to the first constituent and its
+// ordinary body runs, leaving the in-place tail to replay baseline
+// execution (and report baseline errors) exactly.
+func (g *generator) super(c int, op vm.Opcode) {
+	seq := vm.Expansion(op)
+	n := len(seq)
+	borrow, rise := vm.SuperDepths(op)
+	if c >= borrow && c+rise <= g.n {
+		cond := make([]string, 0, n+1)
+		// The dispatch head already consumed one step; the fused commit
+		// accounts the remaining n-1, so the budget needs steps+n-2 <
+		// limit — the exact point the baseline's k-th dispatch check
+		// would fail.
+		switch n {
+		case 2:
+			cond = append(cond, "steps < limit")
+		default:
+			cond = append(cond, fmt.Sprintf("steps+%d < limit", n-2))
+		}
+		cond = append(cond, fmt.Sprintf("pc+%d <= len(code)", n))
+		for k := 1; k < n; k++ {
+			cond = append(cond, fmt.Sprintf("code[pc+%d].Op == vm.%s", k, opConstName(seq[k])))
+		}
+		g.p("if %s {", strings.Join(cond, " && "))
+		g.superBody(c, op, n)
+		g.p("}")
+	}
+	g.p("ins.Op = vm.%s", opConstName(seq[0]))
+	g.opcode(c, seq[0])
+}
+
+// superBody emits the register-resident fused execution for state c
+// (guards for state fit already emitted by super): memory pre-checks,
+// then the committed register writes, step accounting and pc advance.
+func (g *generator) superBody(c int, op vm.Opcode, n int) {
+	commit := func(newState int) {
+		g.p("steps += %d", n-1)
+		g.p("pc += %d", n)
+		g.gotoState(newState)
+	}
+	switch op {
+	case vm.OpQLitFetch: // lit @  ( -- cell[arg] )
+		g.p("t0, ok = m.CellAt(ins.Arg)")
+		g.p("if ok {")
+		g.p("%s = t0", reg(c))
+		commit(c + 1)
+		g.p("}")
+	case vm.OpQLitFetchAdd: // lit @ +  ( a -- a+cell[arg] )
+		g.p("t0, ok = m.CellAt(ins.Arg)")
+		g.p("if ok {")
+		g.p("%s += t0", reg(c-1))
+		commit(c)
+		g.p("}")
+	case vm.OpQLitLitFetchAdd: // lit lit @ +  ( -- arg+cell[arg1] )
+		g.p("t0, ok = m.CellAt(code[pc+1].Arg)")
+		g.p("if ok {")
+		g.p("%s = ins.Arg + t0", reg(c))
+		commit(c + 1)
+		g.p("}")
+	case vm.OpQLitFetchAddCFetch: // lit @ + c@  ( a -- byte[a+cell[arg]] )
+		g.p("t0, ok = m.CellAt(ins.Arg)")
+		g.p("if ok {")
+		g.p("bv, ok = m.ByteAt(%s + t0)", reg(c-1))
+		g.p("if ok {")
+		g.p("%s = vm.Cell(bv)", reg(c-1))
+		commit(c)
+		g.p("}")
+		g.p("}")
+	case vm.OpQLitFetchLitGe: // lit @ lit >=  ( -- flag(cell[arg]>=arg2) )
+		g.p("t0, ok = m.CellAt(ins.Arg)")
+		g.p("if ok {")
+		g.p("%s = flag(t0 >= code[pc+2].Arg)", reg(c))
+		commit(c + 1)
+		g.p("}")
+	case vm.OpQLitPlusStore: // lit +!  ( n -- )  mem[arg] += n
+		g.p("t0, ok = m.CellAt(ins.Arg)")
+		g.p("if ok {")
+		g.p("m.SetCellAt(ins.Arg, t0+%s)", reg(c-1))
+		commit(c - 1)
+		g.p("}")
+	case vm.OpQLitLitPlusStore: // lit lit +!  ( -- )  mem[arg1] += arg
+		g.p("t0, ok = m.CellAt(code[pc+1].Arg)")
+		g.p("if ok {")
+		g.p("m.SetCellAt(code[pc+1].Arg, t0+ins.Arg)")
+		commit(c)
+		g.p("}")
+	case vm.OpQAddCFetch: // + c@  ( a b -- byte[a+b] )
+		g.p("bv, ok = m.ByteAt(%s + %s)", reg(c-2), reg(c-1))
+		g.p("if ok {")
+		g.p("%s = vm.Cell(bv)", reg(c-2))
+		commit(c - 1)
+		g.p("}")
+	case vm.OpQLitEq: // lit =  ( a -- flag(a==arg) )
+		g.p("%s = flag(%s == ins.Arg)", reg(c-1), reg(c-1))
+		commit(c)
+	case vm.OpQDupLitEq: // dup lit =  ( a -- a flag(a==arg1) )
+		g.p("%s = flag(%s == code[pc+1].Arg)", reg(c), reg(c-1))
+		commit(c + 1)
+	case vm.OpQSwapLitRshiftSwap: // swap lit rshift swap  ( a b -- a>>arg1 b )
+		g.p("%s = interp.ShiftRight(%s, code[pc+1].Arg)", reg(c-2), reg(c-2))
+		commit(c)
+	case vm.OpQLitLshiftOverLit: // lit lshift over lit  ( a b -- a b<<arg a arg3 )
+		g.p("%s = %s", reg(c), reg(c-2))
+		g.p("%s = interp.ShiftLeft(%s, ins.Arg)", reg(c-1), reg(c-1))
+		g.p("%s = code[pc+3].Arg", reg(c+1))
+		commit(c + 2)
+	default:
+		panic("gen: no fused body for " + op.String())
 	}
 }
 

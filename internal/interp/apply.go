@@ -363,6 +363,18 @@ func Apply(m *Machine, ins vm.Instr, args []vm.Cell, out []vm.Cell, depth int) (
 		out[0] = vm.Cell(depth)
 		m.PC++
 		return 1, nil
+
+	case vm.OpQLitFetch, vm.OpQLitFetchAdd, vm.OpQLitLitFetchAdd,
+		vm.OpQLitFetchAddCFetch, vm.OpQLitFetchLitGe, vm.OpQLitPlusStore,
+		vm.OpQLitLitPlusStore, vm.OpQAddCFetch, vm.OpQLitEq, vm.OpQDupLitEq,
+		vm.OpQSwapLitRshiftSwap, vm.OpQLitLshiftOverLit:
+		// Quickening superinstructions always de-fuse here: Apply's
+		// callers (the cache-state engines) dispatch one instruction per
+		// step, so executing the first constituent — whose effect the
+		// super opcode declares — is both correct and exactly the
+		// baseline cost model; the in-place tail replays the rest of the
+		// fused sequence on the following dispatches.
+		return Apply(m, vm.CanonicalInstr(ins), args, out, depth)
 	}
 	return 0, m.fail(ins.Op, "invalid opcode")
 }

@@ -82,7 +82,7 @@ func RunTracedOn(m *Machine, visit func(pc int, ins vm.Instr)) error {
 			return PCError(m.PC)
 		}
 		if m.Steps >= limit {
-			return m.fail(code[m.PC].Op, "step limit exceeded")
+			return m.fail(vm.CanonicalInstr(code[m.PC]).Op, "step limit exceeded")
 		}
 		ins := code[m.PC]
 		if visit != nil {

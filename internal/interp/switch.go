@@ -35,7 +35,9 @@ func RunSwitch(m *Machine) error {
 		}
 		if steps >= limit {
 			sync()
-			return m.fail(code[pc].Op, "step limit exceeded")
+			// Canonicalize a super opcode to its first constituent: the
+			// unquickened baseline reports that opcode at this pc.
+			return m.fail(vm.CanonicalInstr(code[pc]).Op, "step limit exceeded")
 		}
 		ins := code[pc]
 		steps++
@@ -720,6 +722,248 @@ func RunSwitch(m *Machine) error {
 				return m.fail(ins.Op, "stack overflow")
 			}
 			st[sp] = vm.Cell(sp)
+			sp++
+			pc++
+
+		// Quickening superinstructions (vm.Quicken). Each case first
+		// tries the fused fast path — all constituents in one dispatch —
+		// guarded on: step-budget room for every constituent, the
+		// in-place code tail matching the expansion (arbitrary bytecode
+		// may plant a super over a garbage tail), combined stack
+		// headroom, and every possible failure pre-checked before any
+		// state commits. Fused execution counts one step per constituent
+		// so budget sweeps stay baseline-equal. If any guard fails the
+		// case DE-FUSES: it executes exactly the first constituent
+		// (reporting that constituent's opcode on error), and the next
+		// dispatch replays the in-place tail at baseline — observably
+		// identical to the unquickened program in every path.
+
+		case vm.OpQLitFetch: // lit;@
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpFetch && sp < len(st) {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					st[sp] = x
+					sp++
+					steps++
+					pc += 2
+					continue
+				}
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitFetchAdd: // lit;@;+
+			if steps+1 < limit && pc+3 <= len(code) &&
+				code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpAdd &&
+				sp >= 1 && sp < len(st) {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					st[sp-1] += x
+					steps += 2
+					pc += 3
+					continue
+				}
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitLitFetchAdd: // lit;lit;@;+
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpFetch && code[pc+3].Op == vm.OpAdd &&
+				sp+2 <= len(st) {
+				if x, ok := m.CellAt(code[pc+1].Arg); ok {
+					st[sp] = ins.Arg + x
+					sp++
+					steps += 3
+					pc += 4
+					continue
+				}
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitFetchAddCFetch: // lit;@;+;c@
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpAdd && code[pc+3].Op == vm.OpCFetch &&
+				sp >= 1 && sp < len(st) {
+				if base, ok := m.CellAt(ins.Arg); ok {
+					if b, ok := m.ByteAt(st[sp-1] + base); ok {
+						st[sp-1] = vm.Cell(b)
+						steps += 3
+						pc += 4
+						continue
+					}
+				}
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitFetchLitGe: // lit;@;lit;>=
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpLit && code[pc+3].Op == vm.OpGe &&
+				sp+2 <= len(st) {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					st[sp] = Flag(x >= code[pc+2].Arg)
+					sp++
+					steps += 3
+					pc += 4
+					continue
+				}
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitPlusStore: // lit;+!
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpPlusStore &&
+				sp >= 1 && sp < len(st) {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					m.SetCellAt(ins.Arg, x+st[sp-1])
+					sp--
+					steps++
+					pc += 2
+					continue
+				}
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitLitPlusStore: // lit;lit;+!
+			if steps+1 < limit && pc+3 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpPlusStore &&
+				sp+2 <= len(st) {
+				if x, ok := m.CellAt(code[pc+1].Arg); ok {
+					m.SetCellAt(code[pc+1].Arg, x+ins.Arg)
+					steps += 2
+					pc += 3
+					continue
+				}
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQAddCFetch: // +;c@
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpCFetch && sp >= 2 {
+				if b, ok := m.ByteAt(st[sp-2] + st[sp-1]); ok {
+					st[sp-2] = vm.Cell(b)
+					sp--
+					steps++
+					pc += 2
+					continue
+				}
+			}
+			if sp < 2 {
+				sync()
+				return m.fail(vm.OpAdd, "stack underflow")
+			}
+			st[sp-2] += st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpQLitEq: // lit;=
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpEq &&
+				sp >= 1 && sp < len(st) {
+				st[sp-1] = Flag(st[sp-1] == ins.Arg)
+				steps++
+				pc += 2
+				continue
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQDupLitEq: // dup;lit;=
+			if steps+1 < limit && pc+3 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpEq &&
+				sp >= 1 && sp+2 <= len(st) {
+				st[sp] = Flag(st[sp-1] == code[pc+1].Arg)
+				sp++
+				steps += 2
+				pc += 3
+				continue
+			}
+			if sp < 1 {
+				sync()
+				return m.fail(vm.OpDup, "stack underflow")
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpDup, "stack overflow")
+			}
+			st[sp] = st[sp-1]
+			sp++
+			pc++
+
+		case vm.OpQSwapLitRshiftSwap: // swap;lit;rshift;swap
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpRshift && code[pc+3].Op == vm.OpSwap &&
+				sp >= 2 && sp < len(st) {
+				st[sp-2] = ShiftRight(st[sp-2], code[pc+1].Arg)
+				steps += 3
+				pc += 4
+				continue
+			}
+			if sp < 2 {
+				sync()
+				return m.fail(vm.OpSwap, "stack underflow")
+			}
+			st[sp-1], st[sp-2] = st[sp-2], st[sp-1]
+			pc++
+
+		case vm.OpQLitLshiftOverLit: // lit;lshift;over;lit
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpLshift && code[pc+2].Op == vm.OpOver && code[pc+3].Op == vm.OpLit &&
+				sp >= 2 && sp+2 <= len(st) {
+				a := st[sp-2]
+				st[sp-1] = ShiftLeft(st[sp-1], ins.Arg)
+				st[sp] = a
+				st[sp+1] = code[pc+3].Arg
+				sp += 2
+				steps += 3
+				pc += 4
+				continue
+			}
+			if sp == len(st) {
+				sync()
+				return m.fail(vm.OpLit, "stack overflow")
+			}
+			st[sp] = ins.Arg
 			sp++
 			pc++
 

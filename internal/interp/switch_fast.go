@@ -36,7 +36,7 @@ func runSwitchFast(m *Machine) error {
 		}
 		if steps >= limit {
 			sync()
-			return m.fail(code[pc].Op, "step limit exceeded")
+			return m.fail(vm.CanonicalInstr(code[pc]).Op, "step limit exceeded")
 		}
 		ins := code[pc]
 		steps++
@@ -421,6 +421,182 @@ func runSwitchFast(m *Machine) error {
 
 		case vm.OpDepth:
 			st[sp] = vm.Cell(sp)
+			sp++
+			pc++
+
+		// Quickening superinstructions, check-elided: the analysis
+		// proved the per-pc depth bounds of every constituent (fused
+		// execution visits exactly the baseline's intermediate stack
+		// states), so the combined stack headroom guards of the checked
+		// loop are dead here. Step-budget room, the tail-match guard and
+		// the memory pre-checks are NOT depth facts and stay; a failed
+		// guard de-fuses to the first constituent exactly like the
+		// checked loop.
+
+		case vm.OpQLitFetch: // lit;@
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpFetch {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					st[sp] = x
+					sp++
+					steps++
+					pc += 2
+					continue
+				}
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitFetchAdd: // lit;@;+
+			if steps+1 < limit && pc+3 <= len(code) &&
+				code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpAdd {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					st[sp-1] += x
+					steps += 2
+					pc += 3
+					continue
+				}
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitLitFetchAdd: // lit;lit;@;+
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpFetch && code[pc+3].Op == vm.OpAdd {
+				if x, ok := m.CellAt(code[pc+1].Arg); ok {
+					st[sp] = ins.Arg + x
+					sp++
+					steps += 3
+					pc += 4
+					continue
+				}
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitFetchAddCFetch: // lit;@;+;c@
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpAdd && code[pc+3].Op == vm.OpCFetch {
+				if base, ok := m.CellAt(ins.Arg); ok {
+					if b, ok := m.ByteAt(st[sp-1] + base); ok {
+						st[sp-1] = vm.Cell(b)
+						steps += 3
+						pc += 4
+						continue
+					}
+				}
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitFetchLitGe: // lit;@;lit;>=
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpLit && code[pc+3].Op == vm.OpGe {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					st[sp] = Flag(x >= code[pc+2].Arg)
+					sp++
+					steps += 3
+					pc += 4
+					continue
+				}
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitPlusStore: // lit;+!
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpPlusStore {
+				if x, ok := m.CellAt(ins.Arg); ok {
+					m.SetCellAt(ins.Arg, x+st[sp-1])
+					sp--
+					steps++
+					pc += 2
+					continue
+				}
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQLitLitPlusStore: // lit;lit;+!
+			if steps+1 < limit && pc+3 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpPlusStore {
+				if x, ok := m.CellAt(code[pc+1].Arg); ok {
+					m.SetCellAt(code[pc+1].Arg, x+ins.Arg)
+					steps += 2
+					pc += 3
+					continue
+				}
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQAddCFetch: // +;c@
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpCFetch {
+				if b, ok := m.ByteAt(st[sp-2] + st[sp-1]); ok {
+					st[sp-2] = vm.Cell(b)
+					sp--
+					steps++
+					pc += 2
+					continue
+				}
+			}
+			st[sp-2] += st[sp-1]
+			sp--
+			pc++
+
+		case vm.OpQLitEq: // lit;=
+			if steps < limit && pc+2 <= len(code) && code[pc+1].Op == vm.OpEq {
+				st[sp-1] = Flag(st[sp-1] == ins.Arg)
+				steps++
+				pc += 2
+				continue
+			}
+			st[sp] = ins.Arg
+			sp++
+			pc++
+
+		case vm.OpQDupLitEq: // dup;lit;=
+			if steps+1 < limit && pc+3 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpEq {
+				st[sp] = Flag(st[sp-1] == code[pc+1].Arg)
+				sp++
+				steps += 2
+				pc += 3
+				continue
+			}
+			st[sp] = st[sp-1]
+			sp++
+			pc++
+
+		case vm.OpQSwapLitRshiftSwap: // swap;lit;rshift;swap
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpRshift && code[pc+3].Op == vm.OpSwap {
+				st[sp-2] = ShiftRight(st[sp-2], code[pc+1].Arg)
+				steps += 3
+				pc += 4
+				continue
+			}
+			st[sp-1], st[sp-2] = st[sp-2], st[sp-1]
+			pc++
+
+		case vm.OpQLitLshiftOverLit: // lit;lshift;over;lit
+			if steps+2 < limit && pc+4 <= len(code) &&
+				code[pc+1].Op == vm.OpLshift && code[pc+2].Op == vm.OpOver && code[pc+3].Op == vm.OpLit {
+				a := st[sp-2]
+				st[sp-1] = ShiftLeft(st[sp-1], ins.Arg)
+				st[sp] = a
+				st[sp+1] = code[pc+3].Arg
+				sp += 2
+				steps += 3
+				pc += 4
+				continue
+			}
+			st[sp] = ins.Arg
 			sp++
 			pc++
 

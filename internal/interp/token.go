@@ -34,7 +34,7 @@ func RunToken(m *Machine) error {
 			return PCError(m.PC)
 		}
 		if m.Steps >= limit {
-			return m.fail(code[m.PC].Op, "step limit exceeded")
+			return m.fail(vm.CanonicalInstr(code[m.PC]).Op, "step limit exceeded")
 		}
 		ins := code[m.PC]
 		m.Steps++
@@ -104,7 +104,7 @@ func (t *Threaded) Run() error {
 			return PCError(m.PC)
 		}
 		if m.Steps >= limit {
-			return m.fail(m.Prog.Code[m.PC].Op, "step limit exceeded")
+			return m.fail(vm.CanonicalInstr(m.Prog.Code[m.PC]).Op, "step limit exceeded")
 		}
 		ins := t.code[m.PC]
 		m.Steps++
@@ -635,4 +635,18 @@ var handlers = [vm.NumOpcodes]handler{
 		m.PC++
 		return nil
 	},
+
+	// Quickening superinstructions (constructors in token_super.go).
+	vm.OpQLitFetch:          qLitFetchH(false),
+	vm.OpQLitFetchAdd:       qLitFetchAddH(false),
+	vm.OpQLitLitFetchAdd:    qLitLitFetchAddH(false),
+	vm.OpQLitFetchAddCFetch: qLitFetchAddCFetchH(false),
+	vm.OpQLitFetchLitGe:     qLitFetchLitGeH(false),
+	vm.OpQLitPlusStore:      qLitPlusStoreH(false),
+	vm.OpQLitLitPlusStore:   qLitLitPlusStoreH(false),
+	vm.OpQAddCFetch:         qAddCFetchH(false),
+	vm.OpQLitEq:             qLitEqH(false),
+	vm.OpQDupLitEq:          qDupLitEqH(false),
+	vm.OpQSwapLitRshiftSwap: qSwapLitRshiftSwapH(false),
+	vm.OpQLitLshiftOverLit:  qLitLshiftOverLitH(false),
 }

@@ -357,4 +357,18 @@ var handlersFast = [vm.NumOpcodes]handler{
 		m.PC++
 		return nil
 	},
+
+	// Quickening superinstructions, check-elided (token_super.go).
+	vm.OpQLitFetch:          qLitFetchH(true),
+	vm.OpQLitFetchAdd:       qLitFetchAddH(true),
+	vm.OpQLitLitFetchAdd:    qLitLitFetchAddH(true),
+	vm.OpQLitFetchAddCFetch: qLitFetchAddCFetchH(true),
+	vm.OpQLitFetchLitGe:     qLitFetchLitGeH(true),
+	vm.OpQLitPlusStore:      qLitPlusStoreH(true),
+	vm.OpQLitLitPlusStore:   qLitLitPlusStoreH(true),
+	vm.OpQAddCFetch:         qAddCFetchH(true),
+	vm.OpQLitEq:             qLitEqH(true),
+	vm.OpQDupLitEq:          qDupLitEqH(true),
+	vm.OpQSwapLitRshiftSwap: qSwapLitRshiftSwapH(true),
+	vm.OpQLitLshiftOverLit:  qLitLshiftOverLitH(true),
 }

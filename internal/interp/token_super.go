@@ -1,0 +1,326 @@
+package interp
+
+import "stackcache/internal/vm"
+
+// Superinstruction handlers for the token-threaded engines. One
+// constructor per quickening superinstruction builds both the checked
+// and the check-elided table entry; NewThreaded bakes the chosen
+// variant into threaded code, and RunTracedOn dispatches through the
+// same tables, so token, threaded and traced all fuse identically.
+//
+// Contract (see internal/vm/super.go): try the fused fast path — all
+// constituents in one dispatch, one step counted per constituent —
+// only when the step budget has room for every constituent, the
+// in-place code tail matches the expansion, the stack has the
+// combined headroom, and every possible failure has been pre-checked.
+// Otherwise DE-FUSE: execute exactly the first constituent, reporting
+// that constituent's opcode on error; the next dispatch replays the
+// in-place tail at baseline. In the elided variant the stack depth
+// guards are dead (vm.Analyze proved the per-pc depths of every
+// constituent — fused execution visits exactly the baseline's
+// intermediate states), but step-room, tail-match and memory
+// pre-checks are not depth facts and stay.
+
+// qLitFetchH is lit;@ — ( -- cell[arg] ).
+func qLitFetchH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps < m.maxSteps() && pc+2 <= len(code) && code[pc+1].Op == vm.OpFetch &&
+			(elide || m.SP < len(m.Stack)) {
+			if x, ok := m.CellAt(arg); ok {
+				m.Stack[m.SP] = x
+				m.SP++
+				m.Steps++
+				m.PC += 2
+				return nil
+			}
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qLitFetchAddH is lit;@;+ — ( a -- a+cell[arg] ).
+func qLitFetchAddH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+1 < m.maxSteps() && pc+3 <= len(code) &&
+			code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpAdd &&
+			(elide || (m.SP >= 1 && m.SP < len(m.Stack))) {
+			if x, ok := m.CellAt(arg); ok {
+				m.Stack[m.SP-1] += x
+				m.Steps += 2
+				m.PC += 3
+				return nil
+			}
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qLitLitFetchAddH is lit;lit;@;+ — ( -- arg+cell[arg1] ).
+func qLitLitFetchAddH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+2 < m.maxSteps() && pc+4 <= len(code) &&
+			code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpFetch && code[pc+3].Op == vm.OpAdd &&
+			(elide || m.SP+2 <= len(m.Stack)) {
+			if x, ok := m.CellAt(code[pc+1].Arg); ok {
+				m.Stack[m.SP] = arg + x
+				m.SP++
+				m.Steps += 3
+				m.PC += 4
+				return nil
+			}
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qLitFetchAddCFetchH is lit;@;+;c@ — ( a -- byte[a+cell[arg]] ).
+func qLitFetchAddCFetchH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+2 < m.maxSteps() && pc+4 <= len(code) &&
+			code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpAdd && code[pc+3].Op == vm.OpCFetch &&
+			(elide || (m.SP >= 1 && m.SP < len(m.Stack))) {
+			if base, ok := m.CellAt(arg); ok {
+				if b, ok := m.ByteAt(m.Stack[m.SP-1] + base); ok {
+					m.Stack[m.SP-1] = vm.Cell(b)
+					m.Steps += 3
+					m.PC += 4
+					return nil
+				}
+			}
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qLitFetchLitGeH is lit;@;lit;>= — ( -- flag(cell[arg] >= arg2) ).
+func qLitFetchLitGeH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+2 < m.maxSteps() && pc+4 <= len(code) &&
+			code[pc+1].Op == vm.OpFetch && code[pc+2].Op == vm.OpLit && code[pc+3].Op == vm.OpGe &&
+			(elide || m.SP+2 <= len(m.Stack)) {
+			if x, ok := m.CellAt(arg); ok {
+				m.Stack[m.SP] = Flag(x >= code[pc+2].Arg)
+				m.SP++
+				m.Steps += 3
+				m.PC += 4
+				return nil
+			}
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qLitPlusStoreH is lit;+! — ( n -- ) mem[arg] += n.
+func qLitPlusStoreH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps < m.maxSteps() && pc+2 <= len(code) && code[pc+1].Op == vm.OpPlusStore &&
+			(elide || (m.SP >= 1 && m.SP < len(m.Stack))) {
+			if x, ok := m.CellAt(arg); ok {
+				m.SetCellAt(arg, x+m.Stack[m.SP-1])
+				m.SP--
+				m.Steps++
+				m.PC += 2
+				return nil
+			}
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qLitLitPlusStoreH is lit;lit;+! — ( -- ) mem[arg1] += arg.
+func qLitLitPlusStoreH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+1 < m.maxSteps() && pc+3 <= len(code) &&
+			code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpPlusStore &&
+			(elide || m.SP+2 <= len(m.Stack)) {
+			if x, ok := m.CellAt(code[pc+1].Arg); ok {
+				m.SetCellAt(code[pc+1].Arg, x+arg)
+				m.Steps += 2
+				m.PC += 3
+				return nil
+			}
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qAddCFetchH is +;c@ — ( a b -- byte[a+b] ).
+func qAddCFetchH(elide bool) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps < m.maxSteps() && pc+2 <= len(code) && code[pc+1].Op == vm.OpCFetch &&
+			(elide || m.SP >= 2) {
+			if b, ok := m.ByteAt(m.Stack[m.SP-2] + m.Stack[m.SP-1]); ok {
+				m.Stack[m.SP-2] = vm.Cell(b)
+				m.SP--
+				m.Steps++
+				m.PC += 2
+				return nil
+			}
+		}
+		if !elide && m.SP < 2 {
+			return m.fail(vm.OpAdd, "stack underflow")
+		}
+		m.Stack[m.SP-2] += m.Stack[m.SP-1]
+		m.SP--
+		m.PC++
+		return nil
+	}
+}
+
+// qLitEqH is lit;= — ( a -- flag(a==arg) ).
+func qLitEqH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps < m.maxSteps() && pc+2 <= len(code) && code[pc+1].Op == vm.OpEq &&
+			(elide || (m.SP >= 1 && m.SP < len(m.Stack))) {
+			m.Stack[m.SP-1] = Flag(m.Stack[m.SP-1] == arg)
+			m.Steps++
+			m.PC += 2
+			return nil
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qDupLitEqH is dup;lit;= — ( a -- a flag(a==arg1) ).
+func qDupLitEqH(elide bool) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+1 < m.maxSteps() && pc+3 <= len(code) &&
+			code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpEq &&
+			(elide || (m.SP >= 1 && m.SP+2 <= len(m.Stack))) {
+			m.Stack[m.SP] = Flag(m.Stack[m.SP-1] == code[pc+1].Arg)
+			m.SP++
+			m.Steps += 2
+			m.PC += 3
+			return nil
+		}
+		if !elide {
+			if m.SP < 1 {
+				return m.fail(vm.OpDup, "stack underflow")
+			}
+			if m.SP == len(m.Stack) {
+				return m.fail(vm.OpDup, "stack overflow")
+			}
+		}
+		m.Stack[m.SP] = m.Stack[m.SP-1]
+		m.SP++
+		m.PC++
+		return nil
+	}
+}
+
+// qSwapLitRshiftSwapH is swap;lit;rshift;swap — ( a b -- a>>arg1 b ).
+func qSwapLitRshiftSwapH(elide bool) handler {
+	return func(m *Machine, _ vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+2 < m.maxSteps() && pc+4 <= len(code) &&
+			code[pc+1].Op == vm.OpLit && code[pc+2].Op == vm.OpRshift && code[pc+3].Op == vm.OpSwap &&
+			(elide || (m.SP >= 2 && m.SP < len(m.Stack))) {
+			m.Stack[m.SP-2] = ShiftRight(m.Stack[m.SP-2], code[pc+1].Arg)
+			m.Steps += 3
+			m.PC += 4
+			return nil
+		}
+		if !elide && m.SP < 2 {
+			return m.fail(vm.OpSwap, "stack underflow")
+		}
+		m.Stack[m.SP-1], m.Stack[m.SP-2] = m.Stack[m.SP-2], m.Stack[m.SP-1]
+		m.PC++
+		return nil
+	}
+}
+
+// qLitLshiftOverLitH is lit;lshift;over;lit — ( a b -- a b<<arg a arg3 ).
+func qLitLshiftOverLitH(elide bool) handler {
+	return func(m *Machine, arg vm.Cell) error {
+		code := m.Prog.Code
+		pc := m.PC
+		if m.Steps+2 < m.maxSteps() && pc+4 <= len(code) &&
+			code[pc+1].Op == vm.OpLshift && code[pc+2].Op == vm.OpOver && code[pc+3].Op == vm.OpLit &&
+			(elide || (m.SP >= 2 && m.SP+2 <= len(m.Stack))) {
+			a := m.Stack[m.SP-2]
+			m.Stack[m.SP-1] = ShiftLeft(m.Stack[m.SP-1], arg)
+			m.Stack[m.SP] = a
+			m.Stack[m.SP+1] = code[pc+3].Arg
+			m.SP += 2
+			m.Steps += 3
+			m.PC += 4
+			return nil
+		}
+		if !elide && m.SP == len(m.Stack) {
+			return m.fail(vm.OpLit, "stack overflow")
+		}
+		m.Stack[m.SP] = arg
+		m.SP++
+		m.PC++
+		return nil
+	}
+}

@@ -201,6 +201,112 @@ func TestDeletedEngineCaseFails(t *testing.T) {
 	}
 }
 
+// TestDeletedSuperCaseFails extends the deleted-case gate to the
+// superinstruction opcodes: omitting a super's fused case from a real
+// dispatch switch (the baseline switch interpreter and the token
+// handler tables both carry one per super) must turn the build red,
+// so an engine cannot silently fall into its default arm — "invalid
+// opcode" — on quickened bytecode.
+func TestDeletedSuperCaseFails(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs, err := LoadTree(fset, "../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	removed := 0
+	for dir, files := range dirs {
+		if !strings.HasSuffix(strings.ReplaceAll(dir, "\\", "/"), "internal/interp") {
+			continue
+		}
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				var kept []ast.Stmt
+				for _, stmt := range sw.Body.List {
+					if cc, ok := stmt.(*ast.CaseClause); ok && caseNames(cc)["OpQLitFetch"] && len(cc.List) == 1 {
+						removed++
+						continue
+					}
+					kept = append(kept, stmt)
+				}
+				sw.Body.List = kept
+				return true
+			})
+		}
+	}
+	if removed == 0 {
+		t.Fatal("found no OpQLitFetch case arm to delete in internal/interp")
+	}
+
+	issues := Check(fset, dirs)
+	found := false
+	for _, issue := range issues {
+		if strings.Contains(issue.Msg, "OpQLitFetch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deleting %d OpQLitFetch case arm(s) produced no OpQLitFetch issue; got %v", removed, issues)
+	}
+}
+
+// TestDeletedSuperTableEntryFails is the table half of the same gate:
+// removing a super opcode's keyed entry from a real [NumOpcodes]T
+// literal (the vm effects table) must be flagged, so a new opcode
+// cannot ship with a zero effect.
+func TestDeletedSuperTableEntryFails(t *testing.T) {
+	fset := token.NewFileSet()
+	dirs, err := LoadTree(fset, "../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	removed := 0
+	for dir, files := range dirs {
+		if !strings.HasSuffix(strings.ReplaceAll(dir, "\\", "/"), "internal/vm") {
+			continue
+		}
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				var kept []ast.Expr
+				for _, el := range cl.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "OpQAddCFetch" {
+							removed++
+							continue
+						}
+					}
+					kept = append(kept, el)
+				}
+				cl.Elts = kept
+				return true
+			})
+		}
+	}
+	if removed == 0 {
+		t.Fatal("found no OpQAddCFetch keyed entry to delete in internal/vm")
+	}
+
+	issues := Check(fset, dirs)
+	found := false
+	for _, issue := range issues {
+		if strings.Contains(issue.Msg, "OpQAddCFetch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deleting %d OpQAddCFetch table entries produced no issue; got %v", removed, issues)
+	}
+}
+
 func caseNames(cc *ast.CaseClause) map[string]bool {
 	out := map[string]bool{}
 	for _, e := range cc.List {

@@ -29,6 +29,14 @@ type Entry struct {
 	// checks; unproven facts keep the dynamic checks. Never nil for a
 	// published entry.
 	Facts *vm.Facts
+
+	// Quickened reports that Prog was rewritten to superinstruction
+	// form at insert time (vm.Quicken planted at least one site) and
+	// re-verified; QuickenedOps is the number of planted sites.
+	// Quickening is safe exactly here because cached programs are
+	// immutable and every entry passes the verifier after the rewrite.
+	Quickened    bool
+	QuickenedOps int
 }
 
 // CacheKey computes the content address the program cache uses for a
@@ -58,6 +66,10 @@ type ProgramCache struct {
 	opt     forth.Options
 	max     int
 	metrics *Metrics
+
+	// quicken enables the cache-time superinstruction rewrite
+	// (Config.Quicken); set before first use, constant afterwards.
+	quicken bool
 
 	mu       sync.Mutex
 	lru      *list.List // front = most recent; values are *Entry
@@ -166,9 +178,32 @@ func (c *ProgramCache) compile(key, src string) (*Entry, error) {
 	if err := vm.Verify(prog); err != nil {
 		return nil, err
 	}
+	e := &Entry{Key: key, Prog: prog}
+	if c.quicken {
+		// Quicken at insert time: the one point where the rewrite
+		// happens once per program instead of once per request, and
+		// where the result goes back through the same verifier gate as
+		// any compiled program (vm.Verify checks the planted tails
+		// against the fusion table).
+		if q, n := vm.Quicken(prog); n > 0 {
+			if err := vm.Verify(q); err != nil {
+				return nil, err
+			}
+			e.Prog = q
+			e.Quickened = true
+			e.QuickenedOps = n
+			if c.metrics != nil {
+				c.metrics.quickenedPrograms.Add(1)
+				c.metrics.quickenedOps.Add(int64(n))
+			}
+		}
+	}
 	// Analyze alongside compile — once per cached program, off the lock —
 	// so every execution of the entry gets the depth proof for free.
-	return &Entry{Key: key, Prog: prog, Facts: vm.Analyze(prog)}, nil
+	// EffectOf(super) == EffectOf(first constituent), so the quickened
+	// program's facts are identical to the unquickened program's.
+	e.Facts = vm.Analyze(e.Prog)
+	return e, nil
 }
 
 // insert publishes the entry and evicts beyond the bound. Caller holds

@@ -117,6 +117,9 @@ type Metrics struct {
 	analysisProved   atomic.Int64 // executions of depth-proved programs
 	analysisUnproven atomic.Int64 // executions that kept dynamic checks
 
+	quickenedPrograms atomic.Int64 // cached programs rewritten to superinstruction form
+	quickenedOps      atomic.Int64 // superinstruction sites planted across those programs
+
 	batchInputs       atomic.Int64                  // inputs executed via batch requests
 	batchSizes        [NumBatchBuckets]atomic.Int64 // batch executions by input count
 	batchInputResults [NumErrorClasses]atomic.Int64 // per-input outcomes within batches
@@ -215,6 +218,13 @@ type Snapshot struct {
 	AnalysisProved   int64 `json:"analysis_proved"`
 	AnalysisUnproven int64 `json:"analysis_unproven"`
 
+	// QuickenedPrograms counts cached programs the insert-time
+	// quickener rewrote to superinstruction form (at least one planted
+	// site); QuickenedOps is the total number of planted sites across
+	// them. Both stay 0 when quickening is disabled.
+	QuickenedPrograms int64 `json:"quickened_programs"`
+	QuickenedOps      int64 `json:"quickened_ops"`
+
 	// CompiledPrograms and CompiledProved are the AOT closure
 	// compiler's process-wide artifact counters: programs lowered to
 	// closure artifacts, and the subset whose vm.Analyze proof earned a
@@ -265,6 +275,8 @@ func (m *Metrics) snapshot() Snapshot {
 		CacheEvictions:      m.cacheEvictions.Load(),
 		AnalysisProved:      m.analysisProved.Load(),
 		AnalysisUnproven:    m.analysisUnproven.Load(),
+		QuickenedPrograms:   m.quickenedPrograms.Load(),
+		QuickenedOps:        m.quickenedOps.Load(),
 		BatchInputs:         m.batchInputs.Load(),
 		BatchSizeBounds:     BatchBucketBounds(),
 		BatchInputResults:   make(map[string]int64, NumErrorClasses),

@@ -53,6 +53,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p("vmd_analysis_total{outcome=\"proved\"} %d\n", s.AnalysisProved)
 	p("vmd_analysis_total{outcome=\"unproven\"} %d\n", s.AnalysisUnproven)
 
+	counter("vmd_quickened_programs_total", "Cached programs rewritten to superinstruction form at insert time.", s.QuickenedPrograms)
+	counter("vmd_quickened_ops_total", "Superinstruction sites planted across quickened programs.", s.QuickenedOps)
+
 	counter("vmd_compiled_programs_total", "Programs lowered to AOT closure artifacts by the compiled engine.", s.CompiledPrograms)
 	counter("vmd_compiled_proved_total", "AOT artifacts carrying a proof-elided code variant.", s.CompiledProved)
 

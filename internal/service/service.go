@@ -94,6 +94,16 @@ type Config struct {
 	// entering the cache (options are part of the cache key).
 	CompileOptions forth.Options
 
+	// Quicken enables cache-time quickening: programs entering the
+	// cache are rewritten to superinstruction form (vm.Quicken) and
+	// re-verified, so every execution of the entry — on any engine —
+	// runs the fused bytecode. Observable behavior is unchanged: a
+	// superinstruction counts one step per constituent and reports its
+	// first constituent's errors, so quickened and unquickened runs
+	// agree on output, stack, step counts and error class at every
+	// budget. Off by default.
+	Quicken bool
+
 	// Policies configures the caching engines. Zero means
 	// engine.DefaultPolicies.
 	Policies engine.Policies
@@ -208,6 +218,11 @@ type Response struct {
 	// (the execution ran with stack bounds checks elided), "unproven"
 	// when they were not (the execution kept every dynamic check).
 	Analysis string
+
+	// Quickened reports whether the cached program was rewritten to
+	// superinstruction form at insert time (false when quickening is
+	// disabled or nothing in the program matched the fusion table).
+	Quickened bool
 
 	// Results holds the per-input outcomes of a batch request, in
 	// input order; nil for singleton requests. A batch response's
@@ -335,6 +350,7 @@ func New(cfg Config) (*Service, error) {
 		s.engineNames = append(s.engineNames, e.Name())
 	}
 	s.cache = NewProgramCache(cfg.CacheSize, cfg.CompileOptions, &s.metrics)
+	s.cache.quicken = cfg.Quicken
 	s.machines.New = func() any { return new(interp.Machine) }
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -655,6 +671,7 @@ func (s *Service) execute(t *task) (*Response, error) {
 		StackDepth: r.StackDepth,
 		Steps:      r.Steps,
 		Analysis:   t.entry.Facts.Outcome(),
+		Quickened:  t.entry.Quickened,
 	}
 	if r.Err != nil {
 		// A failed execution still returns the partial response for
@@ -673,10 +690,11 @@ func (s *Service) executeBatch(t *task) *Response {
 	m := s.machines.Get().(*interp.Machine)
 	defer s.recycle(m)
 	resp := &Response{
-		Key:      t.entry.Key,
-		Engine:   t.eng.Name(),
-		Analysis: t.entry.Facts.Outcome(),
-		Results:  make([]InputResult, len(t.inputs)),
+		Key:       t.entry.Key,
+		Engine:    t.eng.Name(),
+		Analysis:  t.entry.Facts.Outcome(),
+		Quickened: t.entry.Quickened,
+		Results:   make([]InputResult, len(t.inputs)),
 	}
 	for i, in := range t.inputs {
 		spec := t.spec

@@ -137,6 +137,27 @@ var effects = [NumOpcodes]Effect{
 	OpDot:   {In: 1},
 	OpType:  {In: 2},
 	OpDepth: {Out: 1, MemStack: true},
+
+	// Quickening superinstructions: each declares the effect of its
+	// FIRST constituent, nothing more. That is the whole contract — a
+	// super op observably IS its first constituent (the fused tail
+	// stays in the code and executes on its own pcs when an engine
+	// de-fuses), so vm.Analyze, the cache-state transition tables of
+	// internal/core, and interp.Apply all treat quickened programs
+	// exactly like their unquickened originals. Fused fast paths are an
+	// engine-private optimization behind these effects.
+	OpQLitFetch:          {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQLitFetchAdd:       {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQLitLitFetchAdd:    {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQLitFetchAddCFetch: {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQLitFetchLitGe:     {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQLitPlusStore:      {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQLitLitPlusStore:   {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQAddCFetch:         {In: 2, Out: 1},                   // = OpAdd
+	OpQLitEq:             {Out: 1, Arg: ArgValue},           // = OpLit
+	OpQDupLitEq:          {In: 1, Out: 2, Map: []int{0, 0}}, // = OpDup
+	OpQSwapLitRshiftSwap: {In: 2, Out: 2, Map: []int{1, 0}}, // = OpSwap
+	OpQLitLshiftOverLit:  {Out: 1, Arg: ArgValue},           // = OpLit
 }
 
 // EffectOf returns the static stack effect of op. It panics on an

@@ -215,6 +215,57 @@ const (
 	// pushed value). ( -- n )
 	OpDepth
 
+	// Quickening superinstructions. vm.Quicken plants one of these over
+	// the FIRST instruction of a fused sequence mined by cmd/supermine
+	// (the census over the four paper workloads); the remaining
+	// constituents stay in place, so code length, pc numbering and
+	// branch targets are untouched. Each superinstruction's observable
+	// contract is exactly its first constituent's (same stack effect,
+	// same step count, same errors); an engine MAY execute the whole
+	// fused sequence in one dispatch when its guards hold (the code
+	// tail matches the expansion, the step budget has room for all
+	// constituents, and every possible failure has been pre-checked),
+	// and otherwise de-fuses to the first constituent, after which the
+	// in-place tail replays baseline execution exactly. See
+	// internal/vm/super.go for the table and the quickening pass.
+
+	// OpQLitFetch is lit;@ — push mem cell at the immediate address.
+	// ( -- cell[imm] )
+	OpQLitFetch
+	// OpQLitFetchAdd is lit;@;+ — add the cell at the immediate
+	// address to the top of stack. ( a -- a+cell[imm] )
+	OpQLitFetchAdd
+	// OpQLitLitFetchAdd is lit;lit;@;+ — push imm1 + cell at the
+	// second literal's address. ( -- imm+cell[imm1] )
+	OpQLitLitFetchAdd
+	// OpQLitFetchAddCFetch is lit;@;+;c@ — indexed byte load through a
+	// base pointer variable. ( a -- byte[a+cell[imm]] )
+	OpQLitFetchAddCFetch
+	// OpQLitFetchLitGe is lit;@;lit;>= — compare a variable against
+	// the second literal. ( -- flag(cell[imm] >= imm2) )
+	OpQLitFetchLitGe
+	// OpQLitPlusStore is lit;+! — add the top of stack to the cell at
+	// the immediate address. ( n -- )
+	OpQLitPlusStore
+	// OpQLitLitPlusStore is lit;lit;+! — add imm1 to the cell at the
+	// second literal's address. ( -- )
+	OpQLitLitPlusStore
+	// OpQAddCFetch is +;c@ — indexed byte load. ( a b -- byte[a+b] )
+	OpQAddCFetch
+	// OpQLitEq is lit;= — compare the top of stack against the
+	// immediate. ( a -- flag(a==imm) )
+	OpQLitEq
+	// OpQDupLitEq is dup;lit;= — non-destructive compare against the
+	// immediate. ( a -- a flag(a==imm) )
+	OpQDupLitEq
+	// OpQSwapLitRshiftSwap is swap;lit;rshift;swap — shift the SECOND
+	// cell right by the second literal, in place. ( a b -- a>>imm1 b )
+	OpQSwapLitRshiftSwap
+	// OpQLitLshiftOverLit is lit;lshift;over;lit — shift left by the
+	// immediate, re-fetch the cell below, push the fourth
+	// constituent's literal. ( a b -- a b<<imm a imm3 )
+	OpQLitLshiftOverLit
+
 	// NumOpcodes is the number of opcodes; it is not itself a valid
 	// opcode. Flat per-opcode tables have this length.
 	NumOpcodes
@@ -241,6 +292,13 @@ var opcodeNames = [NumOpcodes]string{
 	OpDo: "do", OpLoop: "loop", OpPlusLoop: "+loop",
 	OpI: "i", OpJ: "j", OpUnloop: "unloop",
 	OpEmit: "emit", OpDot: ".", OpType: "type", OpDepth: "depth",
+	OpQLitFetch: "lit;@", OpQLitFetchAdd: "lit;@;+",
+	OpQLitLitFetchAdd: "lit;lit;@;+", OpQLitFetchAddCFetch: "lit;@;+;c@",
+	OpQLitFetchLitGe: "lit;@;lit;>=", OpQLitPlusStore: "lit;+!",
+	OpQLitLitPlusStore: "lit;lit;+!", OpQAddCFetch: "+;c@",
+	OpQLitEq: "lit;=", OpQDupLitEq: "dup;lit;=",
+	OpQSwapLitRshiftSwap: "swap;lit;rshift;swap",
+	OpQLitLshiftOverLit:  "lit;lshift;over;lit",
 }
 
 // String returns the conventional Forth name of the opcode.

@@ -1,0 +1,287 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickProg builds a verified program around the given straight-line
+// body: the body, then a halt.
+func quickProg(t *testing.T, body ...Instr) *Program {
+	t.Helper()
+	p := &Program{Code: append(body, Instr{Op: OpHalt}), MemSize: 64}
+	if err := Verify(p); err != nil {
+		t.Fatalf("Verify(seed) = %v, want nil", err)
+	}
+	return p
+}
+
+func TestFusionsTableInvariants(t *testing.T) {
+	supers := 0
+	for _, f := range Fusions {
+		if f.Shrink {
+			if IsSuper(f.Super) {
+				t.Errorf("%s: Shrink rule must not be a quickening super", f.Super)
+			}
+			continue
+		}
+		supers++
+		if !IsSuper(f.Super) {
+			t.Errorf("%s: quickening rule not recognized by IsSuper", f.Super)
+		}
+		exp := Expansion(f.Super)
+		if len(exp) != len(f.Seq) {
+			t.Fatalf("%s: Expansion has %d ops, Seq has %d", f.Super, len(exp), len(f.Seq))
+		}
+		for k, c := range f.Seq {
+			if exp[k] != c {
+				t.Errorf("%s: Expansion[%d] = %s, want %s", f.Super, k, exp[k], c)
+			}
+			if !Fusible(c) {
+				t.Errorf("%s: constituent %s is not fusible", f.Super, c)
+			}
+		}
+		// The core contract: a super's effect is its first constituent's.
+		// (Effect contains a slice, so compare field by field.)
+		e0, es := EffectOf(f.Super), EffectOf(f.Seq[0])
+		if e0.In != es.In || e0.Out != es.Out || e0.Arg != es.Arg ||
+			e0.RIn != es.RIn || e0.ROut != es.ROut ||
+			e0.Control != es.Control || e0.MemStack != es.MemStack ||
+			len(e0.Map) != len(es.Map) {
+			t.Errorf("%s: effect differs from first constituent %s", f.Super, f.Seq[0])
+		}
+		for k := range e0.Map {
+			if e0.Map[k] != es.Map[k] {
+				t.Errorf("%s: effect Map differs from first constituent %s", f.Super, f.Seq[0])
+			}
+		}
+		// The super's name is its constituents joined by ';'.
+		want := make([]string, len(f.Seq))
+		for k, c := range f.Seq {
+			want[k] = c.String()
+		}
+		if got := f.Super.String(); got != strings.Join(want, ";") {
+			t.Errorf("%s: name = %q, want %q", f.Super, got, strings.Join(want, ";"))
+		}
+	}
+	if supers == 0 {
+		t.Fatal("Fusions has no quickening rules")
+	}
+	// Longest-first ordering is what makes greedy matching prefer the
+	// longest gram.
+	last := 1 << 20
+	for _, f := range Fusions {
+		if f.Shrink {
+			continue
+		}
+		if len(f.Seq) > last {
+			t.Fatalf("Fusions not ordered longest-first at %s", f.Super)
+		}
+		last = len(f.Seq)
+	}
+}
+
+func TestSuperDepths(t *testing.T) {
+	cases := []struct {
+		op           Opcode
+		borrow, rise int
+	}{
+		{OpQLitFetch, 0, 1},
+		{OpQLitFetchAdd, 1, 1},
+		{OpQLitLitFetchAdd, 0, 2},
+		{OpQLitFetchAddCFetch, 1, 1},
+		{OpQLitFetchLitGe, 0, 2},
+		{OpQLitPlusStore, 1, 1},
+		{OpQLitLitPlusStore, 0, 2},
+		{OpQAddCFetch, 2, 0},
+		{OpQLitEq, 1, 1},
+		{OpQDupLitEq, 1, 2},
+		{OpQSwapLitRshiftSwap, 2, 1},
+		{OpQLitLshiftOverLit, 2, 2},
+		{OpAdd, 0, 0}, // non-super
+	}
+	for _, c := range cases {
+		b, r := SuperDepths(c.op)
+		if b != c.borrow || r != c.rise {
+			t.Errorf("SuperDepths(%s) = (%d, %d), want (%d, %d)", c.op, b, r, c.borrow, c.rise)
+		}
+	}
+}
+
+func TestCanonicalInstr(t *testing.T) {
+	if got := CanonicalInstr(Instr{Op: OpQLitFetch, Arg: 8}); got != (Instr{Op: OpLit, Arg: 8}) {
+		t.Errorf("CanonicalInstr(q-lit-fetch 8) = %v", got)
+	}
+	if got := CanonicalInstr(Instr{Op: OpQAddCFetch}); got != (Instr{Op: OpAdd}) {
+		t.Errorf("CanonicalInstr(q-add-cfetch) = %v", got)
+	}
+	// Pass-through: base opcodes and arbitrary bytes.
+	for _, ins := range []Instr{{Op: OpLit, Arg: 3}, {Op: OpHalt}, {Op: Opcode(250), Arg: 7}} {
+		if got := CanonicalInstr(ins); got != ins {
+			t.Errorf("CanonicalInstr(%v) = %v, want unchanged", ins, got)
+		}
+	}
+}
+
+func TestQuickenPlantsLongestMatch(t *testing.T) {
+	p := quickProg(t,
+		Instr{Op: OpLit, Arg: 8},
+		Instr{Op: OpLit, Arg: 16},
+		Instr{Op: OpFetch},
+		Instr{Op: OpAdd},
+		Instr{Op: OpDrop},
+	)
+	q, n := Quicken(p)
+	if n != 1 {
+		t.Fatalf("Quicken planted %d sites, want 1", n)
+	}
+	if q == p {
+		t.Fatal("Quicken returned the original program despite planting")
+	}
+	// Longest-first: the 4-gram lit lit @ +, not lit @ at pc 1.
+	if q.Code[0].Op != OpQLitLitFetchAdd || q.Code[0].Arg != 8 {
+		t.Fatalf("q.Code[0] = %v, want q-lit-lit-fetch-add 8", q.Code[0])
+	}
+	// Place-preserving: the tail instructions keep their ops and args.
+	for pc := 1; pc < len(p.Code); pc++ {
+		if q.Code[pc] != p.Code[pc] {
+			t.Errorf("tail pc %d changed: %v -> %v", pc, p.Code[pc], q.Code[pc])
+		}
+	}
+	// The original program is untouched.
+	if p.Code[0].Op != OpLit {
+		t.Error("Quicken mutated its input program")
+	}
+	// The quickened program re-verifies and re-analyzes identically.
+	if err := Verify(q); err != nil {
+		t.Errorf("Verify(quickened) = %v, want nil", err)
+	}
+	fp, fq := Analyze(p), Analyze(q)
+	if fp.Proved != fq.Proved || fp.MaxDepth != fq.MaxDepth {
+		t.Errorf("Analyze diverged: unquickened (%v, %d), quickened (%v, %d)",
+			fp.Proved, fp.MaxDepth, fq.Proved, fq.MaxDepth)
+	}
+}
+
+func TestQuickenConsumesMatchesWithoutOverlap(t *testing.T) {
+	// lit @ lit @ : two adjacent 2-gram sites, not one site starting at
+	// every pc.
+	p := quickProg(t,
+		Instr{Op: OpLit, Arg: 0},
+		Instr{Op: OpFetch},
+		Instr{Op: OpLit, Arg: 8},
+		Instr{Op: OpFetch},
+		Instr{Op: OpTwoDrop},
+	)
+	q, n := Quicken(p)
+	if n != 2 {
+		t.Fatalf("Quicken planted %d sites, want 2", n)
+	}
+	if q.Code[0].Op != OpQLitFetch || q.Code[2].Op != OpQLitFetch {
+		t.Fatalf("quickened code = %v", q.Code)
+	}
+}
+
+func TestQuickenRefusesInteriorBranchTargets(t *testing.T) {
+	// A branch jumps into the middle of what would otherwise be a
+	// lit-@ site; the quickener must leave it unfused.
+	p := &Program{
+		MemSize: 64,
+		Code: []Instr{
+			{Op: OpLit, Arg: 8},        // 0: head of the would-be match
+			{Op: OpFetch},              // 1: branch target -> refuse
+			{Op: OpDrop},               // 2
+			{Op: OpLit, Arg: 0},        // 3
+			{Op: OpBranchZero, Arg: 1}, // 4: targets pc 1
+			{Op: OpHalt},               // 5
+		},
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("Verify(seed) = %v", err)
+	}
+	q, n := Quicken(p)
+	if n != 0 {
+		t.Fatalf("Quicken planted %d sites across a branch target, want 0", n)
+	}
+	if q != p {
+		t.Fatal("Quicken copied the program despite planting nothing")
+	}
+}
+
+func TestQuickenIdempotent(t *testing.T) {
+	p := quickProg(t,
+		Instr{Op: OpLit, Arg: 8},
+		Instr{Op: OpFetch},
+		Instr{Op: OpDrop},
+	)
+	q, n := Quicken(p)
+	if n != 1 {
+		t.Fatalf("first Quicken planted %d, want 1", n)
+	}
+	q2, n2 := Quicken(q)
+	if n2 != 0 || q2 != q {
+		t.Fatalf("second Quicken planted %d sites, want 0 and the same program", n2)
+	}
+}
+
+func TestUnquickenRoundTrip(t *testing.T) {
+	p := quickProg(t,
+		Instr{Op: OpLit, Arg: 8},
+		Instr{Op: OpLit, Arg: 16},
+		Instr{Op: OpFetch},
+		Instr{Op: OpAdd},
+		Instr{Op: OpLit, Arg: 1},
+		Instr{Op: OpPlusStore},
+		Instr{Op: OpDrop},
+	)
+	q, n := Quicken(p)
+	if n == 0 {
+		t.Fatal("Quicken planted nothing")
+	}
+	u := Unquicken(q)
+	if len(u.Code) != len(p.Code) {
+		t.Fatalf("Unquicken changed code length: %d -> %d", len(p.Code), len(u.Code))
+	}
+	for pc := range p.Code {
+		if u.Code[pc] != p.Code[pc] {
+			t.Errorf("pc %d: unquickened %v, original %v", pc, u.Code[pc], p.Code[pc])
+		}
+	}
+	// Unquicken of a super-free program is the identity.
+	if Unquicken(p) != p {
+		t.Error("Unquicken copied a program with no superinstructions")
+	}
+}
+
+func TestVerifyChecksSuperTails(t *testing.T) {
+	// A planted super whose tail matches verifies.
+	ok := &Program{MemSize: 64, Code: []Instr{
+		{Op: OpQLitFetch, Arg: 8},
+		{Op: OpFetch},
+		{Op: OpDrop},
+		{Op: OpHalt},
+	}}
+	if err := Verify(ok); err != nil {
+		t.Errorf("Verify(matching tail) = %v, want nil", err)
+	}
+	// A mismatched tail is rejected.
+	bad := &Program{MemSize: 64, Code: []Instr{
+		{Op: OpQLitFetch, Arg: 8},
+		{Op: OpDup},
+		{Op: OpHalt},
+	}}
+	err := Verify(bad)
+	if err == nil || !strings.Contains(err.Error(), "tail mismatch") {
+		t.Errorf("Verify(mismatched tail) = %v, want tail mismatch", err)
+	}
+	// A super running off the end of the code is rejected.
+	short := &Program{MemSize: 64, Code: []Instr{
+		{Op: OpHalt},
+		{Op: OpBranch, Arg: 0},
+		{Op: OpQLitFetch, Arg: 8},
+	}}
+	err = Verify(short)
+	if err == nil || !strings.Contains(err.Error(), "runs off the end") {
+		t.Errorf("Verify(truncated super) = %v, want runs-off-the-end", err)
+	}
+}

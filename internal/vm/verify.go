@@ -45,6 +45,23 @@ func Verify(p *Program) error {
 		if EffectOf(ins.Op).Arg == ArgNone && ins.Arg != 0 {
 			return fmt.Errorf("vm: pc %d: %s carries stray immediate %d", pc, ins.Op, ins.Arg)
 		}
+		if exp := superExpansion[ins.Op]; exp != nil {
+			// A verified superinstruction must sit on a genuine fused
+			// sequence: its in-place tail matches the fusion table.
+			// Engines de-fuse gracefully on a lying tail (unverified
+			// programs reach them through the fuzzer), but the service
+			// only ever serves quickened programs whose fast paths can
+			// actually fire.
+			if pc+len(exp) > len(p.Code) {
+				return fmt.Errorf("vm: pc %d: %s runs off the end of the code", pc, ins.Op)
+			}
+			for k := 1; k < len(exp); k++ {
+				if got := p.Code[pc+k].Op; got != exp[k] {
+					return fmt.Errorf("vm: pc %d: %s tail mismatch at pc %d: have %s, want %s",
+						pc, ins.Op, pc+k, got, exp[k])
+				}
+			}
+		}
 		if ins.Op == OpHalt {
 			haltSeen = true
 		}

@@ -1,0 +1,310 @@
+package stackcache
+
+// Cross-engine differential coverage for cache-time quickening: a
+// quickened program must be observably identical to its unquickened
+// original — output, final stack, pc, step count, and error class —
+// on every engine, at every step budget. These tests are the
+// execution half of the vm.Quicken contract (the rewrite half lives
+// in internal/vm/super_test.go): superinstructions buy dispatches,
+// never observable steps.
+
+import (
+	"testing"
+
+	"stackcache/internal/forth"
+	"stackcache/internal/interp"
+	"stackcache/internal/vm"
+	"stackcache/internal/workloads"
+)
+
+// quickenSweepProgram hits every entry of the vm.Fusions quickening
+// table inside a counted loop, so fused sequences execute repeatedly
+// from varying stack contents and the budget sweep crosses each super
+// at several step offsets.
+func quickenSweepProgram() *vm.Program {
+	ins := func(op vm.Opcode, arg vm.Cell) vm.Instr { return vm.Instr{Op: op, Arg: arg} }
+	return &vm.Program{
+		MemSize: 64,
+		Code: []vm.Instr{
+			// 9 8 ! — seed mem[8]
+			ins(vm.OpLit, 9),
+			ins(vm.OpLit, 8),
+			ins(vm.OpStore, 0),
+			// 4 0 do ... loop
+			ins(vm.OpLit, 4),
+			ins(vm.OpLit, 0),
+			ins(vm.OpDo, 0),
+			ins(vm.OpI, 0), // 6: loop body start (branch target)
+			ins(vm.OpLit, 8),
+			ins(vm.OpFetch, 0),
+			ins(vm.OpAdd, 0), // 7..9: lit @ + — q-lit-fetch-add
+			ins(vm.OpDot, 0),
+			ins(vm.OpI, 0),
+			ins(vm.OpLit, 8),
+			ins(vm.OpFetch, 0),
+			ins(vm.OpAdd, 0),
+			ins(vm.OpCFetch, 0), // 12..15: lit @ + c@ — q-lit-fetch-add-cfetch
+			ins(vm.OpDot, 0),
+			ins(vm.OpI, 0),
+			ins(vm.OpDup, 0),
+			ins(vm.OpLit, 2),
+			ins(vm.OpEq, 0), // 18..20: dup lit = — q-dup-lit-eq
+			ins(vm.OpDot, 0),
+			ins(vm.OpLit, 8),
+			ins(vm.OpPlusStore, 0), // 22..23: lit +! — q-lit-plus-store (mem[8] += i)
+			ins(vm.OpLit, 1),
+			ins(vm.OpLit, 16),
+			ins(vm.OpPlusStore, 0), // 24..26: lit lit +! — q-lit-lit-plus-store
+			ins(vm.OpLit, 8),
+			ins(vm.OpFetch, 0),
+			ins(vm.OpLit, 12),
+			ins(vm.OpGe, 0), // 27..30: lit @ lit >= — q-lit-fetch-lit-ge
+			ins(vm.OpDot, 0),
+			ins(vm.OpLit, 5),
+			ins(vm.OpLit, 8),
+			ins(vm.OpFetch, 0),
+			ins(vm.OpAdd, 0), // 32..35: lit lit @ + — q-lit-lit-fetch-add
+			ins(vm.OpDot, 0),
+			ins(vm.OpI, 0),
+			ins(vm.OpI, 0),
+			ins(vm.OpAdd, 0),
+			ins(vm.OpCFetch, 0), // 39..40: + c@ — q-add-cfetch
+			ins(vm.OpDot, 0),
+			ins(vm.OpI, 0),
+			ins(vm.OpLit, 3),
+			ins(vm.OpEq, 0), // 43..44: lit = — q-lit-eq
+			ins(vm.OpDot, 0),
+			ins(vm.OpI, 0),
+			ins(vm.OpLit, 12),
+			ins(vm.OpSwap, 0),
+			ins(vm.OpLit, 1),
+			ins(vm.OpRshift, 0),
+			ins(vm.OpSwap, 0), // 48..51: swap lit rshift swap — q-swap-lit-rshift-swap
+			ins(vm.OpDot, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpI, 0),
+			ins(vm.OpLit, 2),
+			ins(vm.OpLit, 3),
+			ins(vm.OpLshift, 0),
+			ins(vm.OpOver, 0),
+			ins(vm.OpLit, 15), // 56..59: lit lshift over lit — q-lit-lshift-over-lit
+			ins(vm.OpAnd, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpLoop, 6),
+			// 8 @ . — q-lit-fetch
+			ins(vm.OpLit, 8),
+			ins(vm.OpFetch, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpHalt, 0),
+		},
+	}
+}
+
+// mustQuicken verifies p, quickens it, re-verifies the result, and
+// fails the test unless at least min sites were planted.
+func mustQuicken(t *testing.T, p *vm.Program, min int) *vm.Program {
+	t.Helper()
+	if err := vm.Verify(p); err != nil {
+		t.Fatalf("Verify(original) = %v", err)
+	}
+	q, n := vm.Quicken(p)
+	if n < min {
+		t.Fatalf("Quicken planted %d sites, want >= %d", n, min)
+	}
+	if err := vm.Verify(q); err != nil {
+		t.Fatalf("Verify(quickened) = %v", err)
+	}
+	return q
+}
+
+// TestQuickenedEnginesAgree runs the quickened form of every paper
+// workload on every engine and requires the unquickened switch
+// baseline's observable result — including the exact step count.
+func TestQuickenedEnginesAgree(t *testing.T) {
+	// The table was mined from the four paper workloads; each of them
+	// must actually quicken. The remaining workloads ride along with
+	// whatever the table plants in them (possibly nothing).
+	paper := map[string]bool{"compile": true, "gray": true, "prims2x": true, "cross": true}
+	for _, w := range workloads.All() {
+		p, err := forth.Compile(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := 0
+		if paper[w.Name] {
+			min = 1
+		}
+		q := mustQuicken(t, p, min)
+
+		base := allEngines[0]
+		want, err := base.run(p, 1<<26)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", w.Name, err)
+		}
+		for _, e := range allEngines {
+			if !e.exact {
+				continue
+			}
+			got, err := e.run(q, 1<<26)
+			if err != nil {
+				t.Errorf("%s/%s: quickened run failed: %v", w.Name, e.name, err)
+				continue
+			}
+			if !want.Equal(got) {
+				t.Errorf("%s/%s: quickened snapshot diverges from unquickened switch", w.Name, e.name)
+			}
+			if want.Steps != got.Steps {
+				t.Errorf("%s/%s: quickened ran %d steps, unquickened switch %d (a super must count one step per constituent)",
+					w.Name, e.name, got.Steps, want.Steps)
+			}
+		}
+	}
+}
+
+// TestQuickenedBudgetSweep is the step-accounting differential: the
+// fusion-dense sweep program, quickened, run on every exact engine
+// under every budget from 1 to past completion, must match the
+// unquickened switch baseline's snapshot, step count and error class
+// at each one — including the budgets that exhaust mid-sequence,
+// where a fused case must refuse to fire and de-fuse instead.
+func TestQuickenedBudgetSweep(t *testing.T) {
+	p := quickenSweepProgram()
+	q := mustQuicken(t, p, 10)
+
+	base := allEngines[0]
+	full, err := base.run(p, 1<<20)
+	if err != nil {
+		t.Fatalf("baseline full run: %v", err)
+	}
+	for b := int64(1); b <= full.Steps+2; b++ {
+		wantSnap, wantErr := base.run(p, b)
+		wm := errMsg(t, "switch/unquickened", wantErr)
+		for _, e := range allEngines {
+			if !e.exact {
+				continue
+			}
+			gotSnap, gotErr := e.run(q, b)
+			if gm := errMsg(t, e.name, gotErr); gm != wm {
+				t.Fatalf("budget %d: %s quickened error %q, unquickened switch %q", b, e.name, gm, wm)
+			}
+			if !wantSnap.Equal(gotSnap) {
+				t.Fatalf("budget %d: %s quickened snapshot diverges from unquickened switch\n"+
+					"switch: %+v\n%s: %+v", b, e.name, wantSnap, e.name, gotSnap)
+			}
+			if wantSnap.Steps != gotSnap.Steps {
+				t.Fatalf("budget %d: %s quickened ran %d steps, unquickened switch %d",
+					b, e.name, gotSnap.Steps, wantSnap.Steps)
+			}
+		}
+	}
+}
+
+// TestSuperGarbageTailDeFuses covers hand-built (unverifiable-shape)
+// programs the quickener would never produce: a super opcode planted
+// over a tail that does not match its expansion, and a branch jumping
+// into the interior of a fused sequence. Every engine must execute
+// such code exactly like its CanonicalInstr rewrite — the super
+// behaves as its first constituent, the in-place tail as real
+// instructions.
+func TestSuperGarbageTailDeFuses(t *testing.T) {
+	ins := func(op vm.Opcode, arg vm.Cell) vm.Instr { return vm.Instr{Op: op, Arg: arg} }
+	cases := []struct {
+		name string
+		code []vm.Instr
+	}{
+		{"mismatched tail", []vm.Instr{
+			ins(vm.OpQLitFetch, 8), // tail is dup, not @ — must de-fuse to lit 8
+			ins(vm.OpDup, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpHalt, 0),
+		}},
+		{"truncated tail", []vm.Instr{
+			ins(vm.OpLit, 1),
+			ins(vm.OpBranchZero, 4),
+			ins(vm.OpHalt, 0),
+			ins(vm.OpDrop, 0),
+			ins(vm.OpQLitLitFetchAdd, 7), // 4-gram super two pcs from the end
+			ins(vm.OpLit, 3),
+			ins(vm.OpAdd, 0),
+		}},
+		{"branch into fused interior", []vm.Instr{
+			ins(vm.OpQLitFetch, 8), // matching tail, but pc 1 is also a branch target
+			ins(vm.OpFetch, 0),
+			ins(vm.OpDot, 0),
+			ins(vm.OpLit, 0),
+			ins(vm.OpBranchZero, 1),
+			ins(vm.OpHalt, 0),
+		}},
+	}
+	for _, tc := range cases {
+		p := &vm.Program{Code: tc.code, MemSize: 64}
+		u := vm.Unquicken(p)
+		base := allEngines[0]
+		// Modest budget: the branch-into-interior case loops forever by
+		// construction, so the step limit itself is under test.
+		const budget = 100
+		want, wantErr := base.run(u, budget)
+		wm := errMsg(t, "switch/unquickened", wantErr)
+		for _, e := range allEngines {
+			if e.needsVerify {
+				continue // statcache requires verified input
+			}
+			got, err := e.run(p, budget)
+			if gm := errMsg(t, e.name, err); gm != wm {
+				t.Errorf("%s/%s: error %q, unquickened switch %q", tc.name, e.name, gm, wm)
+				continue
+			}
+			if !want.Equal(got) {
+				t.Errorf("%s/%s: snapshot diverges from unquickened switch", tc.name, e.name)
+			}
+			if e.exact && want.Steps != got.Steps {
+				t.Errorf("%s/%s: %d steps, unquickened switch %d", tc.name, e.name, got.Steps, want.Steps)
+			}
+		}
+	}
+}
+
+// TestQuickenedArgsAndErrors quickens a program whose fused sequences
+// fail mid-constituent on some inputs (an out-of-range c@ inside
+// q-add-cfetch) and requires the baseline's exact error either way.
+func TestQuickenedArgsAndErrors(t *testing.T) {
+	ins := func(op vm.Opcode, arg vm.Cell) vm.Instr { return vm.Instr{Op: op, Arg: arg} }
+	p := &vm.Program{MemSize: 64, Code: []vm.Instr{
+		ins(vm.OpAdd, 0),
+		ins(vm.OpCFetch, 0), // + c@ — q-add-cfetch over seeded args
+		ins(vm.OpDot, 0),
+		ins(vm.OpHalt, 0),
+	}}
+	q := mustQuicken(t, p, 1)
+
+	base := allEngines[0]
+	for _, args := range [][]vm.Cell{
+		{3, 4},        // in range: prints mem[7]
+		{60, 10},      // out of range: c@ fails inside the fused pair
+		{1 << 62, 42}, // overflowing address arithmetic
+		{5},           // underflow: the first constituent's error
+	} {
+		spec := interp.ExecSpec{MaxSteps: 1 << 10, Args: args}
+		want, wantErr := base.runSpec(p, spec)
+		wm := errMsg(t, "switch/unquickened", wantErr)
+		for _, e := range allEngines {
+			if e.needsVerify {
+				continue // the guard-zone engine deviates on underflow by design
+			}
+			got, err := e.runSpec(q, spec)
+			if gm := errMsg(t, e.name, err); gm != wm {
+				t.Errorf("args %v/%s: error %q, unquickened switch %q", args, e.name, gm, wm)
+				continue
+			}
+			if wantErr == nil && !want.Equal(got) {
+				t.Errorf("args %v/%s: snapshot diverges from unquickened switch", args, e.name)
+			}
+			if e.exact && want.Steps != got.Steps {
+				t.Errorf("args %v/%s: %d steps, unquickened switch %d", args, e.name, got.Steps, want.Steps)
+			}
+		}
+	}
+}

@@ -31,6 +31,13 @@
 //
 // The two passes share the vm.Fusions table: a pair the peephole
 // consumed is gone before quickening, and nothing fuses twice.
+//
+// With -cachedir the compiled artifact (quickened bytecode plus its
+// analysis facts, checksummed) is persisted to the named directory and
+// reused on later runs, skipping the compile/verify/quicken/analyze
+// pipeline entirely. The on-disk format and keying match vmd's
+// -cachedir, so the CLIs can share a directory when their compile
+// options and -quicken settings agree.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 
+	"stackcache/internal/artifact"
 	"stackcache/internal/core"
 	"stackcache/internal/engine"
 	"stackcache/internal/forth"
@@ -63,6 +71,7 @@ func main() {
 		argList   = flag.String("args", "", "comma-separated initial data stack, bottom first")
 		super     = flag.Bool("super", false, "compile with front-end superinstruction fusion (lit-add)")
 		quicken   = flag.Bool("quicken", false, "quicken the verified program to profile-mined superinstructions")
+		cacheDir  = flag.String("cachedir", "", "read/write compiled artifacts in this directory (shareable with vmd)")
 	)
 	flag.Parse()
 
@@ -74,25 +83,25 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	prog, err := forth.CompileWithOptions(src, forth.Options{Superinstructions: *super})
+	// Compile through the shared artifact pipeline: verify gate,
+	// optional quickening (re-verified), analysis facts — and, with
+	// -cachedir, the on-disk tier. The fingerprint matches the one
+	// vmd's service uses, so the two CLIs can share a cache directory
+	// when their compile options and -quicken settings agree.
+	opts := forth.Options{Superinstructions: *super}
+	store := artifact.NewStore(artifact.Config{
+		Dir:         *cacheDir,
+		Quicken:     *quicken,
+		Fingerprint: "quicken=" + strconv.FormatBool(*quicken),
+	})
+	unit, outcome, err := store.GetOrBuild(
+		"src:"+artifact.SourceHash(opts.CacheKey(), src),
+		func() (*vm.Program, error) { return forth.CompileWithOptions(src, opts) },
+	)
 	if err != nil {
 		fail(err)
 	}
-	// Defense in depth at the service boundary: never hand an
-	// unverified program to an execution engine, whatever produced it.
-	if err := vm.Verify(prog); err != nil {
-		fail(fmt.Errorf("program rejected by verifier: %w", err))
-	}
-	if *quicken {
-		// Quicken only verified bytecode, and re-verify the rewrite —
-		// the same gate vmd's program cache applies at insert time.
-		if q, n := vm.Quicken(prog); n > 0 {
-			if err := vm.Verify(q); err != nil {
-				fail(fmt.Errorf("quickened program rejected by verifier: %w", err))
-			}
-			prog = q
-		}
-	}
+	prog := unit.Prog
 	if *disasm {
 		if *engineName == "static" {
 			plan, err := statcache.Compile(prog, statcache.Policy{NRegs: *regs, Canonical: *canonical})
@@ -151,6 +160,11 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "\n%s: %d instructions (%s)\n", name, m.Steps, eng.Name())
 		}
+		fmt.Fprintf(os.Stderr, "  artifact: %s", outcome)
+		if unit.Quickened {
+			fmt.Fprintf(os.Stderr, ", quickened (%d sites)", unit.QuickenedOps)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

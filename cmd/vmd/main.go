@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vmd -addr :8080 -workers 8 -queue 64 -cache 256
+//	vmd -addr :8080 -workers 8 -queue 64 -cache 256 -cachedir /var/cache/vmd
 //
 // Endpoints:
 //
@@ -278,6 +278,7 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 64, "largest number of inputs a batch /run may carry")
 		superins = flag.Bool("super", false, "compile with superinstruction fusion")
 		quicken  = flag.Bool("quicken", true, "quicken cached programs to profile-mined superinstructions")
+		cacheDir = flag.String("cachedir", "", "persist compiled artifacts to this directory (warm restarts)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of vmd:\n")
@@ -297,6 +298,20 @@ stack, step counts, error classes) identical to plain execution:
             consumed is gone before quickening and nothing fuses twice.
             Responses report "quickened": true; /metrics exposes
             vmd_quickened_programs_total and vmd_quickened_ops_total.
+
+Persistence:
+
+  -cachedir writes every compiled artifact (quickened bytecode plus its
+            analysis facts, checksummed) to the named directory and
+            reads it back on later runs: a restarted vmd serves a
+            previously-seen program without re-compiling, re-verifying
+            or re-analyzing it. Entries are keyed by source hash and a
+            policy fingerprint (compile options + -quicken), so a
+            directory is shared safely between processes only when
+            those agree; corrupt or mismatched entries are recomputed,
+            never trusted. /metrics reports the tiers under
+            vmd_artifact_total{stage,outcome} ("disk_hit" counts warm
+            starts).
 `)
 	}
 	flag.Parse()
@@ -312,6 +327,7 @@ stack, step counts, error classes) identical to plain execution:
 		MaxBatchInputs:  *maxBatch,
 		CompileOptions:  forth.Options{Superinstructions: *superins},
 		Quicken:         *quicken,
+		CacheDir:        *cacheDir,
 	})
 	if err != nil {
 		log.Fatalf("vmd: %v", err)

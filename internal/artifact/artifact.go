@@ -1,0 +1,165 @@
+// Package artifact is the single home of everything the system derives
+// from a program's immutable bytes: verification, quickened bytecode,
+// vm.Analyze facts, and per-engine prepared blobs (static plans, AOT
+// closure artifacts). All of it is a pure function of (bytes, policy),
+// which is the whole premise of staging interpreter optimizations —
+// derive once, content-address the result, reuse it everywhere, and
+// let it survive restarts.
+//
+// The pieces:
+//
+//   - Unit: one program plus every artifact staged from it. Facts are
+//     computed at most once (single-flight); Prepared(key, build)
+//     gives engines a per-unit, per-policy slot with the same
+//     compile-once guarantee, so two services sharing a unit share its
+//     plans and two policies on one unit get distinct plans.
+//   - Store: a bounded, content-addressed LRU of Units keyed by
+//     (hash, policy fingerprint) with single-flight builds and an
+//     optional on-disk tier (Config.Dir) that serializes quickened
+//     bytecode and facts, checksum-verified on load, so a restarted
+//     daemon warm-starts without recompiling or re-analyzing.
+//   - Of: the identity view engines use at run time. Every unit a
+//     store publishes is registered by program pointer; Of(p) finds it
+//     without hashing, and interns a bare unit for programs that never
+//     went through a store (direct CLI and test use), so FactsFor and
+//     the engines' prepared blobs always resolve to one place.
+//
+// Units are immutable once published and safe for concurrent use.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"stackcache/internal/vm"
+)
+
+// Unit is one program and the artifacts staged from it. Key is the
+// store key ("" for bare identity-interned units); Prog is the program
+// every consumer must execute — already quickened when the owning
+// store quickens (Quickened/QuickenedOps record the rewrite).
+type Unit struct {
+	Key          string
+	Prog         *vm.Program
+	Quickened    bool
+	QuickenedOps int
+
+	factsOnce sync.Once
+	facts     *vm.Facts
+
+	prepMu   sync.Mutex
+	prepared map[string]*prepEntry
+}
+
+type prepEntry struct {
+	once sync.Once
+	v    any
+	err  error
+}
+
+// maxPreparedPerUnit bounds the prepared-blob map of one unit; a
+// pathological stream of distinct policies must not pin blobs forever.
+// Like the old per-engine plan caches, overflow resets the map — the
+// worst case is a recompile, never a wrong artifact.
+const maxPreparedPerUnit = 32
+
+func newUnit(key string, p *vm.Program) *Unit {
+	return &Unit{Key: key, Prog: p}
+}
+
+// Facts returns the unit's vm.Analyze result, computing it at most
+// once. Units loaded from the disk tier arrive with facts already
+// attached (the analysis travels with the bytes) and never recompute.
+func (u *Unit) Facts() *vm.Facts {
+	u.factsOnce.Do(func() {
+		if u.facts == nil {
+			u.facts = vm.Analyze(u.Prog)
+		}
+	})
+	return u.facts
+}
+
+// Prepared returns the engine-prepared blob stored under key, building
+// it at most once per (unit, key) even under concurrent callers. The
+// key must identify the artifact's full provenance — engine name plus
+// the policy fingerprint that shaped it — so distinct policies on one
+// program get distinct blobs instead of the first caller's.
+func (u *Unit) Prepared(key string, build func() (any, error)) (any, error) {
+	u.prepMu.Lock()
+	e, ok := u.prepared[key]
+	if !ok {
+		if u.prepared == nil || len(u.prepared) >= maxPreparedPerUnit {
+			u.prepared = make(map[string]*prepEntry)
+		}
+		e = &prepEntry{}
+		u.prepared[key] = e
+	}
+	u.prepMu.Unlock()
+	e.once.Do(func() { e.v, e.err = build() })
+	return e.v, e.err
+}
+
+// SourceHash is the canonical content address for (compile options,
+// source) pairs: hex SHA-256 over the options' cache key, a zero
+// separator, and the source. The service's program cache and the CLIs
+// share it, so a forthvm -cachedir can warm-start from a vmd cache
+// directory (and vice versa) when their options and quicken settings
+// agree.
+func SourceHash(optKey, src string) string {
+	h := sha256.New()
+	h.Write([]byte(optKey))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// maxIdentity bounds the program-pointer index. Programs are interned
+// by every store publish and by Of on first sight; overflow resets the
+// map (the successor units recompute lazily), mirroring the old
+// engine-side facts cache's reset-on-overflow behavior.
+const maxIdentity = 4096
+
+var identity = struct {
+	sync.Mutex
+	m map[*vm.Program]*Unit
+}{m: make(map[*vm.Program]*Unit)}
+
+// Of returns the unit for p: the store-published unit when p came
+// through a Store, otherwise a bare unit interned on first sight.
+// Programs are keyed by identity — they are immutable once compiled,
+// and the stores in front already deduplicate by content — so this is
+// the zero-hashing path engines take on every Run.
+func Of(p *vm.Program) *Unit {
+	identity.Lock()
+	defer identity.Unlock()
+	if u, ok := identity.m[p]; ok {
+		return u
+	}
+	if len(identity.m) >= maxIdentity {
+		identity.m = make(map[*vm.Program]*Unit)
+	}
+	u := newUnit("", p)
+	identity.m[p] = u
+	return u
+}
+
+// registerIdentity publishes a store-built unit under its program
+// pointer so Of resolves it without hashing. Latest wins: a store
+// publish replaces any bare unit interned for the same pointer.
+func registerIdentity(u *Unit) {
+	identity.Lock()
+	defer identity.Unlock()
+	if len(identity.m) >= maxIdentity {
+		identity.m = make(map[*vm.Program]*Unit)
+	}
+	identity.m[u.Prog] = u
+}
+
+// dropIdentity forgets an evicted unit's program pointer; a later Of
+// interns a fresh bare unit (recompute, never a stale artifact).
+func dropIdentity(p *vm.Program) {
+	identity.Lock()
+	defer identity.Unlock()
+	delete(identity.m, p)
+}

@@ -1001,10 +1001,12 @@ func fold2(o vm.Opcode, a, b vm.Cell) (vm.Cell, bool) {
 }
 
 // fuseNodes builds the block's closure chain, right to left so every
-// node captures its successor directly. Fusion patterns peek one fInst
-// left of the cursor; anything unmatched becomes a single node. `end`
-// is the block's exclusive end pc — the fall-through continuation for
-// blocks that end at a join rather than a control instruction.
+// node captures its successor directly. Multi-op fusions come from the
+// shared vm.Fusions table (the cursor sits on a sequence's last
+// constituent and the matcher peeks left); unmatched lit pairs fuse
+// generically, and anything else becomes a single node. `end` is the
+// block's exclusive end pc — the fall-through continuation for blocks
+// that end at a join rather than a control instruction.
 func (v *variant) fuseNodes(fis []fInst, end int) op {
 	// after[i] = original instructions covered by fis[i:] — the amount
 	// the bulk step accounting must rewind when fis[i-1]'s node errors.
@@ -1026,12 +1028,23 @@ func (v *variant) fuseNodes(fis []fInst, end int) op {
 
 	for ; i >= 0; i-- {
 		fi := fis[i]
-		switch {
-		case fi.op == vm.OpNop:
+		if fi.op == vm.OpNop {
 			// Steps were counted in the preamble; nothing else to do —
 			// the nop (or folded-away lit;drop) costs zero closures.
 			continue
+		}
 
+		// The shared vm.Fusions table is the fusion vocabulary: the
+		// same profile-mined sequences the quickener plants are lowered
+		// here into dedicated multi-op closures, so a supermine update
+		// propagates to AOT codegen with no code change in this file.
+		if node, consumed := v.superNode(fis, i, after, next); node != nil {
+			next = node
+			i -= consumed - 1
+			continue
+		}
+
+		switch {
 		case fi.op == vm.OpLit:
 			// Maximal literal run, pushed with one copy.
 			j := i
@@ -1050,56 +1063,9 @@ func (v *variant) fuseNodes(fis []fInst, end int) op {
 			next = v.litNode(fi.arg, next)
 
 		case i > 0 && fis[i-1].op == vm.OpLit && v.litFusable(fi):
+			// Lit pairs outside the table (lit-sub, lit-and, lit-c@,
+			// ...) still fuse generically.
 			next = v.litOpNode(fis[i-1].arg, fi, after[i+1], next)
-			i--
-
-		// Hot adjacent pairs/triples from the workload census that the
-		// lit fusions above do not reach: loop-index addressing and
-		// dynamic byte memory fed by arithmetic.
-		case fi.op == vm.OpAdd && i >= 2 &&
-			fis[i-1].op == vm.OpI && fis[i-2].op == vm.OpLit:
-			next = v.litIAddNode(fis[i-2].arg, next)
-			i -= 2
-
-		case fi.op == vm.OpAdd && i >= 3 && fis[i-1].op == vm.OpFetch &&
-			fis[i-2].op == vm.OpLit && fis[i-3].op == vm.OpLit:
-			// [lit c; lit addr; @; +]. The @ is the only fallible step
-			// and it is third in the quad, so the rewind must uncharge
-			// just the trailing + : after[i].
-			next = v.litLitFetchAddNode(fis[i-3].arg, fis[i-2].arg, fis[i-1].pc, after[i], next)
-			i -= 3
-
-		case fi.op == vm.OpAdd && i > 0 && fis[i-1].op == vm.OpCFetch:
-			// The failing op is the FIRST of the pair: the + after it
-			// must be uncharged too, so the rewind is after[i], not
-			// after[i+1].
-			next = v.cfetchAddNode(fis[i-1].pc, after[i], next)
-			i--
-
-		case fi.op == vm.OpOr && i > 0 && fis[i-1].op == vm.OpCFetch:
-			next = v.cfetchOrNode(fis[i-1].pc, after[i], next)
-			i--
-
-		case fi.op == vm.OpCFetch && i >= 4 && fis[i-1].op == vm.OpAdd &&
-			fis[i-2].op == vm.OpFetch && fis[i-3].op == vm.OpLit &&
-			fis[i-4].op == vm.OpLit:
-			// The @ (third of five) failing must leave + and c@
-			// uncharged: after[i-1]. The c@ failing uncharges only what
-			// follows it: after[i+1].
-			next = v.litLitFetchAddCFetchNode(fis[i-4].arg, fis[i-3].arg,
-				fis[i-2].pc, fi.pc, after[i-1], after[i+1], next)
-			i -= 4
-
-		case fi.op == vm.OpCFetch && i > 0 && fis[i-1].op == vm.OpAdd:
-			next = v.addCFetchNode(fi.pc, after[i+1], next)
-			i--
-
-		case fi.op == vm.OpCFetch && i > 0 && fis[i-1].op == vm.OpOver:
-			next = v.overCFetchNode(fi.pc, after[i+1], next)
-			i--
-
-		case fi.op == vm.OpCStore && i > 0 && fis[i-1].op == vm.OpAdd:
-			next = v.addCStoreNode(fi.pc, after[i+1], next)
 			i--
 
 		default:
@@ -1107,6 +1073,101 @@ func (v *variant) fuseNodes(fis []fInst, end int) op {
 		}
 	}
 	return next
+}
+
+// superNode matches the longest vm.Fusions sequence ending at fis[i]
+// (the fuser walks right to left, so the cursor is a sequence's LAST
+// constituent) and lowers it to one fused closure. The table is
+// ordered longest-first, matching the quickener's greedy preference.
+// Returns (nil, 0) when no sequence ends here.
+func (v *variant) superNode(fis []fInst, i int, after []int64, next op) (op, int) {
+	for _, f := range vm.Fusions {
+		if f.Shrink {
+			// Shrink rules (OpLitAdd) are the front end's; their
+			// standalone opcode is lowered by singleNode like any base
+			// instruction.
+			continue
+		}
+		l := len(f.Seq)
+		j := i - l + 1
+		if j < 0 {
+			continue
+		}
+		match := true
+		for k := 0; k < l; k++ {
+			if fis[j+k].op != f.Seq[k] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if node, consumed := v.buildSuper(f.Super, fis, i, j, after, next); node != nil {
+			return node, consumed
+		}
+	}
+	return nil, 0
+}
+
+// buildSuper lowers one matched fusion sequence (fis[j..i], identified
+// by its superinstruction opcode) into a fused closure, returning the
+// node and the number of fInsts consumed. Every fallible constituent
+// reproduces its exact baseline failure state: pending values are
+// materialized on the stack and the bulk step accounting is rewound by
+// the after[] amount covering the constituents past the failing one.
+func (v *variant) buildSuper(super vm.Opcode, fis []fInst, i, j int, after []int64, next op) (op, int) {
+	switch super {
+	case vm.OpQLitLitFetchAdd:
+		// [lit c; lit addr; @; +]. The @ is the only fallible step and
+		// it is third in the quad, so the rewind must uncharge just the
+		// trailing + : after[i].
+		return v.litLitFetchAddNode(fis[j].arg, fis[j+1].arg, fis[j+2].pc, after[i], next), 4
+
+	case vm.OpQLitFetchAddCFetch:
+		// [lit addr; @; +; c@]. When yet another literal precedes the
+		// sequence it is the +'s second operand — fold all five into
+		// the fully-constant indexed byte load. The @ (with + and c@
+		// still uncharged) rewinds after[i-1]; the c@ after[i+1].
+		if j > 0 && fis[j-1].op == vm.OpLit {
+			return v.litLitFetchAddCFetchNode(fis[j-1].arg, fis[j].arg,
+				fis[j+1].pc, fis[i].pc, after[i-1], after[i+1], next), 5
+		}
+		return v.litFetchAddCFetchNode(fis[j].arg,
+			fis[j+1].pc, fis[i].pc, after[i-1], after[i+1], next), 4
+
+	case vm.OpQLitFetchLitGe:
+		// [lit addr; @; lit b; >=]: @ (second of four) failing leaves
+		// the trailing lit and >= uncharged: after[i-1].
+		return v.litFetchLitGeNode(fis[j].arg, fis[j+2].arg, fis[j+1].pc, after[i-1], next), 4
+
+	case vm.OpQSwapLitRshiftSwap:
+		return v.swapLitRshiftSwapNode(fis[j+1].arg, next), 4
+
+	case vm.OpQLitLshiftOverLit:
+		return v.litLshiftOverLitNode(fis[j].arg, fis[i].arg, next), 4
+
+	case vm.OpQLitLitPlusStore:
+		return v.litLitPlusStoreNode(fis[j].arg, fis[j+1].arg, fis[i].pc, after[i+1], next), 3
+
+	case vm.OpQDupLitEq:
+		return v.dupLitEqNode(fis[j+1].arg, next), 3
+
+	case vm.OpQLitFetchAdd:
+		// [lit addr; @; +]: @ (second of three) failing leaves the +
+		// uncharged: after[i].
+		return v.litFetchAddNode(fis[j].arg, fis[j+1].pc, after[i], next), 3
+
+	case vm.OpQLitFetch, vm.OpQLitPlusStore, vm.OpQLitEq:
+		// The two-op lit-first sequences are exactly litOpNode's
+		// territory; delegate so the table and the generic lit fusion
+		// cannot drift apart.
+		return v.litOpNode(fis[j].arg, fis[i], after[i+1], next), 2
+
+	case vm.OpQAddCFetch:
+		return v.addCFetchNode(fis[i].pc, after[i+1], next), 2
+	}
+	return nil, 0
 }
 
 // blockExit continues at the block's fall-through successor via the
@@ -1355,46 +1416,114 @@ func (v *variant) litLitFetchAddCFetchNode(c, addr vm.Cell, pcF, pcC int, backF,
 	}
 }
 
-// litIAddNode fuses [lit c; i; +] into one push of c plus the inner
-// loop index — the hot table-addressing idiom in the paper's prims2x
-// trace. Infallible: the preamble's return-stack precheck covered i.
-func (v *variant) litIAddNode(c vm.Cell, next op) op {
+// litFetchAddCFetchNode fuses [lit addr; @; +; c@] with a dynamic
+// first addend (entry TOS): it pushes mem[y + mem[addr]] as a byte,
+// consuming y. Each fallible step reproduces its baseline state.
+func (v *variant) litFetchAddCFetchNode(addr vm.Cell, pcF, pcC int, backF, backC int64, next op) op {
 	v.stats.Nodes++
 	return func(s *state, sp, rp int) (op, int, int) {
-		s.st[sp] = c + s.rs[rp-1]
+		x, ok := s.m.CellAt(addr)
+		if !ok {
+			s.st[sp] = addr
+			s.steps -= backF
+			return s.failAt(pcF, vm.OpFetch, "memory access out of range", sp+1, rp)
+		}
+		a2 := s.st[sp-1] + x
+		b, ok := s.m.ByteAt(a2)
+		if !ok {
+			s.st[sp-1] = a2
+			s.steps -= backC
+			return s.failAt(pcC, vm.OpCFetch, "memory access out of range", sp, rp)
+		}
+		s.st[sp-1] = vm.Cell(b)
+		return next(s, sp, rp)
+	}
+}
+
+// litFetchLitGeNode fuses [lit addr; @; lit b; >=] into one push of
+// the flag mem[addr] >= b — the loop-bound test idiom. Only the @ can
+// fail; its baseline state has just the address pushed.
+func (v *variant) litFetchLitGeNode(addr, b vm.Cell, pc int, back int64, next op) op {
+	v.stats.Nodes++
+	return func(s *state, sp, rp int) (op, int, int) {
+		x, ok := s.m.CellAt(addr)
+		if !ok {
+			s.st[sp] = addr
+			s.steps -= back
+			return s.failAt(pc, vm.OpFetch, "memory access out of range", sp+1, rp)
+		}
+		s.st[sp] = interp.Flag(x >= b)
 		return next(s, sp+1, rp)
 	}
 }
 
-// cfetchAddNode fuses [c@; +]: the fetched byte is added into NOS
-// without materializing on the stack. Failure reproduces c@'s exact
-// baseline state — the address still on top, later steps uncharged.
-func (v *variant) cfetchAddNode(pc int, back int64, next op) op {
+// swapLitRshiftSwapNode fuses [swap; lit k; rshift; swap]: shift NOS
+// right by k in place, leaving TOS untouched. Infallible.
+func (v *variant) swapLitRshiftSwapNode(k vm.Cell, next op) op {
 	v.stats.Nodes++
 	return func(s *state, sp, rp int) (op, int, int) {
-		b, ok := s.m.ByteAt(s.st[sp-1])
-		if !ok {
-			s.steps -= back
-			return s.failAt(pc, vm.OpCFetch, "memory access out of range", sp, rp)
-		}
-		s.st[sp-2] += vm.Cell(b)
-		return next(s, sp-1, rp)
+		s.st[sp-2] = interp.ShiftRight(s.st[sp-2], k)
+		return next(s, sp, rp)
 	}
 }
 
-// cfetchOrNode fuses [c@; or]: the fetched byte is OR-ed into NOS
-// without materializing on the stack (gray's bit-accumulation idiom).
-// Failure reproduces c@'s exact baseline state.
-func (v *variant) cfetchOrNode(pc int, back int64, next op) op {
+// litLshiftOverLitNode fuses [lit j; lshift; over; lit k]: TOS is
+// shifted left by j in place, then the cell below it is copied up and
+// k pushed. Infallible; net stack effect +2.
+func (v *variant) litLshiftOverLitNode(j, k vm.Cell, next op) op {
 	v.stats.Nodes++
 	return func(s *state, sp, rp int) (op, int, int) {
-		b, ok := s.m.ByteAt(s.st[sp-1])
-		if !ok {
+		st := s.st
+		st[sp-1] = interp.ShiftLeft(st[sp-1], j)
+		st[sp] = st[sp-2]
+		st[sp+1] = k
+		return next(s, sp+2, rp)
+	}
+}
+
+// litLitPlusStoreNode fuses [lit val; lit addr; +!] into one in-place
+// memory add of a constant at a constant address — the counter-bump
+// idiom. On failure both literals are materialized before reporting
+// +!'s error.
+func (v *variant) litLitPlusStoreNode(val, addr vm.Cell, pc int, back int64, next op) op {
+	v.stats.Nodes++
+	return func(s *state, sp, rp int) (op, int, int) {
+		x, ok := s.m.CellAt(addr)
+		if !ok || !s.m.SetCellAt(addr, x+val) {
+			st := s.st
+			st[sp] = val
+			st[sp+1] = addr
 			s.steps -= back
-			return s.failAt(pc, vm.OpCFetch, "memory access out of range", sp, rp)
+			return s.failAt(pc, vm.OpPlusStore, "memory access out of range", sp+2, rp)
 		}
-		s.st[sp-2] |= vm.Cell(b)
-		return next(s, sp-1, rp)
+		return next(s, sp, rp)
+	}
+}
+
+// dupLitEqNode fuses [dup; lit c; =] into one push of the flag
+// TOS == c, keeping TOS — the case-dispatch probe. Infallible.
+func (v *variant) dupLitEqNode(c vm.Cell, next op) op {
+	v.stats.Nodes++
+	return func(s *state, sp, rp int) (op, int, int) {
+		s.st[sp] = interp.Flag(s.st[sp-1] == c)
+		return next(s, sp+1, rp)
+	}
+}
+
+// litFetchAddNode fuses [lit addr; @; +]: mem[addr] is added into TOS
+// in place. On failure the address — which the baseline had already
+// pushed — is materialized before reporting @'s error.
+func (v *variant) litFetchAddNode(addr vm.Cell, pc int, back int64, next op) op {
+	v.stats.Nodes++
+	return func(s *state, sp, rp int) (op, int, int) {
+		x, ok := s.m.CellAt(addr)
+		if !ok {
+			s.st[sp] = addr
+			s.steps -= back
+			return s.failAt(pc, vm.OpFetch, "memory access out of range", sp+1, rp)
+		}
+		s.st[sp-1] += x
+		return next(s, sp, rp)
 	}
 }
 
@@ -1414,39 +1543,6 @@ func (v *variant) addCFetchNode(pc int, back int64, next op) op {
 		}
 		st[sp-2] = vm.Cell(b)
 		return next(s, sp-1, rp)
-	}
-}
-
-// overCFetchNode fuses [over; c@]: NOS is the address, the byte lands
-// as a new TOS. On failure over's copy is materialized first.
-func (v *variant) overCFetchNode(pc int, back int64, next op) op {
-	v.stats.Nodes++
-	return func(s *state, sp, rp int) (op, int, int) {
-		a := s.st[sp-2]
-		b, ok := s.m.ByteAt(a)
-		if !ok {
-			s.st[sp] = a
-			s.steps -= back
-			return s.failAt(pc, vm.OpCFetch, "memory access out of range", sp+1, rp)
-		}
-		s.st[sp] = vm.Cell(b)
-		return next(s, sp+1, rp)
-	}
-}
-
-// addCStoreNode fuses [+; c!]: the value sits at sp-3, the address is
-// the sum of the top two cells.
-func (v *variant) addCStoreNode(pc int, back int64, next op) op {
-	v.stats.Nodes++
-	return func(s *state, sp, rp int) (op, int, int) {
-		st := s.st
-		a := st[sp-2] + st[sp-1]
-		if !s.m.SetByteAt(a, st[sp-3]) {
-			st[sp-2] = a
-			s.steps -= back
-			return s.failAt(pc, vm.OpCStore, "memory access out of range", sp-1, rp)
-		}
-		return next(s, sp-3, rp)
 	}
 }
 

@@ -24,11 +24,11 @@ import (
 	"sort"
 	"sync"
 
+	"stackcache/internal/artifact"
 	"stackcache/internal/core"
 	"stackcache/internal/dyncache"
 	"stackcache/internal/interp"
 	"stackcache/internal/statcache"
-	"stackcache/internal/vm"
 )
 
 // Engine is one execution engine. Run executes the machine's current
@@ -81,12 +81,16 @@ type CountingEngine interface {
 }
 
 // Preparer is implemented by engines with a per-program compile step
-// (the static stack-caching planner). Services call Prepare before
+// (the static stack-caching planner, the AOT closure compiler).
+// Services call Prepare with the program's artifact unit before
 // queueing an execution so plan-compilation failures classify as
-// compile errors and workers only ever receive ready-to-run work;
-// Run prepares on demand when the caller did not.
+// compile errors and workers only ever receive ready-to-run work; Run
+// prepares on demand (through artifact.Of) when the caller did not.
+// Prepared blobs live on the unit, keyed by engine + policy
+// fingerprint, so engine instances built from different Policies get
+// distinct plans on one shared unit.
 type Preparer interface {
-	Prepare(p *vm.Program) error
+	Prepare(u *artifact.Unit) error
 }
 
 // Policies bundles every caching engine's configuration. Instances

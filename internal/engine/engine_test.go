@@ -177,6 +177,36 @@ func TestStaticPlanCompiledOnce(t *testing.T) {
 	}
 }
 
+// TestStaticPlanPolicyKeyed: one artifact unit holds one prepared plan
+// per policy — two engines with different static policies working the
+// same program get distinct plans, while a same-policy engine shares.
+// This is what lets per-request policy overrides (engine.AllWith)
+// coexist on the shared artifact store without plan collisions.
+func TestStaticPlanPolicyKeyed(t *testing.T) {
+	p := compile(t, ": main 3 4 * . ;")
+	a := &staticEngine{pol: statcache.Policy{NRegs: 6, Canonical: 2}}
+	b := &staticEngine{pol: statcache.Policy{NRegs: 4, Canonical: 1}}
+	c := &staticEngine{pol: statcache.Policy{NRegs: 6, Canonical: 2}}
+	planA, err := a.planFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB, err := b.planFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planC, err := c.planFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planA == planB {
+		t.Fatal("distinct policies shared one prepared plan")
+	}
+	if planA != planC {
+		t.Fatal("identical policies built distinct plans for one program")
+	}
+}
+
 // TestAllWithValidates: a broken policy is rejected up front, not at
 // first execution.
 func TestAllWithValidates(t *testing.T) {

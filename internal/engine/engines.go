@@ -5,8 +5,9 @@ package engine
 // alphabetical) regardless of registration order here.
 
 import (
-	"sync"
+	"fmt"
 
+	"stackcache/internal/artifact"
 	"stackcache/internal/compiled"
 	"stackcache/internal/core"
 	"stackcache/internal/dyncache"
@@ -131,51 +132,48 @@ func (e twoStacksEngine) RunCounted(m *interp.Machine) (core.Counters, error) {
 	return res.Counters, err
 }
 
-// maxCachedPlans bounds the static engine's per-program plan cache so
-// a long-lived instance serving an unbounded program stream cannot pin
-// plans forever.
-const maxCachedPlans = 512
-
 // staticEngine is static stack caching: per-program compile-once plans
-// (cached, single-flight) executed on an explicit register file.
+// executed on an explicit register file. Plans live on the program's
+// artifact unit, keyed by the engine's full policy fingerprint, so two
+// engine instances with the same policy share one plan and two
+// policies on one program get distinct plans (the per-request policy
+// override path, engine.AllWith, is finally cache-correct).
 type staticEngine struct {
 	pol statcache.Policy
-
-	mu    sync.Mutex
-	plans map[*vm.Program]*planEntry
 }
 
-type planEntry struct {
-	once sync.Once
-	plan *statcache.Plan
-	err  error
+// prepKey is the policy fingerprint the plan is filed under on a unit.
+// Every Policy field participates: a plan is a pure function of
+// (program, policy), and the key must say so structurally.
+func (e *staticEngine) prepKey() string {
+	return fmt.Sprintf("static|nregs=%d|canon=%d|manips=%t|pts=%t",
+		e.pol.NRegs, e.pol.Canonical, e.pol.KeepManips, e.pol.PerTargetStates)
 }
 
-// planFor returns the program's compile-once plan, compiling it at
-// most once per program even under concurrent callers. Programs are
-// keyed by identity: they are immutable once compiled, and the
-// services in front of this engine already deduplicate by content.
-func (e *staticEngine) planFor(p *vm.Program) (*statcache.Plan, error) {
-	e.mu.Lock()
-	pe, ok := e.plans[p]
-	if !ok {
-		if e.plans == nil || len(e.plans) >= maxCachedPlans {
-			e.plans = make(map[*vm.Program]*planEntry)
-		}
-		pe = &planEntry{}
-		e.plans[p] = pe
+// planOn returns the unit's compile-once plan for this policy,
+// compiling it at most once even under concurrent callers.
+func (e *staticEngine) planOn(u *artifact.Unit) (*statcache.Plan, error) {
+	v, err := u.Prepared(e.prepKey(), func() (any, error) {
+		return statcache.Compile(u.Prog, e.pol)
+	})
+	if err != nil {
+		return nil, err
 	}
-	e.mu.Unlock()
-	pe.once.Do(func() { pe.plan, pe.err = statcache.Compile(p, e.pol) })
-	return pe.plan, pe.err
+	return v.(*statcache.Plan), nil
+}
+
+// planFor resolves p to its artifact unit (store-published or interned
+// on first sight) and returns the plan.
+func (e *staticEngine) planFor(p *vm.Program) (*statcache.Plan, error) {
+	return e.planOn(artifact.Of(p))
 }
 
 func (e *staticEngine) Name() string { return "static" }
 
-// Prepare compiles (or finds) the program's plan, so services can
+// Prepare compiles (or finds) the unit's plan, so services can
 // front-load compile failures before queueing the execution.
-func (e *staticEngine) Prepare(p *vm.Program) error {
-	_, err := e.planFor(p)
+func (e *staticEngine) Prepare(u *artifact.Unit) error {
+	_, err := e.planOn(u)
 	return err
 }
 
@@ -209,47 +207,36 @@ func (e *staticEngine) Traits() Traits {
 }
 
 // compiledEngine is the AOT closure compiler: per-program artifacts of
-// fused continuation-threaded closures (internal/compiled), cached
-// with single-flight compilation like the static engine's plans. The
-// artifact is compiled against the program's analysis facts, so proved
-// programs carry a check-elided code variant selected at run time by
-// the standard ElideChecks gate.
-type compiledEngine struct {
-	mu   sync.Mutex
-	arts map[*vm.Program]*artifactEntry
-}
+// fused continuation-threaded closures (internal/compiled), filed on
+// the program's artifact unit so every engine instance shares one
+// compile. The blob is compiled against the unit's analysis facts, so
+// proved programs carry a check-elided code variant selected at run
+// time by the standard ElideChecks gate.
+type compiledEngine struct{}
 
-type artifactEntry struct {
-	once sync.Once
-	art  *compiled.Artifact
-	err  error
-}
-
-// artifactFor returns the program's compile-once artifact, compiling
-// at most once per program even under concurrent callers. Keyed by
-// identity for the same reason as staticEngine.planFor: programs are
-// immutable, and the services in front deduplicate by content.
-func (e *compiledEngine) artifactFor(p *vm.Program) (*compiled.Artifact, error) {
-	e.mu.Lock()
-	ae, ok := e.arts[p]
-	if !ok {
-		if e.arts == nil || len(e.arts) >= maxCachedPlans {
-			e.arts = make(map[*vm.Program]*artifactEntry)
-		}
-		ae = &artifactEntry{}
-		e.arts[p] = ae
+// artifactOn returns the unit's compile-once AOT artifact, compiling
+// at most once even under concurrent callers. The closure compiler
+// takes no policy, so the key is the bare engine name.
+func (e *compiledEngine) artifactOn(u *artifact.Unit) (*compiled.Artifact, error) {
+	v, err := u.Prepared("compiled", func() (any, error) {
+		return compiled.Compile(u.Prog, u.Facts())
+	})
+	if err != nil {
+		return nil, err
 	}
-	e.mu.Unlock()
-	ae.once.Do(func() { ae.art, ae.err = compiled.Compile(p, FactsFor(p)) })
-	return ae.art, ae.err
+	return v.(*compiled.Artifact), nil
+}
+
+func (e *compiledEngine) artifactFor(p *vm.Program) (*compiled.Artifact, error) {
+	return e.artifactOn(artifact.Of(p))
 }
 
 func (e *compiledEngine) Name() string { return "compiled" }
 
-// Prepare compiles (or finds) the program's artifact, so services can
+// Prepare compiles (or finds) the unit's artifact, so services can
 // front-load compile failures before queueing the execution.
-func (e *compiledEngine) Prepare(p *vm.Program) error {
-	_, err := e.artifactFor(p)
+func (e *compiledEngine) Prepare(u *artifact.Unit) error {
+	_, err := e.artifactOn(u)
 	return err
 }
 

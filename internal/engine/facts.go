@@ -1,50 +1,27 @@
 package engine
 
 import (
-	"sync"
-
+	"stackcache/internal/artifact"
 	"stackcache/internal/interp"
 	"stackcache/internal/vm"
 )
 
-// maxCachedFacts bounds the per-program analysis cache, like
-// maxCachedPlans for the static engine's plans: a long-lived instance
-// serving an unbounded program stream must not pin analyses forever.
-const maxCachedFacts = 512
-
-var (
-	factsMu    sync.Mutex
-	factsCache map[*vm.Program]*factsEntry
-)
-
-type factsEntry struct {
-	once sync.Once
-	f    *vm.Facts
-}
-
-// FactsFor returns vm.Analyze's result for p, computing it at most
-// once per program even under concurrent callers. Programs are keyed
-// by identity — they are immutable once compiled, and the services in
-// front of the registry already deduplicate by content.
+// FactsFor returns vm.Analyze's result for p, computed at most once
+// per program even under concurrent callers. It is a view over the
+// artifact store: programs that came through a service or CLI store
+// resolve to their published Unit (whose facts may have been loaded
+// from disk), and everything else interns a bare unit on first sight.
+// Programs are keyed by identity — they are immutable once compiled,
+// and the stores in front of the registry already deduplicate by
+// content.
 func FactsFor(p *vm.Program) *vm.Facts {
-	factsMu.Lock()
-	fe, ok := factsCache[p]
-	if !ok {
-		if factsCache == nil || len(factsCache) >= maxCachedFacts {
-			factsCache = make(map[*vm.Program]*factsEntry)
-		}
-		fe = &factsEntry{}
-		factsCache[p] = fe
-	}
-	factsMu.Unlock()
-	fe.once.Do(func() { fe.f = vm.Analyze(p) })
-	return fe.f
+	return artifact.Of(p).Facts()
 }
 
-// attachFacts supplies the machine's Facts from the cache when the
-// caller did not set them (interp.ExecSpec.Facts), so every registry
-// engine's check-elision gate sees an analysis for the program it
-// runs. A caller pinning vm.NoFacts keeps the checked path.
+// attachFacts supplies the machine's Facts from the artifact view when
+// the caller did not set them (interp.ExecSpec.Facts), so every
+// registry engine's check-elision gate sees an analysis for the
+// program it runs. A caller pinning vm.NoFacts keeps the checked path.
 func attachFacts(m *interp.Machine) {
 	if m.Facts == nil {
 		m.Facts = FactsFor(m.Prog)

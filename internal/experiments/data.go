@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"stackcache/internal/artifact"
 	"stackcache/internal/constcache"
 	"stackcache/internal/core"
 	"stackcache/internal/dyncache"
@@ -43,7 +44,7 @@ func Fig7Data(opt Options) ([]DispatchRow, error) {
 		// one-time preparation.
 		if prep, ok := e.(engine.Preparer); ok {
 			for _, p := range c.progs {
-				if err := prep.Prepare(p); err != nil {
+				if err := prep.Prepare(artifact.Of(p)); err != nil {
 					return nil, err
 				}
 			}

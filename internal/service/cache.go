@@ -2,32 +2,38 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
+	"strconv"
 	"sync"
 
+	"stackcache/internal/artifact"
 	"stackcache/internal/forth"
 	"stackcache/internal/vm"
 )
 
 // Entry is one cached, compiled, verified program. Entries are
 // immutable once published (the compile-once contract: only programs
-// that passed vm.Verify enter the cache). Engine-specific per-program
-// artifacts (the static engine's plans) live with the engine, keyed by
-// program identity, so the cache stays engine-agnostic.
+// that passed vm.Verify enter the cache). The entry is a view over its
+// artifact.Unit — the content-addressed home of everything derived
+// from the program's bytes: quickened bytecode, analysis facts, and
+// the per-engine prepared blobs (static plans, AOT closures) that used
+// to live in private engine caches.
 type Entry struct {
 	// Key is the content address: hex SHA-256 over the compile
 	// options and the Forth source.
 	Key string
 
-	// Prog is the compiled, verified program.
+	// Unit is the program's artifact-store unit; engines' Prepare
+	// steps file their compiled blobs on it.
+	Unit *artifact.Unit
+
+	// Prog is the compiled, verified program (Unit.Prog).
 	Prog *vm.Program
 
 	// Facts is the abstract-interpretation result for Prog, computed
-	// once at compile time and shared by every execution of the entry.
-	// Proved facts let engines elide per-instruction stack bounds
-	// checks; unproven facts keep the dynamic checks. Never nil for a
-	// published entry.
+	// once per unit (or loaded from the disk tier) and shared by every
+	// execution of the entry. Proved facts let engines elide
+	// per-instruction stack bounds checks; unproven facts keep the
+	// dynamic checks. Never nil for a published entry.
 	Facts *vm.Facts
 
 	// Quickened reports that Prog was rewritten to superinstruction
@@ -40,13 +46,11 @@ type Entry struct {
 }
 
 // CacheKey computes the content address the program cache uses for a
-// (options, source) pair.
+// (options, source) pair. It is artifact.SourceHash, so a service's
+// response keys line up with the artifact store's addressing (and with
+// forthvm's, letting the CLIs warm-start from a vmd cache directory).
 func CacheKey(src string, opt forth.Options) string {
-	h := sha256.New()
-	h.Write([]byte(opt.CacheKey()))
-	h.Write([]byte{0})
-	h.Write([]byte(src))
-	return hex.EncodeToString(h.Sum(nil))
+	return artifact.SourceHash(opt.CacheKey(), src)
 }
 
 // inflight tracks one in-progress compile so that N concurrent
@@ -62,6 +66,11 @@ type inflight struct {
 // verified programs with LRU eviction and single-flight compilation.
 // It is safe for concurrent use. Compilation runs outside the lock, so
 // a slow compile of one program never blocks hits on others.
+//
+// The cache fronts an artifact.Store: its own LRU holds the service's
+// working set of Entry views (what responses and metrics key on),
+// while the store owns the units — and, when cacheDir is set, the
+// on-disk tier a restarted service warm-starts from.
 type ProgramCache struct {
 	opt     forth.Options
 	max     int
@@ -70,6 +79,16 @@ type ProgramCache struct {
 	// quicken enables the cache-time superinstruction rewrite
 	// (Config.Quicken); set before first use, constant afterwards.
 	quicken bool
+
+	// cacheDir, when non-empty, enables the artifact store's disk
+	// tier (Config.CacheDir); set before first use, constant
+	// afterwards.
+	cacheDir string
+
+	// store is built lazily on first use so quicken/cacheDir (assigned
+	// after NewProgramCache) are final when its config is read.
+	storeOnce sync.Once
+	store     *artifact.Store
 
 	mu       sync.Mutex
 	lru      *list.List // front = most recent; values are *Entry
@@ -99,6 +118,25 @@ func NewProgramCache(max int, opt forth.Options, m *Metrics) *ProgramCache {
 	}
 }
 
+// artifacts returns the cache's artifact store, building it on first
+// use from the final quicken/cacheDir configuration. The store is
+// per-cache (not process-global) so each service owns its compile
+// accounting and disk tier.
+func (c *ProgramCache) artifacts() *artifact.Store {
+	c.storeOnce.Do(func() {
+		c.store = artifact.NewStore(artifact.Config{
+			MaxUnits: c.max,
+			Dir:      c.cacheDir,
+			Quicken:  c.quicken,
+			// The fingerprint completes the key: compile options are in
+			// the source hash already, quickening is not — and a
+			// -quicken=false restart must not be served quickened units.
+			Fingerprint: "quicken=" + strconv.FormatBool(c.quicken),
+		})
+	})
+	return c.store
+}
+
 // Len returns the number of cached entries.
 func (c *ProgramCache) Len() int {
 	c.mu.Lock()
@@ -114,7 +152,8 @@ const (
 	lookupHit lookupKind = iota
 	// lookupCoalesced joined another request's in-flight compile.
 	lookupCoalesced
-	// lookupMiss compiled the program itself.
+	// lookupMiss compiled the program itself (possibly from the
+	// artifact store's memory or disk tier rather than from source).
 	lookupMiss
 )
 
@@ -162,48 +201,35 @@ func (c *ProgramCache) Get(src string) (*Entry, lookupKind, error) {
 	return entry, lookupMiss, err
 }
 
-// compile runs the Forth compiler and the bytecode verifier outside
-// the cache lock.
+// compile resolves a cache miss through the artifact store, outside
+// the cache lock. The store stages the full pipeline — disk tier,
+// forth compile, vm.Verify gate, optional quickening (re-verified),
+// eager vm.Analyze, persist — and the entry is a view over the
+// resulting unit. Quickened-program metrics count only true source
+// builds: a unit served from the disk tier was counted by the process
+// that built it.
 func (c *ProgramCache) compile(key, src string) (*Entry, error) {
-	if c.onCompile != nil {
-		c.onCompile(src)
-	}
-	prog, err := forth.CompileWithOptions(src, c.opt)
+	u, outcome, err := c.artifacts().GetOrBuild("src:"+key, func() (*vm.Program, error) {
+		if c.onCompile != nil {
+			c.onCompile(src)
+		}
+		return forth.CompileWithOptions(src, c.opt)
+	})
 	if err != nil {
 		return nil, err
 	}
-	// CompileWithOptions already self-verifies, but the cache's
-	// contract is its own: nothing enters without passing the verifier
-	// here, whatever produced the program.
-	if err := vm.Verify(prog); err != nil {
-		return nil, err
+	if outcome == artifact.Miss && u.Quickened && c.metrics != nil {
+		c.metrics.quickenedPrograms.Add(1)
+		c.metrics.quickenedOps.Add(int64(u.QuickenedOps))
 	}
-	e := &Entry{Key: key, Prog: prog}
-	if c.quicken {
-		// Quicken at insert time: the one point where the rewrite
-		// happens once per program instead of once per request, and
-		// where the result goes back through the same verifier gate as
-		// any compiled program (vm.Verify checks the planted tails
-		// against the fusion table).
-		if q, n := vm.Quicken(prog); n > 0 {
-			if err := vm.Verify(q); err != nil {
-				return nil, err
-			}
-			e.Prog = q
-			e.Quickened = true
-			e.QuickenedOps = n
-			if c.metrics != nil {
-				c.metrics.quickenedPrograms.Add(1)
-				c.metrics.quickenedOps.Add(int64(n))
-			}
-		}
-	}
-	// Analyze alongside compile — once per cached program, off the lock —
-	// so every execution of the entry gets the depth proof for free.
-	// EffectOf(super) == EffectOf(first constituent), so the quickened
-	// program's facts are identical to the unquickened program's.
-	e.Facts = vm.Analyze(e.Prog)
-	return e, nil
+	return &Entry{
+		Key:          key,
+		Unit:         u,
+		Prog:         u.Prog,
+		Facts:        u.Facts(),
+		Quickened:    u.Quickened,
+		QuickenedOps: u.QuickenedOps,
+	}, nil
 }
 
 // insert publishes the entry and evicts beyond the bound. Caller holds

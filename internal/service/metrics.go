@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"stackcache/internal/artifact"
 )
 
 // ErrorClass partitions everything that can go wrong with a request
@@ -243,6 +245,12 @@ type Snapshot struct {
 	BatchSizeBounds   [NumBatchBuckets]string `json:"batch_size_bucket_bounds"`
 	BatchInputResults map[string]int64        `json:"batch_input_results"`
 
+	// Artifact is the program cache's artifact-store tier accounting:
+	// how compiles were satisfied (memory / disk / built from source),
+	// corrupt disk entries recomputed, units persisted, and LRU
+	// evictions. Disk counters stay 0 without Config.CacheDir.
+	Artifact ArtifactSnapshot `json:"artifact"`
+
 	// Errors counts finished requests by class wire name, including
 	// "ok".
 	Errors map[string]int64 `json:"errors"`
@@ -252,6 +260,32 @@ type Snapshot struct {
 
 	// LatencyBucketBounds labels the latency histogram entries.
 	LatencyBucketBounds [NumLatencyBuckets]string `json:"latency_bucket_bounds"`
+}
+
+// ArtifactSnapshot is the exported view of the artifact store's tier
+// counters (artifact.Store.Counters).
+type ArtifactSnapshot struct {
+	MemoryHits        int64 `json:"memory_hits"`
+	DiskHits          int64 `json:"disk_hits"`
+	Misses            int64 `json:"misses"`
+	Coalesced         int64 `json:"coalesced"`
+	CorruptRecomputed int64 `json:"corrupt_recomputed"`
+	Persisted         int64 `json:"persisted"`
+	PersistErrors     int64 `json:"persist_errors"`
+	Evictions         int64 `json:"evictions"`
+}
+
+func artifactSnapshot(c artifact.Counters) ArtifactSnapshot {
+	return ArtifactSnapshot{
+		MemoryHits:        c.MemoryHits,
+		DiskHits:          c.DiskHits,
+		Misses:            c.Misses,
+		Coalesced:         c.Coalesced,
+		CorruptRecomputed: c.CorruptRecomputed,
+		Persisted:         c.Persisted,
+		PersistErrors:     c.PersistErrors,
+		Evictions:         c.Evictions,
+	}
 }
 
 // HitRate returns the cache hit fraction over all lookups, 0 when no

@@ -59,6 +59,16 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("vmd_compiled_programs_total", "Programs lowered to AOT closure artifacts by the compiled engine.", s.CompiledPrograms)
 	counter("vmd_compiled_proved_total", "AOT artifacts carrying a proof-elided code variant.", s.CompiledProved)
 
+	p("# HELP vmd_artifact_total Artifact-store events by pipeline stage and outcome.\n# TYPE vmd_artifact_total counter\n")
+	p("vmd_artifact_total{stage=\"unit\",outcome=\"memory_hit\"} %d\n", s.Artifact.MemoryHits)
+	p("vmd_artifact_total{stage=\"unit\",outcome=\"disk_hit\"} %d\n", s.Artifact.DiskHits)
+	p("vmd_artifact_total{stage=\"unit\",outcome=\"miss\"} %d\n", s.Artifact.Misses)
+	p("vmd_artifact_total{stage=\"unit\",outcome=\"coalesced\"} %d\n", s.Artifact.Coalesced)
+	p("vmd_artifact_total{stage=\"unit\",outcome=\"corrupt_recomputed\"} %d\n", s.Artifact.CorruptRecomputed)
+	p("vmd_artifact_total{stage=\"unit\",outcome=\"evicted\"} %d\n", s.Artifact.Evictions)
+	p("vmd_artifact_total{stage=\"persist\",outcome=\"ok\"} %d\n", s.Artifact.Persisted)
+	p("vmd_artifact_total{stage=\"persist\",outcome=\"error\"} %d\n", s.Artifact.PersistErrors)
+
 	p("# HELP vmd_results_total Finished requests by error class.\n# TYPE vmd_results_total counter\n")
 	for _, c := range classes {
 		p("vmd_results_total{class=%q} %d\n", c, s.Errors[c])

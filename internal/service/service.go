@@ -107,6 +107,17 @@ type Config struct {
 	// Policies configures the caching engines. Zero means
 	// engine.DefaultPolicies.
 	Policies engine.Policies
+
+	// CacheDir, when non-empty, enables the artifact store's on-disk
+	// tier: every compiled program's unit (quickened bytecode +
+	// analysis facts, checksummed) is persisted there, and a restarted
+	// service warm-starts from it without recompiling, re-verifying or
+	// re-analyzing previously-seen programs. Entries are keyed by
+	// (source hash, policy fingerprint), so a directory can be shared
+	// across services only when their compile options and quicken
+	// setting agree; corrupt files are deleted and recomputed, never
+	// trusted.
+	CacheDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -351,6 +362,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.cache = NewProgramCache(cfg.CacheSize, cfg.CompileOptions, &s.metrics)
 	s.cache.quicken = cfg.Quicken
+	s.cache.cacheDir = cfg.CacheDir
 	s.machines.New = func() any { return new(interp.Machine) }
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -382,6 +394,7 @@ func (s *Service) Stats() Snapshot {
 	snap := s.metrics.snapshot()
 	snap.CacheSize = s.cache.Len()
 	snap.CompiledPrograms, snap.CompiledProved = compiled.Counters()
+	snap.Artifact = artifactSnapshot(s.cache.artifacts().Counters())
 	return snap
 }
 
@@ -480,7 +493,7 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 	// here for the same reason; the engine caches the result, so this
 	// is once per program, not per request.
 	if p, ok := eng.(engine.Preparer); ok {
-		if err := p.Prepare(entry.Prog); err != nil {
+		if err := p.Prepare(entry.Unit); err != nil {
 			return s.fail(ClassCompile, err)
 		}
 	}

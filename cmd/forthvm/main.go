@@ -32,12 +32,23 @@
 // The two passes share the vm.Fusions table: a pair the peephole
 // consumed is gone before quickening, and nothing fuses twice.
 //
-// With -cachedir the compiled artifact (quickened bytecode plus its
-// analysis facts, checksummed) is persisted to the named directory and
-// reused on later runs, skipping the compile/verify/quicken/analyze
-// pipeline entirely. The on-disk format and keying match vmd's
-// -cachedir, so the CLIs can share a directory when their compile
-// options and -quicken settings agree.
+// -optimize runs the cache-time proof-carrying optimizer: verified,
+// depth-proved programs are rewritten (constant folding, branch
+// folding, inlining, peepholes, dead-code elimination) and the rewrite
+// is used only when the independent translation validator
+// (vm.CheckTranslation) proves it observably equivalent to the
+// compiled source program — same output, stack, memory and error
+// class, in no more steps. Unprovable programs (recursion) and refused
+// rewrites run unoptimized. With -disasm, -optimize annotates each
+// source pc with its fate (kept/rewritten/folded/dead).
+//
+// With -cachedir the compiled artifact (optimized and/or quickened
+// bytecode plus its analysis facts, checksummed) is persisted to the
+// named directory and reused on later runs, skipping the
+// compile/verify/optimize/quicken/analyze pipeline entirely. The
+// on-disk format and keying match vmd's -cachedir, so the CLIs can
+// share a directory when their compile options and -quicken and
+// -optimize settings agree.
 package main
 
 import (
@@ -71,6 +82,7 @@ func main() {
 		argList   = flag.String("args", "", "comma-separated initial data stack, bottom first")
 		super     = flag.Bool("super", false, "compile with front-end superinstruction fusion (lit-add)")
 		quicken   = flag.Bool("quicken", false, "quicken the verified program to profile-mined superinstructions")
+		optimize  = flag.Bool("optimize", false, "optimize the verified program, keeping only validator-certified rewrites")
 		cacheDir  = flag.String("cachedir", "", "read/write compiled artifacts in this directory (shareable with vmd)")
 	)
 	flag.Parse()
@@ -84,15 +96,18 @@ func main() {
 		fail(err)
 	}
 	// Compile through the shared artifact pipeline: verify gate,
-	// optional quickening (re-verified), analysis facts — and, with
-	// -cachedir, the on-disk tier. The fingerprint matches the one
-	// vmd's service uses, so the two CLIs can share a cache directory
-	// when their compile options and -quicken settings agree.
+	// optional validated optimization, optional quickening
+	// (re-verified), analysis facts — and, with -cachedir, the on-disk
+	// tier. The fingerprint matches the one vmd's service uses, so the
+	// two CLIs can share a cache directory when their compile options
+	// and -quicken and -optimize settings agree.
 	opts := forth.Options{Superinstructions: *super}
 	store := artifact.NewStore(artifact.Config{
-		Dir:         *cacheDir,
-		Quicken:     *quicken,
-		Fingerprint: "quicken=" + strconv.FormatBool(*quicken),
+		Dir:      *cacheDir,
+		Quicken:  *quicken,
+		Optimize: *optimize,
+		Fingerprint: "quicken=" + strconv.FormatBool(*quicken) +
+			",optimize=" + strconv.FormatBool(*optimize),
 	})
 	unit, outcome, err := store.GetOrBuild(
 		"src:"+artifact.SourceHash(opts.CacheKey(), src),
@@ -110,6 +125,17 @@ func main() {
 			}
 			fmt.Print(statcache.Disassemble(plan))
 			return
+		}
+		if *optimize && unit.Optimized {
+			// The unit holds only the optimized program; recompile the
+			// source and redo the (deterministic) rewrite to recover the
+			// per-pc fate annotations for the listing.
+			if src2, err := forth.CompileWithOptions(src, opts); err == nil {
+				if r := vm.Optimize(src2); r.Changed {
+					fmt.Print(vm.DisassembleOpt(r))
+					return
+				}
+			}
 		}
 		fmt.Print(vm.Disassemble(prog))
 		return
@@ -161,6 +187,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "\n%s: %d instructions (%s)\n", name, m.Steps, eng.Name())
 		}
 		fmt.Fprintf(os.Stderr, "  artifact: %s", outcome)
+		if unit.Optimized {
+			total := 0
+			for _, n := range unit.OptimizedOps {
+				total += n
+			}
+			fmt.Fprintf(os.Stderr, ", optimized (%d ops", total)
+			for pass, n := range unit.OptimizedOps {
+				if n > 0 {
+					fmt.Fprintf(os.Stderr, " %s=%d", vm.OptPass(pass), n)
+				}
+			}
+			fmt.Fprint(os.Stderr, ")")
+		}
 		if unit.Quickened {
 			fmt.Fprintf(os.Stderr, ", quickened (%d sites)", unit.QuickenedOps)
 		}

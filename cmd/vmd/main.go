@@ -27,7 +27,12 @@
 // batch). Batch size is capped by -maxbatch. With -quicken (the
 // default) programs are rewritten to profile-mined superinstructions
 // when they enter the cache ("quickened": true in responses) — see the
-// -h text for how -super and -quicken compose. Errors come back as JSON
+// -h text for how -super and -quicken compose. With -optimize (also
+// the default) programs are additionally run through the static
+// optimizer at cache time, and the rewrite is served only after the
+// translation validator proves it observably equivalent ("optimized":
+// true; "steps_accounting" says which instruction stream "steps"
+// counted). Errors come back as JSON
 // with a stable "class" drawn from the service's error vocabulary,
 // mapped onto HTTP status codes (400 bad_request/compile, 422
 // runtime/limit, 429 queue_full, 503 shutdown, 504 canceled).
@@ -73,16 +78,27 @@ type runInput struct {
 }
 
 type runResponse struct {
-	Key        string        `json:"key"`
-	Engine     string        `json:"engine"`
-	Output     string        `json:"output"`
-	Stack      []vm.Cell     `json:"stack"`
-	StackDepth int           `json:"stack_depth"`
-	Steps      int64         `json:"steps"`
-	CacheHit   bool          `json:"cache_hit"`
-	Analysis   string        `json:"analysis"`          // "proved" or "unproven"
-	Quickened  bool          `json:"quickened"`         // program was rewritten to superinstruction form at cache time
-	Results    []inputResult `json:"results,omitempty"` // batch requests only, in input order
+	Key        string    `json:"key"`
+	Engine     string    `json:"engine"`
+	Output     string    `json:"output"`
+	Stack      []vm.Cell `json:"stack"`
+	StackDepth int       `json:"stack_depth"`
+	Steps      int64     `json:"steps"`
+	CacheHit   bool      `json:"cache_hit"`
+	Analysis   string    `json:"analysis"`  // "proved" or "unproven"
+	Quickened  bool      `json:"quickened"` // program was rewritten to superinstruction form at cache time
+
+	// Optimized reports the program is the validator-certified
+	// optimizer rewrite; steps_accounting says which instruction stream
+	// "steps" counted ("source" or "optimized"), and source_steps
+	// carries the source-stream count when known (== steps for
+	// unoptimized runs; omitted for optimized ones, where only
+	// steps <= source holds).
+	Optimized       bool   `json:"optimized"`
+	StepsAccounting string `json:"steps_accounting"`
+	SourceSteps     int64  `json:"source_steps,omitempty"`
+
+	Results []inputResult `json:"results,omitempty"` // batch requests only, in input order
 }
 
 // inputResult is one input's outcome within a batch response. Inputs
@@ -114,6 +130,8 @@ type errorResponse struct {
 // context was canceled or expired before a verdict.
 func statusFor(class service.ErrorClass) int {
 	switch class {
+	case service.ClassOK:
+		return http.StatusOK
 	case service.ClassBadRequest, service.ClassCompile:
 		return http.StatusBadRequest
 	case service.ClassRuntime, service.ClassLimit:
@@ -191,6 +209,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		CacheHit:   resp.CacheHit,
 		Analysis:   resp.Analysis,
 		Quickened:  resp.Quickened,
+
+		Optimized:       resp.Optimized,
+		StepsAccounting: resp.StepsAccounting,
+		SourceSteps:     resp.SourceSteps,
 	}
 	// A batch that was executed is 200 whatever its inputs did:
 	// per-input failures are results, reported input by input.
@@ -278,6 +300,7 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 64, "largest number of inputs a batch /run may carry")
 		superins = flag.Bool("super", false, "compile with superinstruction fusion")
 		quicken  = flag.Bool("quicken", true, "quicken cached programs to profile-mined superinstructions")
+		optimize = flag.Bool("optimize", true, "optimize cached programs, serving only validator-certified rewrites")
 		cacheDir = flag.String("cachedir", "", "persist compiled artifacts to this directory (warm restarts)")
 	)
 	flag.Usage = func() {
@@ -298,6 +321,19 @@ stack, step counts, error classes) identical to plain execution:
             consumed is gone before quickening and nothing fuses twice.
             Responses report "quickened": true; /metrics exposes
             vmd_quickened_programs_total and vmd_quickened_ops_total.
+  -optimize cache-time proof-carrying optimization: verified,
+            depth-proved programs are rewritten (constant folding,
+            branch folding, inlining, peepholes, dead-code
+            elimination) and the rewrite is served ONLY when the
+            independent translation validator (vm.CheckTranslation)
+            proves it observably equivalent — same output, final
+            stack, memory writes and error class at every budget, in
+            no more steps. Refused or unprovable programs are served
+            unoptimized. Responses report "optimized" plus
+            "steps_accounting"/"source_steps" (the step-accounting
+            contract); /metrics exposes vmd_optimized_programs_total,
+            vmd_optimized_ops_total{pass=...} and
+            vmd_artifact_total{stage="optimize",outcome="refused"}.
 
 Persistence:
 
@@ -306,7 +342,8 @@ Persistence:
             reads it back on later runs: a restarted vmd serves a
             previously-seen program without re-compiling, re-verifying
             or re-analyzing it. Entries are keyed by source hash and a
-            policy fingerprint (compile options + -quicken), so a
+            policy fingerprint (compile options + -quicken +
+            -optimize), so a
             directory is shared safely between processes only when
             those agree; corrupt or mismatched entries are recomputed,
             never trusted. /metrics reports the tiers under
@@ -327,6 +364,7 @@ Persistence:
 		MaxBatchInputs:  *maxBatch,
 		CompileOptions:  forth.Options{Superinstructions: *superins},
 		Quicken:         *quicken,
+		Optimize:        *optimize,
 		CacheDir:        *cacheDir,
 	})
 	if err != nil {

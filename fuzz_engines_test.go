@@ -232,6 +232,58 @@ func FuzzEngines(f *testing.F) {
 			}
 		}
 
+		// Optimizer differential: when the optimizer rewrites the
+		// decoded program, the rewrite must first survive its own
+		// translation validator (a Changed result the validator refuses
+		// is an optimizer bug — the artifact pipeline would fall back,
+		// but the fuzzer treats it as a failure), and every engine's run
+		// of the OPTIMIZED program must reproduce the baseline's run of
+		// the original on the same fuzzed initial stack: snapshot on
+		// success, error class on failure, never more steps.
+		// When the baseline hit the fuzz step budget the optimized
+		// program may legitimately finish inside it (it needs fewer
+		// steps) and then reach states the truncated baseline never saw,
+		// so the differential only applies to budget-free baselines —
+		// exactly the service's budget-sweep contract.
+		if verified && baseMsg != "step limit exceeded" {
+			if r := vm.Optimize(p); r.Changed {
+				if err := vm.CheckTranslation(p, r.Prog); err != nil {
+					t.Fatalf("optimizer emitted a rewrite its validator refuses: %v\noriginal:\n%s\noptimized:\n%s",
+						err, vm.Disassemble(p), vm.Disassemble(r.Prog))
+				}
+				for _, e := range allEngines {
+					snap, err := e.runSpec(r.Prog, spec)
+					if e.needsVerify {
+						if baseErr == nil && err == nil && !baseSnap.Equal(snap) {
+							t.Errorf("engine %s: optimized snapshot diverges from unoptimized switch\nprogram:\n%s",
+								e.name, vm.Disassemble(r.Prog))
+						}
+						continue
+					}
+					if (baseErr == nil) != (err == nil) {
+						t.Errorf("engine %s: optimized err %v, unoptimized switch err %v\nprogram:\n%s",
+							e.name, err, baseErr, vm.Disassemble(r.Prog))
+						continue
+					}
+					if err != nil {
+						if re, ok := err.(*interp.RuntimeError); ok && re.Msg != baseMsg {
+							t.Errorf("engine %s: optimized error class %q, unoptimized switch %q\nprogram:\n%s",
+								e.name, re.Msg, baseMsg, vm.Disassemble(r.Prog))
+						}
+						continue
+					}
+					if !baseSnap.Equal(snap) {
+						t.Errorf("engine %s: optimized run diverges from unoptimized switch\nprogram:\n%s",
+							e.name, vm.Disassemble(r.Prog))
+					}
+					if snap.Steps > baseSnap.Steps {
+						t.Errorf("engine %s: optimized run took %d steps, source %d — validator promises no more\nprogram:\n%s",
+							e.name, snap.Steps, baseSnap.Steps, vm.Disassemble(r.Prog))
+					}
+				}
+			}
+		}
+
 		// Elision differential: every engine differenced against
 		// itself with the elision kill switch thrown. The runs above
 		// attach analysis facts (proved programs take each engine's

@@ -45,6 +45,13 @@ type Unit struct {
 	Quickened    bool
 	QuickenedOps int
 
+	// Optimized records that Prog derives from the proof-carrying
+	// optimizer's rewrite of the produced program — adopted only after
+	// vm.CheckTranslation independently certified it. OptimizedOps
+	// counts the rewritten or deleted instruction slots per pass.
+	Optimized    bool
+	OptimizedOps [vm.NumOptPasses]int
+
 	factsOnce sync.Once
 	facts     *vm.Facts
 

@@ -12,14 +12,16 @@ import (
 	"stackcache/internal/vm"
 )
 
-// On-disk unit format ("STKART01"):
+// On-disk unit format ("STKART02"):
 //
-//	magic    8  "STKART01"
+//	magic    8  "STKART02"
 //	checksum 32 SHA-256 over the payload that follows
 //	payload:
 //	  fingerprint  u16 len + bytes   (must match the opening store's)
 //	  quickened    u8
 //	  quickenedOps u32
+//	  optimized    u8
+//	  optimizedOps u32 count (always vm.NumOptPasses), then u32 per pass
 //	  program      u32 len + vm.Encode image (STKCACH1, self-validating)
 //	  facts:
 //	    proved     u8
@@ -30,10 +32,12 @@ import (
 // The checksum is the integrity gate: any mismatch (truncation, bit
 // rot, partial write) makes the entry corrupt, and corrupt entries are
 // deleted and recomputed from source — never trusted. Little-endian
-// throughout, mirroring the vm image format.
+// throughout, mirroring the vm image format. STKART01 files (the
+// pre-optimizer format) fail the magic check and recompute; a format
+// bump is the honest way to change the payload shape.
 
 const (
-	unitMagic = "STKART01"
+	unitMagic = "STKART02"
 	// maxUnitSection bounds any length field read from disk before
 	// allocation, same cap as the vm image decoder.
 	maxUnitSection = 1 << 28
@@ -120,6 +124,11 @@ func encodeUnit(u *Unit, fingerprint string) ([]byte, error) {
 	b = appendStr16(b, fingerprint)
 	b = appendBool(b, u.Quickened)
 	b = appendU32(b, uint32(u.QuickenedOps))
+	b = appendBool(b, u.Optimized)
+	b = appendU32(b, uint32(len(u.OptimizedOps)))
+	for _, n := range u.OptimizedOps {
+		b = appendU32(b, uint32(n))
+	}
 	b = appendU32(b, uint32(len(img)))
 	b = append(b, img...)
 	b = appendBool(b, f.Proved)
@@ -158,6 +167,17 @@ func decodeUnit(raw []byte, key, fingerprint string) (*Unit, error) {
 	fp := r.str16()
 	quickened := r.bool()
 	quickenedOps := r.u32()
+	optimized := r.bool()
+	nPasses := int(r.u32())
+	if r.err == nil && nPasses != int(vm.NumOptPasses) {
+		// A pass-set change invalidates the per-pass counters; treat
+		// the entry as corrupt and recompute.
+		return nil, errCorruptUnit
+	}
+	var optimizedOps [vm.NumOptPasses]int
+	for i := 0; i < nPasses && r.err == nil; i++ {
+		optimizedOps[i] = int(r.u32())
+	}
 	img := r.bytes(int(r.u32()))
 	if r.err != nil {
 		return nil, r.err
@@ -213,6 +233,8 @@ func decodeUnit(raw []byte, key, fingerprint string) (*Unit, error) {
 	u := newUnit(key, prog)
 	u.Quickened = quickened
 	u.QuickenedOps = int(quickenedOps)
+	u.Optimized = optimized
+	u.OptimizedOps = optimizedOps
 	u.facts = f
 	return u, nil
 }

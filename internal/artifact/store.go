@@ -46,6 +46,13 @@ type Config struct {
 	// Quicken rewrites verified programs to superinstructions before
 	// analysis, exactly like the service's cache-time quickening.
 	Quicken bool
+	// Optimize runs the static optimizer over verified programs and
+	// adopts the rewrite only when the translation validator
+	// (vm.CheckTranslation) proves it observably equivalent; a refusal
+	// is counted and the unoptimized program is served. Optimization
+	// happens before quickening, so superinstruction fusion sees the
+	// optimized instruction stream.
+	Optimize bool
 	// Fingerprint is the policy fingerprint folded into every key.
 	// Two stores with different fingerprints never share entries, in
 	// memory or on disk — a -quicken=false restart must not serve
@@ -72,7 +79,13 @@ type Store struct {
 	persisted   atomic.Int64
 	persistErrs atomic.Int64
 	evictions   atomic.Int64
+	optRefused  atomic.Int64
 }
+
+// optimizeFn is vm.Optimize, indirected so tests can stand in a
+// deliberately wrong optimizer and watch the validator gate refuse
+// its output. Production code never reassigns it.
+var optimizeFn = vm.Optimize
 
 type inflightUnit struct {
 	done    chan struct{}
@@ -91,6 +104,11 @@ type Counters struct {
 	Persisted         int64
 	PersistErrors     int64
 	Evictions         int64
+
+	// OptimizeRefused counts builds where the optimizer proposed a
+	// rewrite the translation validator would not certify; the store
+	// served the unoptimized program instead.
+	OptimizeRefused int64
 }
 
 // NewStore returns an empty store. When cfg.Dir is set the directory
@@ -121,6 +139,7 @@ func (s *Store) Counters() Counters {
 		Persisted:         s.persisted.Load(),
 		PersistErrors:     s.persistErrs.Load(),
 		Evictions:         s.evictions.Load(),
+		OptimizeRefused:   s.optRefused.Load(),
 	}
 }
 
@@ -133,7 +152,8 @@ func (s *Store) Len() int {
 
 // GetOrBuild returns the unit for hash, staging through the tiers:
 // memory LRU, in-flight build join, disk (when configured), and
-// finally produce → verify → quicken → analyze → persist. The full
+// finally produce → verify → optimize+validate → quicken → analyze →
+// persist. The full
 // store key is (hash, Fingerprint). Failed builds are never cached;
 // concurrent callers for one key share a single build and its error.
 func (s *Store) GetOrBuild(hash string, produce func() (*vm.Program, error)) (*Unit, Outcome, error) {
@@ -217,6 +237,24 @@ func (s *Store) build(key string, produce func() (*vm.Program, error)) (*Unit, O
 		return nil, Miss, err
 	}
 	u := newUnit(key, p)
+	if s.cfg.Optimize {
+		// The optimizer is untrusted: its rewrite is adopted only when
+		// the independent translation validator proves it observably
+		// equivalent to what the front end produced. A refusal is not
+		// an error — the unoptimized program is correct and is served.
+		if r := optimizeFn(p); r.Changed {
+			if err := vm.CheckTranslation(p, r.Prog); err != nil {
+				s.optRefused.Add(1)
+			} else {
+				p = r.Prog
+				u.Prog = p
+				u.Optimized = true
+				for pass, n := range r.Ops {
+					u.OptimizedOps[pass] = n
+				}
+			}
+		}
+	}
 	if s.cfg.Quicken {
 		if q, n := vm.Quicken(p); n > 0 {
 			// The quickened program goes back through the same verifier

@@ -252,24 +252,14 @@ func (m *Machine) checkOut(op vm.Opcode) error {
 }
 
 // FloorDiv is Forth's floored division; the quotient rounds toward
-// negative infinity.
-func FloorDiv(a, b vm.Cell) vm.Cell {
-	q := a / b
-	if (a%b != 0) && ((a < 0) != (b < 0)) {
-		q--
-	}
-	return q
-}
+// negative infinity. The definition lives in vm.FloorDiv so the static
+// optimizer and translation validator fold constants with exactly the
+// arithmetic the dispatch loops use.
+func FloorDiv(a, b vm.Cell) vm.Cell { return vm.FloorDiv(a, b) }
 
 // FloorMod is the remainder matching FloorDiv; it has the sign of the
 // divisor.
-func FloorMod(a, b vm.Cell) vm.Cell {
-	r := a % b
-	if r != 0 && ((a < 0) != (b < 0)) {
-		r += b
-	}
-	return r
-}
+func FloorMod(a, b vm.Cell) vm.Cell { return vm.FloorMod(a, b) }
 
 func (m *Machine) maxSteps() int64 {
 	if m.MaxSteps > 0 {

@@ -975,16 +975,13 @@ func RunSwitch(m *Machine) error {
 }
 
 // Flag converts a Go bool to a Forth flag: -1 for true, 0 for false.
-func Flag(b bool) vm.Cell {
-	if b {
-		return -1
-	}
-	return 0
-}
+// Like FloorDiv, the definition lives in the vm package so constant
+// folding and translation validation share it.
+func Flag(b bool) vm.Cell { return vm.Flag(b) }
 
 // ShiftLeft implements OpLshift: the shift count is masked to the cell
 // width, as on most hardware.
-func ShiftLeft(a, u vm.Cell) vm.Cell { return a << (uint64(u) & 63) }
+func ShiftLeft(a, u vm.Cell) vm.Cell { return vm.ShiftLeft(a, u) }
 
 // ShiftRight implements OpRshift (logical shift).
-func ShiftRight(a, u vm.Cell) vm.Cell { return vm.Cell(uint64(a) >> (uint64(u) & 63)) }
+func ShiftRight(a, u vm.Cell) vm.Cell { return vm.ShiftRight(a, u) }

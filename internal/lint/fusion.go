@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// This file is the fusion-table rule: in any directory declaring both
+// a []Fusion literal and a keyed per-opcode Effect table, the two must
+// agree. The runtime half of this invariant lives in vm's
+// superExpansion init (which panics on violation) and in SuperDepths
+// (which sums constituents' effects); the linter surfaces the same
+// drift as a diagnostic with a position instead of an init-time crash,
+// and catches it in trees that are never imported (generated code,
+// future VMs).
+
+// effectLit is one opcode's parsed entry in an effects table; only the
+// fields the fusion invariants read are kept.
+type effectLit struct {
+	pos                token.Pos
+	in, out, rin, rout int
+	mapLen             int
+	hasMap             bool
+	control, memStack  bool
+	arg                string
+}
+
+// fusionLit is one parsed element of a []Fusion literal.
+type fusionLit struct {
+	pos    token.Pos
+	super  string
+	seq    []string
+	shrink bool
+}
+
+// checkFusions runs the fusion-table rule over every directory.
+func checkFusions(fset *token.FileSet, dirs map[string][]*ast.File) []Issue {
+	var issues []Issue
+	report := func(pos token.Pos, format string, args ...any) {
+		issues = append(issues, Issue{Pos: fset.Position(pos), Msg: fmt.Sprintf(format, args...)})
+	}
+	for _, files := range dirs {
+		effects := map[string]effectLit{}
+		var fusions []fusionLit
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				switch t := lit.Type.(type) {
+				case *ast.ArrayType:
+					if t.Len != nil && isEnumLen(t.Len) && typeNameIs(t.Elt, "Effect") {
+						parseEffectTable(lit, effects)
+					}
+					if t.Len == nil && typeNameIs(t.Elt, "Fusion") {
+						fusions = append(fusions, parseFusionTable(lit)...)
+					}
+				}
+				return true
+			})
+		}
+		if len(fusions) == 0 || len(effects) == 0 {
+			continue
+		}
+		for _, fu := range fusions {
+			if fu.super == "" || len(fu.seq) == 0 {
+				report(fu.pos, "fusion entry without Super or Seq")
+				continue
+			}
+			ok := true
+			for _, c := range fu.seq {
+				eff, found := effects[c]
+				if !found {
+					report(fu.pos, "fusion %s: constituent %s has no effects entry", fu.super, c)
+					ok = false
+					continue
+				}
+				if eff.control || eff.memStack {
+					report(fu.pos, "fusion %s: constituent %s is a control or depth-materializing instruction", fu.super, c)
+					ok = false
+				}
+			}
+			if fu.shrink || !ok {
+				// Shrink rules are standalone front-end instructions with
+				// their own semantics; only quickening supers must mirror
+				// their first constituent.
+				continue
+			}
+			se, found := effects[fu.super]
+			if !found {
+				report(fu.pos, "fusion %s: super has no effects entry", fu.super)
+				continue
+			}
+			fe := effects[fu.seq[0]]
+			if se.in != fe.in || se.out != fe.out || se.rin != fe.rin || se.rout != fe.rout ||
+				se.control != fe.control || se.memStack != fe.memStack ||
+				se.arg != fe.arg || se.hasMap != fe.hasMap || se.mapLen != fe.mapLen {
+				report(se.pos,
+					"fusion %s: effects entry differs from first constituent %s (the quickening contract: a super observably IS its first constituent)",
+					fu.super, fu.seq[0])
+			}
+		}
+	}
+	return issues
+}
+
+// typeNameIs reports whether a type expression names the given
+// identifier (optionally package-qualified).
+func typeNameIs(e ast.Expr, want string) bool {
+	n, ok := nameOf(e)
+	return ok && n == want
+}
+
+// parseEffectTable extracts the keyed entries of a [NumOpcodes]Effect
+// literal into out.
+func parseEffectTable(lit *ast.CompositeLit, out map[string]effectLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := nameOf(kv.Key)
+		if !ok {
+			continue
+		}
+		val, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		e := effectLit{pos: kv.Pos()}
+		for _, fe := range val.Elts {
+			fkv, ok := fe.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			fname, ok := nameOf(fkv.Key)
+			if !ok {
+				continue
+			}
+			switch fname {
+			case "In":
+				e.in = intLit(fkv.Value)
+			case "Out":
+				e.out = intLit(fkv.Value)
+			case "RIn":
+				e.rin = intLit(fkv.Value)
+			case "ROut":
+				e.rout = intLit(fkv.Value)
+			case "Map":
+				if ml, ok := fkv.Value.(*ast.CompositeLit); ok {
+					e.hasMap = true
+					e.mapLen = len(ml.Elts)
+				}
+			case "Control":
+				e.control = boolLit(fkv.Value)
+			case "MemStack":
+				e.memStack = boolLit(fkv.Value)
+			case "Arg":
+				e.arg, _ = nameOf(fkv.Value)
+			}
+		}
+		out[key] = e
+	}
+}
+
+// parseFusionTable extracts the elements of a []Fusion literal.
+func parseFusionTable(lit *ast.CompositeLit) []fusionLit {
+	var out []fusionLit
+	for _, elt := range lit.Elts {
+		el, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		fu := fusionLit{pos: el.Pos()}
+		for _, fe := range el.Elts {
+			fkv, ok := fe.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			fname, ok := nameOf(fkv.Key)
+			if !ok {
+				continue
+			}
+			switch fname {
+			case "Super":
+				fu.super, _ = nameOf(fkv.Value)
+			case "Seq":
+				if sl, ok := fkv.Value.(*ast.CompositeLit); ok {
+					for _, se := range sl.Elts {
+						if n, ok := nameOf(se); ok {
+							fu.seq = append(fu.seq, n)
+						}
+					}
+				}
+			case "Shrink":
+				fu.shrink = boolLit(fkv.Value)
+			}
+		}
+		out = append(out, fu)
+	}
+	return out
+}
+
+func intLit(e ast.Expr) int {
+	if bl, ok := e.(*ast.BasicLit); ok && bl.Kind == token.INT {
+		n, _ := strconv.Atoi(bl.Value)
+		return n
+	}
+	return 0
+}
+
+func boolLit(e ast.Expr) bool {
+	n, ok := nameOf(e)
+	return ok && n == "true"
+}

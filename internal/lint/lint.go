@@ -8,28 +8,39 @@
 // arm compiles fine and surfaces as an "invalid opcode" error at run
 // time (or a skewed cost model) instead of a build failure.
 //
-// The linter enforces two rules over the parsed (not type-checked)
+// The linter enforces three rules over the parsed (not type-checked)
 // tree:
 //
-//   - Coverage tables. A composite literal whose array length is
-//     NumOpcodes declares itself a full per-opcode table; keyed
-//     literals must name every opcode, unkeyed literals must have
-//     exactly one element per opcode. Map literals keyed by opcode
-//     constants are held to full coverage once they name more than
-//     half the set (partial opcode maps below that are legitimate —
+//   - Coverage tables. A composite literal whose array length is an
+//     enumeration's Num* terminator declares itself a full per-member
+//     table; keyed literals must name every member, unkeyed literals
+//     must have exactly one element per member. Map literals keyed by
+//     enumeration constants are held to full coverage once they name
+//     more than half the set (partial maps below that are legitimate —
 //     peephole patterns, specializations).
 //
 //   - Dispatch switches. A switch whose case arms name more than half
-//     of an opcode set is a dispatch switch and must name all of it.
-//     Small switches over a handful of opcodes (control-flow special
+//     of an enumeration is a dispatch switch and must name all of it.
+//     Small switches over a handful of members (control-flow special
 //     cases, last-instruction checks) stay untouched.
 //
-// Opcode sets are discovered, not hard-coded: any const block whose
+//   - Fusion tables. In a directory declaring both a []Fusion literal
+//     and a keyed per-opcode Effect table, every fusion constituent
+//     must have an effects entry, no constituent may be a control or
+//     depth-materializing instruction, and a non-Shrink super's own
+//     effects entry must equal its first constituent's — the exact
+//     invariants SuperDepths and the quickening contract compute from,
+//     surfaced at lint time instead of init-time panic.
+//
+// Enumerations are discovered, not hard-coded: any const block whose
 // first constant is typed and initialized with iota and which ends
-// with a NumOpcodes terminator defines one (the stack VM's Opcode and
-// the register VM's Opcode both match). The linter therefore keeps
-// working when opcodes are added — the new constant grows the set and
-// every table and dispatch switch must follow.
+// with a Num*-prefixed terminator defines one. The stack VM's and the
+// register VM's Opcode sets (NumOpcodes), the optimizer's pass and
+// pc-fate sets (NumOptPasses, NumPCFates) and the service's error
+// classes (NumErrorClasses) all match. The linter therefore keeps
+// working when members are added — the new constant grows the set and
+// every table and dispatch switch must follow; the service's
+// per-optimizer-pass metric label table is held complete the same way.
 package lint
 
 import (
@@ -56,17 +67,24 @@ type Enum struct {
 	Dir string
 	// Type is the constants' declared type name (e.g. "Opcode").
 	Type string
-	// Names lists the opcode constant names in declaration order,
-	// excluding the NumOpcodes terminator.
+	// Names lists the member constant names in declaration order,
+	// excluding the terminator.
 	Names []string
+	// Terminator is the Num*-prefixed final constant counting the
+	// enumeration (NumOpcodes, NumOptPasses, ...); it marks where the
+	// enumeration ends and is not itself a member. Array lengths bind
+	// to an enumeration through this name.
+	Terminator string
 
 	set map[string]bool
 }
 
-// terminator is the conventional final constant counting an opcode
-// enumeration; it marks where the enumeration ends and is not itself
-// an opcode.
-const terminator = "NumOpcodes"
+// isTerminator recognizes the conventional counting constant ending an
+// enumeration: "Num" followed by a capitalized name.
+func isTerminator(name string) bool {
+	return len(name) > 3 && strings.HasPrefix(name, "Num") &&
+		name[3] >= 'A' && name[3] <= 'Z'
+}
 
 // FindEnums discovers the opcode enumerations in the parsed packages,
 // keyed by directory.
@@ -92,9 +110,9 @@ func FindEnums(dirs map[string][]*ast.File) []Enum {
 
 // enumFromConst recognizes a const block of the shape
 //
-//	const ( OpFoo T = iota; OpBar; ...; NumOpcodes )
+//	const ( OpFoo T = iota; OpBar; ...; NumFoos )
 //
-// and extracts the opcode names before the terminator.
+// and extracts the member names before the terminator.
 func enumFromConst(dir string, gd *ast.GenDecl) (Enum, bool) {
 	if len(gd.Specs) < 2 {
 		return Enum{}, false
@@ -117,14 +135,15 @@ func enumFromConst(dir string, gd *ast.GenDecl) (Enum, bool) {
 			return Enum{}, false
 		}
 		for _, name := range vs.Names {
-			if name.Name == terminator {
+			if isTerminator(name.Name) {
+				e.Terminator = name.Name
 				return e, len(e.Names) > 0
 			}
 			e.Names = append(e.Names, name.Name)
 			e.set[name.Name] = true
 		}
 	}
-	// No terminator: an iota block, but not an opcode enumeration.
+	// No terminator: an iota block, but not an enumeration.
 	return Enum{}, false
 }
 
@@ -143,6 +162,7 @@ func Check(fset *token.FileSet, dirs map[string][]*ast.File) []Issue {
 			issues = append(issues, c.issues...)
 		}
 	}
+	issues = append(issues, checkFusions(fset, dirs)...)
 	sort.Slice(issues, func(i, j int) bool {
 		a, b := issues[i].Pos, issues[j].Pos
 		if a.Filename != b.Filename {
@@ -201,15 +221,20 @@ func qualifierOf(e ast.Expr) string {
 	return ""
 }
 
-// enumFor resolves which enumeration a NumOpcodes reference means:
-// unqualified references bind to the enumeration declared in the same
-// directory; qualified ones to the enumeration whose directory the
-// file imports under that name.
+// enumFor resolves which enumeration a Num* terminator reference
+// means: the terminator name must match, and unqualified references
+// bind to enumerations declared in the same directory while qualified
+// ones bind to the enumeration whose directory the file imports under
+// that name.
 func (c *checker) enumFor(lenExpr ast.Expr) *Enum {
+	name, ok := nameOf(lenExpr)
+	if !ok {
+		return nil
+	}
 	q := qualifierOf(lenExpr)
 	if q == "" {
 		for i := range c.enums {
-			if c.enums[i].Dir == c.dir {
+			if c.enums[i].Dir == c.dir && c.enums[i].Terminator == name {
 				return &c.enums[i]
 			}
 		}
@@ -220,14 +245,17 @@ func (c *checker) enumFor(lenExpr ast.Expr) *Enum {
 		if err != nil {
 			continue
 		}
-		name := path.Base(p0)
+		pkg := path.Base(p0)
 		if imp.Name != nil {
-			name = imp.Name.Name
+			pkg = imp.Name.Name
 		}
-		if name != q {
+		if pkg != q {
 			continue
 		}
 		for i := range c.enums {
+			if c.enums[i].Terminator != name {
+				continue
+			}
 			// Import paths are module-rooted, enum dirs filesystem
 			// paths; match on the trailing package path.
 			if strings.HasSuffix(filepathToSlash(c.enums[i].Dir), "/"+p0) ||
@@ -272,17 +300,18 @@ func missing(e *Enum, have map[string]bool) []string {
 	return out
 }
 
-// isNumOpcodesLen reports whether an array length expression is a
-// NumOpcodes reference.
-func isNumOpcodesLen(e ast.Expr) bool {
+// isEnumLen reports whether an array length expression names a Num*
+// terminator (binding to a discovered enumeration happens in enumFor,
+// so plain sizing constants like NumLatencyBuckets stay untouched).
+func isEnumLen(e ast.Expr) bool {
 	n, ok := nameOf(e)
-	return ok && n == terminator
+	return ok && isTerminator(n)
 }
 
 func (c *checker) compositeLit(lit *ast.CompositeLit) {
 	switch t := lit.Type.(type) {
 	case *ast.ArrayType:
-		if t.Len == nil || !isNumOpcodesLen(t.Len) {
+		if t.Len == nil || !isEnumLen(t.Len) {
 			return
 		}
 		c.opcodeArray(lit, t.Len)
@@ -293,7 +322,7 @@ func (c *checker) compositeLit(lit *ast.CompositeLit) {
 	}
 }
 
-// opcodeArray checks a [NumOpcodes]T literal: declared full coverage.
+// opcodeArray checks a [NumXxx]T literal: declared full coverage.
 func (c *checker) opcodeArray(lit *ast.CompositeLit, lenExpr ast.Expr) {
 	e := c.enumFor(lenExpr)
 	if e == nil {
@@ -312,15 +341,15 @@ func (c *checker) opcodeArray(lit *ast.CompositeLit, lenExpr ast.Expr) {
 	if !keyed {
 		if len(lit.Elts) != len(e.Names) {
 			c.report(lit.Pos(),
-				"[%s]T literal has %d elements, want one per opcode (%d)",
-				terminator, len(lit.Elts), len(e.Names))
+				"[%s]T literal has %d elements, want one per %s member (%d)",
+				e.Terminator, len(lit.Elts), e.Type, len(e.Names))
 		}
 		return
 	}
 	if miss := missing(e, keys); len(miss) > 0 {
 		c.report(lit.Pos(),
-			"[%s]T table missing opcode entries: %s",
-			terminator, strings.Join(miss, ", "))
+			"[%s]T table missing %s entries: %s",
+			e.Terminator, e.Type, strings.Join(miss, ", "))
 	}
 }
 
@@ -342,8 +371,8 @@ func (c *checker) opcodeMap(lit *ast.CompositeLit, keyType string) {
 	}
 	if miss := missing(e, keys); len(miss) > 0 {
 		c.report(lit.Pos(),
-			"map[%s]T table missing opcode entries: %s",
-			keyType, strings.Join(miss, ", "))
+			"map[%s]T table missing %s entries: %s",
+			keyType, e.Type, strings.Join(miss, ", "))
 	}
 }
 
@@ -369,7 +398,7 @@ func (c *checker) switchStmt(sw *ast.SwitchStmt) {
 	}
 	if miss := missing(e, cases); len(miss) > 0 {
 		c.report(sw.Pos(),
-			"dispatch switch missing opcode cases: %s",
-			strings.Join(miss, ", "))
+			"dispatch switch missing %s cases: %s",
+			e.Type, strings.Join(miss, ", "))
 	}
 }

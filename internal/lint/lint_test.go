@@ -135,7 +135,9 @@ var names = map[Opcode]string{OpA: "a", OpB: "b", OpC: "c"}
 
 // TestRepositoryClean is the CI gate from inside the test suite: the
 // real tree must have no coverage violations, and the linter must see
-// both opcode enumerations (the stack VM's and the register VM's).
+// every enumeration it guards — the two opcode sets (stack VM,
+// register VM), the optimizer's pass and pc-fate sets, and the
+// service's error classes.
 func TestRepositoryClean(t *testing.T) {
 	fset := token.NewFileSet()
 	dirs, err := LoadTree(fset, "../..")
@@ -143,8 +145,22 @@ func TestRepositoryClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	enums := FindEnums(dirs)
-	if len(enums) != 2 {
-		t.Fatalf("found %d opcode enums, want 2 (vm, regvm): %+v", len(enums), enums)
+	want := map[string]bool{
+		"NumOpcodes": false, "NumOptPasses": false,
+		"NumPCFates": false, "NumErrorClasses": false,
+	}
+	for _, e := range enums {
+		if _, ok := want[e.Terminator]; ok {
+			want[e.Terminator] = true
+		}
+	}
+	for term, seen := range want {
+		if !seen {
+			t.Errorf("no enumeration with terminator %s discovered", term)
+		}
+	}
+	if len(enums) != 5 {
+		t.Fatalf("found %d enums, want 5 (vm+regvm opcodes, opt passes, pc fates, error classes): %+v", len(enums), enums)
 	}
 	for _, issue := range Check(fset, dirs) {
 		t.Error(issue)

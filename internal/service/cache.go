@@ -43,6 +43,14 @@ type Entry struct {
 	// immutable and every entry passes the verifier after the rewrite.
 	Quickened    bool
 	QuickenedOps int
+
+	// Optimized reports that Prog derives from the static optimizer's
+	// rewrite, adopted only after vm.CheckTranslation independently
+	// proved it observably equivalent to the compiled source program.
+	// OptimizedOps counts rewritten or deleted instruction slots per
+	// optimizer pass.
+	Optimized    bool
+	OptimizedOps [vm.NumOptPasses]int
 }
 
 // CacheKey computes the content address the program cache uses for a
@@ -79,6 +87,10 @@ type ProgramCache struct {
 	// quicken enables the cache-time superinstruction rewrite
 	// (Config.Quicken); set before first use, constant afterwards.
 	quicken bool
+
+	// optimize enables the cache-time proof-carrying optimizer
+	// (Config.Optimize); set before first use, constant afterwards.
+	optimize bool
 
 	// cacheDir, when non-empty, enables the artifact store's disk
 	// tier (Config.CacheDir); set before first use, constant
@@ -128,10 +140,13 @@ func (c *ProgramCache) artifacts() *artifact.Store {
 			MaxUnits: c.max,
 			Dir:      c.cacheDir,
 			Quicken:  c.quicken,
+			Optimize: c.optimize,
 			// The fingerprint completes the key: compile options are in
-			// the source hash already, quickening is not — and a
-			// -quicken=false restart must not be served quickened units.
-			Fingerprint: "quicken=" + strconv.FormatBool(c.quicken),
+			// the source hash already, quickening and optimization are
+			// not — and a -quicken=false or -optimize=false restart must
+			// not be served rewritten units.
+			Fingerprint: "quicken=" + strconv.FormatBool(c.quicken) +
+				",optimize=" + strconv.FormatBool(c.optimize),
 		})
 	})
 	return c.store
@@ -218,9 +233,17 @@ func (c *ProgramCache) compile(key, src string) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if outcome == artifact.Miss && u.Quickened && c.metrics != nil {
-		c.metrics.quickenedPrograms.Add(1)
-		c.metrics.quickenedOps.Add(int64(u.QuickenedOps))
+	if outcome == artifact.Miss && c.metrics != nil {
+		if u.Quickened {
+			c.metrics.quickenedPrograms.Add(1)
+			c.metrics.quickenedOps.Add(int64(u.QuickenedOps))
+		}
+		if u.Optimized {
+			c.metrics.optimizedPrograms.Add(1)
+			for pass, n := range u.OptimizedOps {
+				c.metrics.optimizedOps[pass].Add(int64(n))
+			}
+		}
 	}
 	return &Entry{
 		Key:          key,
@@ -229,6 +252,8 @@ func (c *ProgramCache) compile(key, src string) (*Entry, error) {
 		Facts:        u.Facts(),
 		Quickened:    u.Quickened,
 		QuickenedOps: u.QuickenedOps,
+		Optimized:    u.Optimized,
+		OptimizedOps: u.OptimizedOps,
 	}, nil
 }
 

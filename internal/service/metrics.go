@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"stackcache/internal/artifact"
+	"stackcache/internal/vm"
 )
 
 // ErrorClass partitions everything that can go wrong with a request
@@ -122,6 +123,9 @@ type Metrics struct {
 	quickenedPrograms atomic.Int64 // cached programs rewritten to superinstruction form
 	quickenedOps      atomic.Int64 // superinstruction sites planted across those programs
 
+	optimizedPrograms atomic.Int64                  // cached programs serving a validated optimizer rewrite
+	optimizedOps      [vm.NumOptPasses]atomic.Int64 // rewritten/deleted instruction slots, per optimizer pass
+
 	batchInputs       atomic.Int64                  // inputs executed via batch requests
 	batchSizes        [NumBatchBuckets]atomic.Int64 // batch executions by input count
 	batchInputResults [NumErrorClasses]atomic.Int64 // per-input outcomes within batches
@@ -129,6 +133,20 @@ type Metrics struct {
 	errors [NumErrorClasses]atomic.Int64
 
 	engines sync.Map // engine name -> *engineMetrics
+}
+
+// optPassLabels mirrors the optimizer's pass set (vm.OptPass) into the
+// service's label space: the vmd_optimized_ops_total{pass=...} series
+// and the snapshot's optimized_ops keys. It is a keyed
+// [vm.NumOptPasses]string literal on purpose — the repository linter
+// holds such tables to full coverage, so a new optimizer pass cannot
+// ship without a metric label.
+var optPassLabels = [vm.NumOptPasses]string{
+	vm.PassInline:     "inline",
+	vm.PassConstFold:  "constfold",
+	vm.PassBranchFold: "branchfold",
+	vm.PassPeephole:   "peephole",
+	vm.PassDCE:        "dce",
 }
 
 // observeAnalysis records one execution by the abstract interpreter's
@@ -227,6 +245,15 @@ type Snapshot struct {
 	QuickenedPrograms int64 `json:"quickened_programs"`
 	QuickenedOps      int64 `json:"quickened_ops"`
 
+	// OptimizedPrograms counts cached programs serving the static
+	// optimizer's rewrite (adopted only after the translation validator
+	// certified it); OptimizedOps breaks the rewritten or deleted
+	// instruction slots down by optimizer pass label. Every pass label
+	// is always present, zero or not, so the metric's label set is the
+	// pass set. Both stay 0 when optimization is disabled.
+	OptimizedPrograms int64            `json:"optimized_programs"`
+	OptimizedOps      map[string]int64 `json:"optimized_ops"`
+
 	// CompiledPrograms and CompiledProved are the AOT closure
 	// compiler's process-wide artifact counters: programs lowered to
 	// closure artifacts, and the subset whose vm.Analyze proof earned a
@@ -273,6 +300,11 @@ type ArtifactSnapshot struct {
 	Persisted         int64 `json:"persisted"`
 	PersistErrors     int64 `json:"persist_errors"`
 	Evictions         int64 `json:"evictions"`
+
+	// OptimizeRefused counts builds whose proposed optimizer rewrite
+	// the translation validator would not certify; the unoptimized
+	// program was served instead.
+	OptimizeRefused int64 `json:"optimize_refused"`
 }
 
 func artifactSnapshot(c artifact.Counters) ArtifactSnapshot {
@@ -285,6 +317,7 @@ func artifactSnapshot(c artifact.Counters) ArtifactSnapshot {
 		Persisted:         c.Persisted,
 		PersistErrors:     c.PersistErrors,
 		Evictions:         c.Evictions,
+		OptimizeRefused:   c.OptimizeRefused,
 	}
 }
 
@@ -311,6 +344,8 @@ func (m *Metrics) snapshot() Snapshot {
 		AnalysisUnproven:    m.analysisUnproven.Load(),
 		QuickenedPrograms:   m.quickenedPrograms.Load(),
 		QuickenedOps:        m.quickenedOps.Load(),
+		OptimizedPrograms:   m.optimizedPrograms.Load(),
+		OptimizedOps:        make(map[string]int64, vm.NumOptPasses),
 		BatchInputs:         m.batchInputs.Load(),
 		BatchSizeBounds:     BatchBucketBounds(),
 		BatchInputResults:   make(map[string]int64, NumErrorClasses),
@@ -320,6 +355,9 @@ func (m *Metrics) snapshot() Snapshot {
 	}
 	for b := range s.BatchSizes {
 		s.BatchSizes[b] = m.batchSizes[b].Load()
+	}
+	for pass, label := range optPassLabels {
+		s.OptimizedOps[label] = m.optimizedOps[pass].Load()
 	}
 	for c := 0; c < NumErrorClasses; c++ {
 		if n := m.errors[c].Load(); n != 0 {

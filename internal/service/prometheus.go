@@ -56,6 +56,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("vmd_quickened_programs_total", "Cached programs rewritten to superinstruction form at insert time.", s.QuickenedPrograms)
 	counter("vmd_quickened_ops_total", "Superinstruction sites planted across quickened programs.", s.QuickenedOps)
 
+	counter("vmd_optimized_programs_total", "Cached programs serving a validator-certified optimizer rewrite.", s.OptimizedPrograms)
+	p("# HELP vmd_optimized_ops_total Instruction slots rewritten or deleted per optimizer pass across optimized programs.\n# TYPE vmd_optimized_ops_total counter\n")
+	// Declaration order, every pass label always present: the label set
+	// IS the optimizer's pass set, which the lint suite pins.
+	for _, pass := range optPassLabels {
+		p("vmd_optimized_ops_total{pass=%q} %d\n", pass, s.OptimizedOps[pass])
+	}
+
 	counter("vmd_compiled_programs_total", "Programs lowered to AOT closure artifacts by the compiled engine.", s.CompiledPrograms)
 	counter("vmd_compiled_proved_total", "AOT artifacts carrying a proof-elided code variant.", s.CompiledProved)
 
@@ -68,6 +76,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	p("vmd_artifact_total{stage=\"unit\",outcome=\"evicted\"} %d\n", s.Artifact.Evictions)
 	p("vmd_artifact_total{stage=\"persist\",outcome=\"ok\"} %d\n", s.Artifact.Persisted)
 	p("vmd_artifact_total{stage=\"persist\",outcome=\"error\"} %d\n", s.Artifact.PersistErrors)
+	p("vmd_artifact_total{stage=\"optimize\",outcome=\"refused\"} %d\n", s.Artifact.OptimizeRefused)
 
 	p("# HELP vmd_results_total Finished requests by error class.\n# TYPE vmd_results_total counter\n")
 	for _, c := range classes {

@@ -104,6 +104,16 @@ type Config struct {
 	// budget. Off by default.
 	Quicken bool
 
+	// Optimize enables cache-time optimization: programs entering the
+	// cache are run through the static optimizer (vm.Optimize) and the
+	// rewrite is adopted only when the independent translation
+	// validator (vm.CheckTranslation) proves it observably equivalent
+	// to the compiled source program — same output bytes, final stack,
+	// memory writes and error class at every budget, in no more steps.
+	// A refused rewrite is counted and the unoptimized program is
+	// served. Off by default.
+	Optimize bool
+
 	// Policies configures the caching engines. Zero means
 	// engine.DefaultPolicies.
 	Policies engine.Policies
@@ -114,9 +124,9 @@ type Config struct {
 	// service warm-starts from it without recompiling, re-verifying or
 	// re-analyzing previously-seen programs. Entries are keyed by
 	// (source hash, policy fingerprint), so a directory can be shared
-	// across services only when their compile options and quicken
-	// setting agree; corrupt files are deleted and recomputed, never
-	// trusted.
+	// across services only when their compile options and quicken and
+	// optimize settings agree; corrupt files are deleted and
+	// recomputed, never trusted.
 	CacheDir string
 }
 
@@ -234,6 +244,28 @@ type Response struct {
 	// superinstruction form at insert time (false when quickening is
 	// disabled or nothing in the program matched the fusion table).
 	Quickened bool
+
+	// Optimized reports whether the cached program is the static
+	// optimizer's rewrite, adopted only after the translation validator
+	// (vm.CheckTranslation) certified it observably equivalent to the
+	// compiled source program (false when optimization is disabled, the
+	// optimizer declined, or the validator refused the rewrite).
+	Optimized bool
+
+	// StepsAccounting names the instruction stream Steps counted (and
+	// the step budget bound): "source" when the executed program is the
+	// compiled source program, "optimized" when it is the validated
+	// rewrite — which the validator guarantees takes no more steps than
+	// the source program, so a budget sufficient for the source program
+	// is always sufficient for the rewrite.
+	StepsAccounting string
+
+	// SourceSteps is the executed step count in source-program terms
+	// when the service knows it: equal to Steps for "source" accounting,
+	// and 0 under "optimized" accounting (the source program was not
+	// executed, so its step count is unknown — only bounded below by
+	// Steps).
+	SourceSteps int64
 
 	// Results holds the per-input outcomes of a batch request, in
 	// input order; nil for singleton requests. A batch response's
@@ -362,6 +394,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.cache = NewProgramCache(cfg.CacheSize, cfg.CompileOptions, &s.metrics)
 	s.cache.quicken = cfg.Quicken
+	s.cache.optimize = cfg.Optimize
 	s.cache.cacheDir = cfg.CacheDir
 	s.machines.New = func() any { return new(interp.Machine) }
 	s.wg.Add(cfg.Workers)
@@ -685,7 +718,9 @@ func (s *Service) execute(t *task) (*Response, error) {
 		Steps:      r.Steps,
 		Analysis:   t.entry.Facts.Outcome(),
 		Quickened:  t.entry.Quickened,
+		Optimized:  t.entry.Optimized,
 	}
+	resp.StepsAccounting, resp.SourceSteps = stepsAccounting(t.entry.Optimized, r.Steps)
 	if r.Err != nil {
 		// A failed execution still returns the partial response for
 		// diagnosis.
@@ -707,6 +742,7 @@ func (s *Service) executeBatch(t *task) *Response {
 		Engine:    t.eng.Name(),
 		Analysis:  t.entry.Facts.Outcome(),
 		Quickened: t.entry.Quickened,
+		Optimized: t.entry.Optimized,
 		Results:   make([]InputResult, len(t.inputs)),
 	}
 	for i, in := range t.inputs {
@@ -718,5 +754,17 @@ func (s *Service) executeBatch(t *task) *Response {
 		s.metrics.observeBatchInput(r.Class())
 	}
 	s.metrics.observeBatch(len(t.inputs))
+	resp.StepsAccounting, resp.SourceSteps = stepsAccounting(t.entry.Optimized, resp.Steps)
 	return resp
+}
+
+// stepsAccounting implements the response's step-accounting contract:
+// unoptimized executions count source-program steps (SourceSteps ==
+// Steps); optimized executions count the rewrite's steps and the
+// source count is unknown (0).
+func stepsAccounting(optimized bool, steps int64) (string, int64) {
+	if optimized {
+		return "optimized", 0
+	}
+	return "source", steps
 }

@@ -1,0 +1,466 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// cloneProg copies a program so a test can seed a miscompile without
+// touching the original.
+func cloneProg(p *Program) *Program {
+	q := *p
+	q.Code = append([]Instr(nil), p.Code...)
+	q.Data = append([]byte(nil), p.Data...)
+	return &q
+}
+
+// ctSuite returns provable programs exercising every control shape
+// the validator models: straight line, conditionals, backward
+// branches, calls (leaf and non-leaf), do-loops, +loops, nested
+// loops with i/j, memory traffic and output.
+func ctSuite() map[string]*Program {
+	suite := map[string]*Program{}
+
+	suite["straight"] = optProg(
+		Instr{Op: OpLit, Arg: 2},
+		Instr{Op: OpLit, Arg: 3},
+		Instr{Op: OpAdd},
+		Instr{Op: OpDot},
+		Instr{Op: OpHalt},
+	)
+
+	b := NewBuilder()
+	b.Lit(0)
+	b.Emit(OpFetch)
+	b.BranchZeroTo("zero")
+	b.Lit(1)
+	b.Emit(OpDot)
+	b.Emit(OpHalt)
+	b.Label("zero")
+	b.Lit(2)
+	b.Emit(OpDot)
+	b.Emit(OpHalt)
+	suite["cond"] = b.MustBuild()
+
+	b = NewBuilder()
+	b.Word("sq")
+	b.Emit(OpDup)
+	b.Emit(OpMul)
+	b.Emit(OpExit)
+	b.Word("sumsq") // not straight-line: contains a call
+	b.CallTo("sq")
+	b.Emit(OpSwap)
+	b.CallTo("sq")
+	b.Emit(OpAdd)
+	b.Emit(OpExit)
+	entry := b.Pos()
+	b.Lit(3)
+	b.Lit(4)
+	b.CallTo("sumsq")
+	b.Emit(OpDot)
+	b.Emit(OpHalt)
+	b.SetEntryPos(entry)
+	suite["calls"] = b.MustBuild()
+
+	b = NewBuilder()
+	b.Lit(5)
+	b.Lit(0)
+	b.Emit(OpDo)
+	b.Label("body")
+	b.Emit(OpI)
+	b.Emit(OpDot)
+	b.LoopTo("body")
+	b.Emit(OpHalt)
+	suite["doloop"] = b.MustBuild()
+
+	b = NewBuilder()
+	b.Lit(10)
+	b.Lit(0)
+	b.Emit(OpDo)
+	b.Label("outer")
+	b.Lit(3)
+	b.Lit(0)
+	b.Emit(OpDo)
+	b.Label("inner")
+	b.Emit(OpJ)
+	b.Emit(OpI)
+	b.Emit(OpAdd)
+	b.Emit(OpDot)
+	b.Lit(2)
+	b.PlusLoopTo("inner")
+	b.LoopTo("outer")
+	b.Emit(OpHalt)
+	suite["nested+loop"] = b.MustBuild()
+
+	b = NewBuilder()
+	addr := b.Alloc(CellSize)
+	b.Lit(7)
+	b.Lit(addr)
+	b.Emit(OpStore)
+	b.Lit(3)
+	b.Lit(addr)
+	b.Emit(OpPlusStore)
+	b.Lit(addr)
+	b.Emit(OpFetch)
+	b.Emit(OpDot)
+	b.Emit(OpHalt)
+	suite["memory"] = b.MustBuild()
+
+	return suite
+}
+
+func TestCheckTranslationIdentity(t *testing.T) {
+	for name, p := range ctSuite() {
+		if err := CheckTranslation(p, p); err != nil {
+			t.Errorf("%s: identity translation refused: %v", name, err)
+		}
+	}
+}
+
+func TestCheckTranslationAcceptsOptimizerOutput(t *testing.T) {
+	for name, p := range ctSuite() {
+		r := Optimize(p)
+		if !r.Changed {
+			continue
+		}
+		if err := CheckTranslation(p, r.Prog); err != nil {
+			t.Errorf("%s: optimizer rewrite refused: %v", name, err)
+		}
+	}
+}
+
+func TestCheckTranslationQuickeningTransparent(t *testing.T) {
+	for name, p := range ctSuite() {
+		q, n := Quicken(p)
+		if n == 0 {
+			continue
+		}
+		if err := CheckTranslation(p, q); err != nil {
+			t.Errorf("%s: quickened form refused: %v", name, err)
+		}
+	}
+}
+
+// TestCheckTranslationRejectsMiscompiles seeds concrete wrong
+// rewrites — each one a plausible optimizer bug — and requires the
+// validator to refuse every single one.
+func TestCheckTranslationRejectsMiscompiles(t *testing.T) {
+	cases := []struct {
+		name string
+		orig *Program
+		bad  func(*Program) *Program
+		want string // substring of the refusal
+	}{
+		{
+			name: "wrong constant fold",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 2},
+				Instr{Op: OpLit, Arg: 3},
+				Instr{Op: OpAdd},
+				Instr{Op: OpDot},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				return optProg(
+					Instr{Op: OpLit, Arg: 6}, // 2+3 "folded" to 6
+					Instr{Op: OpDot},
+					Instr{Op: OpHalt},
+				)
+			},
+			want: "event",
+		},
+		{
+			name: "dropped output",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 1},
+				Instr{Op: OpEmit},
+				Instr{Op: OpLit, Arg: 2},
+				Instr{Op: OpDot},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				return optProg(
+					Instr{Op: OpLit, Arg: 2},
+					Instr{Op: OpDot},
+					Instr{Op: OpHalt},
+				)
+			},
+			want: "event",
+		},
+		{
+			name: "erased store",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 9},
+				Instr{Op: OpLit, Arg: 0},
+				Instr{Op: OpStore},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				return optProg(Instr{Op: OpHalt})
+			},
+			want: "event",
+		},
+		{
+			name: "reordered stores",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 1},
+				Instr{Op: OpLit, Arg: 0},
+				Instr{Op: OpStore},
+				Instr{Op: OpLit, Arg: 2},
+				Instr{Op: OpLit, Arg: 8},
+				Instr{Op: OpStore},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				return optProg(
+					Instr{Op: OpLit, Arg: 2},
+					Instr{Op: OpLit, Arg: 8},
+					Instr{Op: OpStore},
+					Instr{Op: OpLit, Arg: 1},
+					Instr{Op: OpLit, Arg: 0},
+					Instr{Op: OpStore},
+					Instr{Op: OpHalt},
+				)
+			},
+			want: "event",
+		},
+		{
+			name: "erased division fault",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 8},
+				Instr{Op: OpLit, Arg: 0},
+				Instr{Op: OpFetch}, // unknown divisor from memory
+				Instr{Op: OpDiv},
+				Instr{Op: OpDrop},
+				Instr{Op: OpLit, Arg: 1},
+				Instr{Op: OpDot},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				// "The quotient is dropped anyway" — but the division
+				// can fault, so erasing it changes the error class.
+				return optProg(
+					Instr{Op: OpLit, Arg: 1},
+					Instr{Op: OpDot},
+					Instr{Op: OpHalt},
+				)
+			},
+			want: "event",
+		},
+		{
+			name: "wrong final stack",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 1},
+				Instr{Op: OpLit, Arg: 2},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				return optProg(
+					Instr{Op: OpLit, Arg: 2},
+					Instr{Op: OpLit, Arg: 1},
+					Instr{Op: OpHalt},
+				)
+			},
+			want: "stack",
+		},
+		{
+			name: "depth changed by erased dead literal",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 5},
+				Instr{Op: OpDepth},
+				Instr{Op: OpDot},
+				Instr{Op: OpDrop},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				// The 5 is never used as a value — but depth observes
+				// it, so erasing it prints 0 instead of 1.
+				return optProg(
+					Instr{Op: OpDepth},
+					Instr{Op: OpDot},
+					Instr{Op: OpDrop}, // keep the net effect plausible
+					Instr{Op: OpHalt},
+				)
+			},
+			want: "",
+		},
+		{
+			name: "slower rewrite",
+			orig: optProg(
+				Instr{Op: OpLit, Arg: 1},
+				Instr{Op: OpDot},
+				Instr{Op: OpHalt},
+			),
+			bad: func(*Program) *Program {
+				return optProg(
+					Instr{Op: OpNop},
+					Instr{Op: OpNop},
+					Instr{Op: OpLit, Arg: 1},
+					Instr{Op: OpDot},
+					Instr{Op: OpHalt},
+				)
+			},
+			want: "steps",
+		},
+		{
+			name: "wrong branch polarity",
+			orig: func() *Program {
+				b := NewBuilder()
+				b.Lit(0)
+				b.Emit(OpFetch)
+				b.BranchZeroTo("zero")
+				b.Lit(1)
+				b.Emit(OpDot)
+				b.Emit(OpHalt)
+				b.Label("zero")
+				b.Lit(2)
+				b.Emit(OpDot)
+				b.Emit(OpHalt)
+				return b.MustBuild()
+			}(),
+			bad: func(p *Program) *Program {
+				// Swap the two arms without flipping the condition.
+				b := NewBuilder()
+				b.Lit(0)
+				b.Emit(OpFetch)
+				b.BranchZeroTo("zero")
+				b.Lit(2)
+				b.Emit(OpDot)
+				b.Emit(OpHalt)
+				b.Label("zero")
+				b.Lit(1)
+				b.Emit(OpDot)
+				b.Emit(OpHalt)
+				return b.MustBuild()
+			},
+			want: "",
+		},
+		{
+			name: "off by one loop bound",
+			orig: func() *Program {
+				b := NewBuilder()
+				b.Lit(5)
+				b.Lit(0)
+				b.Emit(OpDo)
+				b.Label("body")
+				b.Emit(OpI)
+				b.Emit(OpDot)
+				b.LoopTo("body")
+				b.Emit(OpHalt)
+				return b.MustBuild()
+			}(),
+			bad: func(p *Program) *Program {
+				b := NewBuilder()
+				b.Lit(4)
+				b.Lit(0)
+				b.Emit(OpDo)
+				b.Label("body")
+				b.Emit(OpI)
+				b.Emit(OpDot)
+				b.LoopTo("body")
+				b.Emit(OpHalt)
+				return b.MustBuild()
+			},
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		bad := tc.bad(tc.orig)
+		if err := Verify(bad); err != nil {
+			t.Errorf("%s: seeded rewrite does not verify (test bug): %v", tc.name, err)
+			continue
+		}
+		err := CheckTranslation(tc.orig, bad)
+		if err == nil {
+			t.Errorf("%s: miscompiled rewrite was ACCEPTED", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: refusal %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCheckTranslationFlipsEverySurvivingLiteral(t *testing.T) {
+	// For each suite program and each literal surviving optimization,
+	// corrupt that one literal; no corruption may slip through.
+	for name, p := range ctSuite() {
+		r := Optimize(p)
+		for i := range r.Prog.Code {
+			if r.Prog.Code[i].Op != OpLit {
+				continue
+			}
+			bad := cloneProg(r.Prog)
+			bad.Code[i].Arg++
+			if err := CheckTranslation(p, bad); err == nil {
+				t.Errorf("%s: flipped literal at pc %d accepted", name, i)
+			}
+		}
+	}
+}
+
+func TestCheckTranslationPreconditions(t *testing.T) {
+	good := optProg(Instr{Op: OpLit, Arg: 1}, Instr{Op: OpDot}, Instr{Op: OpHalt})
+
+	if err := CheckTranslation(nil, good); err == nil {
+		t.Error("nil original accepted")
+	}
+	if err := CheckTranslation(good, nil); err == nil {
+		t.Error("nil rewrite accepted")
+	}
+
+	unverified := &Program{Code: []Instr{{Op: OpLit, Arg: 1}}}
+	if err := CheckTranslation(unverified, good); err == nil {
+		t.Error("unverified original accepted")
+	}
+
+	b := NewBuilder()
+	b.Word("rec")
+	b.CallTo("rec")
+	b.Emit(OpExit)
+	entry := b.Pos()
+	b.CallTo("rec")
+	b.Emit(OpHalt)
+	b.SetEntryPos(entry)
+	unproven := b.MustBuild()
+	if err := CheckTranslation(unproven, unproven); err == nil {
+		t.Error("unproven program accepted")
+	} else if !strings.Contains(err.Error(), "depth-proven") {
+		t.Errorf("unexpected refusal: %v", err)
+	}
+
+	diffMem := cloneProg(good)
+	diffMem.MemSize = good.MemSize * 2
+	if err := CheckTranslation(good, diffMem); err == nil {
+		t.Error("differing memory size accepted")
+	}
+
+	diffData := cloneProg(good)
+	diffData.Data = []byte{1}
+	if err := CheckTranslation(good, diffData); err == nil {
+		t.Error("differing initial memory accepted")
+	}
+}
+
+func TestCheckTranslationRefusalsAreNotPanics(t *testing.T) {
+	// A rewrite with wildly different control shape must refuse
+	// cleanly, not crash or accept.
+	orig := optProg(
+		Instr{Op: OpLit, Arg: 3},
+		Instr{Op: OpDot},
+		Instr{Op: OpHalt},
+	)
+	b := NewBuilder()
+	b.Lit(3)
+	b.Lit(0)
+	b.Emit(OpDo)
+	b.Label("body")
+	b.Emit(OpI)
+	b.Emit(OpDot)
+	b.LoopTo("body")
+	b.Emit(OpHalt)
+	weird := b.MustBuild()
+	if err := CheckTranslation(orig, weird); err == nil {
+		t.Error("structurally unrelated rewrite accepted")
+	}
+}

@@ -28,31 +28,92 @@ func DisassembleWith(p *Program, f *Facts) string {
 		} else if targets[pc] {
 			fmt.Fprintf(&sb, "L%d:\n", pc)
 		}
-		text := disasmInstr(p, ins)
-		if f == nil {
-			fmt.Fprintf(&sb, "%5d  %s\n", pc, text)
-			continue
+		text, notes := disasmInstr(p, ins)
+		if f != nil {
+			fact := f.PCs[pc]
+			switch {
+			case !fact.Reachable:
+				notes = append(notes, "unreachable")
+			case fact.RDepth.Lo == 0 && fact.RDepth.Hi == 0:
+				notes = append(notes, fmt.Sprintf("depth %s", fact.Depth))
+			default:
+				notes = append(notes, fmt.Sprintf("depth %s rdepth %s", fact.Depth, fact.RDepth))
+			}
 		}
-		fact := f.PCs[pc]
-		switch {
-		case !fact.Reachable:
-			fmt.Fprintf(&sb, "%5d  %-24s ; unreachable\n", pc, text)
-		case fact.RDepth.Lo == 0 && fact.RDepth.Hi == 0:
-			fmt.Fprintf(&sb, "%5d  %-24s ; depth %s\n", pc, text, fact.Depth)
-		default:
-			fmt.Fprintf(&sb, "%5d  %-24s ; depth %s rdepth %s\n",
-				pc, text, fact.Depth, fact.RDepth)
-		}
+		writeDisasmLine(&sb, pc, text, notes)
 	}
 	return sb.String()
 }
 
-func disasmInstr(p *Program, ins Instr) string {
-	if EffectOf(ins.Op).Arg == ArgTarget {
-		if name := p.WordAt(int(ins.Arg)); name != "" && ins.Op == OpCall {
-			return fmt.Sprintf("%s %s", ins.Op, name)
-		}
-		return fmt.Sprintf("%s ->%d", ins.Op, ins.Arg)
+// DisassembleOpt renders the optimizer's source listing (the
+// unquickened input, OptResult.Source) with one annotation per pc
+// saying what the optimizer did to it: where a kept or rewritten
+// instruction landed in the optimized program, and which
+// instructions were folded away or dead. For an unchanged result it
+// degenerates to the plain listing.
+func DisassembleOpt(r *OptResult) string {
+	p := r.Source
+	if len(r.Fate) != len(p.Code) || len(r.NewPC) != len(p.Code) {
+		return Disassemble(p)
 	}
-	return ins.String()
+	var sb strings.Builder
+	targets := p.BranchTargets()
+	for pc, ins := range p.Code {
+		if name := p.WordAt(pc); name != "" {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		} else if targets[pc] {
+			fmt.Fprintf(&sb, "L%d:\n", pc)
+		}
+		text, notes := disasmInstr(p, ins)
+		if r.Changed {
+			switch r.Fate[pc] {
+			case FateKept:
+				notes = append(notes, fmt.Sprintf("kept -> %d", r.NewPC[pc]))
+			case FateRewritten:
+				notes = append(notes, fmt.Sprintf("rewritten -> %d", r.NewPC[pc]))
+			default: // FateFolded, FateDead: the slot was deleted
+				notes = append(notes, r.Fate[pc].String())
+			}
+		}
+		writeDisasmLine(&sb, pc, text, notes)
+	}
+	return sb.String()
+}
+
+func writeDisasmLine(sb *strings.Builder, pc int, text string, notes []string) {
+	if len(notes) == 0 {
+		fmt.Fprintf(sb, "%5d  %s\n", pc, text)
+		return
+	}
+	fmt.Fprintf(sb, "%5d  %-24s ; %s\n", pc, text, strings.Join(notes, "; "))
+}
+
+// disasmInstr renders one instruction. The second result carries
+// annotations that belong in the trailing comment: for a quickening
+// superinstruction, its constituent expansion with the immediate
+// shown on the constituent that carries it, so a reader never has to
+// know fusion tables to see what executes.
+func disasmInstr(p *Program, ins Instr) (string, []string) {
+	var text string
+	if EffectOf(ins.Op).Arg == ArgTarget {
+		if name := p.WordAt(int(ins.Arg)); name != "" && CanonicalInstr(ins).Op == OpCall {
+			text = fmt.Sprintf("%s %s", ins.Op, name)
+		} else {
+			text = fmt.Sprintf("%s ->%d", ins.Op, ins.Arg)
+		}
+	} else {
+		text = ins.String()
+	}
+	if exp := Expansion(ins.Op); exp != nil {
+		parts := make([]string, len(exp))
+		for i, c := range exp {
+			if i == 0 {
+				parts[i] = Instr{Op: c, Arg: ins.Arg}.String()
+			} else {
+				parts[i] = c.String()
+			}
+		}
+		return text, []string{"= " + strings.Join(parts, " ")}
+	}
+	return text, nil
 }
